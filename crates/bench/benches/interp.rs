@@ -1,0 +1,32 @@
+//! Interpreter throughput: dynamic instructions per second over
+//! representative benchmark binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use branchlab::interp::{run, ExecConfig};
+use branchlab::ir::lower;
+use branchlab::workloads::{benchmark, Scale};
+
+fn bench_interp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interp");
+    for name in ["wc", "compress", "yacc"] {
+        let b = benchmark(name).expect("suite benchmark");
+        let program = lower(&b.compile().expect("compiles")).expect("lowers");
+        let runs = b.runs(Scale::Test, 3);
+        let streams: Vec<&[u8]> = runs[0].iter().map(Vec::as_slice).collect();
+        let insts = run(&program, &ExecConfig::default(), &streams, &mut ())
+            .expect("runs")
+            .stats
+            .insts;
+        group.throughput(Throughput::Elements(insts));
+        group.bench_function(name, |bencher| {
+            bencher.iter(|| {
+                run(&program, &ExecConfig::default(), &streams, &mut ()).expect("runs")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interp);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Predictor throughput: branch events per second through the SBTB,
+//! CBTB, Forward Semantic bits, and static baselines, on a recorded
+//! trace — the per-lookup cost that would bound BTB hardware models.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use branchlab::interp::{run, ExecConfig};
+use branchlab::ir::lower;
+use branchlab::predict::{
+    AlwaysTaken, BackwardTakenForwardNot, BranchPredictor, Cbtb, Evaluator, LikelyBit, Sbtb,
+};
+use branchlab::trace::{BranchEvent, ExecHooks, TraceRecorder};
+use branchlab::workloads::{benchmark, Scale};
+
+fn recorded_trace() -> Vec<BranchEvent> {
+    let b = benchmark("compress").expect("suite benchmark");
+    let program = lower(&b.compile().expect("compiles")).expect("lowers");
+    let runs = b.runs(Scale::Test, 3);
+    let streams: Vec<&[u8]> = runs[0].iter().map(Vec::as_slice).collect();
+    let mut rec = TraceRecorder::with_capacity(200_000);
+    run(&program, &ExecConfig::default(), &streams, &mut rec).expect("runs");
+    rec.events().to_vec()
+}
+
+fn drive<P: BranchPredictor>(events: &[BranchEvent], p: P) -> u64 {
+    let mut e = Evaluator::new(p);
+    for ev in events {
+        e.branch(ev);
+    }
+    e.stats.correct
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let events = recorded_trace();
+    let mut group = c.benchmark_group("predictors");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("sbtb-256", |b| b.iter(|| drive(&events, Sbtb::paper())));
+    group.bench_function("cbtb-256", |b| b.iter(|| drive(&events, Cbtb::paper())));
+    group.bench_function("fs-likely-bit", |b| b.iter(|| drive(&events, LikelyBit)));
+    group.bench_function("always-taken", |b| b.iter(|| drive(&events, AlwaysTaken)));
+    group.bench_function("btfn", |b| b.iter(|| drive(&events, BackwardTakenForwardNot)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictors);
+criterion_main!(benches);

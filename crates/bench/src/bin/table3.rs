@@ -1,0 +1,6 @@
+//! Regenerate the paper's Table 3.
+fn main() {
+    let options = branchlab_bench::Options::from_args();
+    let suite = branchlab_bench::suite(&options);
+    print!("{}", options.render(&branchlab::experiments::tables::table3(&suite)));
+}

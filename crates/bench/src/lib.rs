@@ -1,0 +1,131 @@
+//! # branchlab-bench
+//!
+//! The benchmark harness: one binary per paper artifact —
+//! `table1` … `table5`, `fig3`, `fig4`, an `ablation` binary for the
+//! extension studies, and a `report` binary that regenerates everything
+//! in one run (used to produce EXPERIMENTS.md). Criterion benches cover
+//! the interpreter, the predictors, and the Forward Semantic transform.
+//!
+//! Every binary accepts:
+//!
+//! * `--scale test|small|paper` (default `small`)
+//! * `--seed N` (default 1989)
+//! * `--markdown` / `--csv` output formats (default fixed-width text)
+
+#![warn(missing_docs)]
+
+use branchlab::experiments::{run_suite, ExperimentConfig, SuiteResult, Table};
+use branchlab::workloads::Scale;
+
+/// Output format selected on the command line.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Format {
+    /// Fixed-width text (default).
+    Text,
+    /// GitHub-flavored markdown.
+    Markdown,
+    /// Comma-separated values.
+    Csv,
+}
+
+/// Parsed command-line options shared by all bench binaries.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Experiment configuration (scale, seed, …).
+    pub config: ExperimentConfig,
+    /// Output format.
+    pub format: Format,
+}
+
+impl Options {
+    /// Parse `std::env::args`.
+    ///
+    /// # Panics
+    /// Panics with a usage message on unknown arguments.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut config = ExperimentConfig::default();
+        let mut format = Format::Text;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = args.next().unwrap_or_default();
+                    config.scale = match v.as_str() {
+                        "test" => Scale::Test,
+                        "small" => Scale::Small,
+                        "paper" => Scale::Paper,
+                        other => panic!("unknown scale `{other}` (test|small|paper)"),
+                    };
+                }
+                "--seed" => {
+                    config.seed = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--seed needs an integer");
+                }
+                "--markdown" => format = Format::Markdown,
+                "--csv" => format = Format::Csv,
+                "--no-verify" => config.verify_equivalence = false,
+                other => panic!(
+                    "unknown argument `{other}`\nusage: [--scale test|small|paper] [--seed N] [--markdown|--csv] [--no-verify]"
+                ),
+            }
+        }
+        Options { config, format }
+    }
+
+    /// Render a table in the selected format.
+    #[must_use]
+    pub fn render(&self, table: &Table) -> String {
+        match self.format {
+            Format::Text => table.to_text(),
+            Format::Markdown => table.to_markdown(),
+            Format::Csv => table.to_csv(),
+        }
+    }
+}
+
+/// Run the full suite with progress to stderr.
+///
+/// # Panics
+/// Panics (with the failing benchmark's error) if the pipeline fails —
+/// these binaries are terminal tools.
+#[must_use]
+pub fn suite(options: &Options) -> SuiteResult {
+    eprintln!(
+        "running 12-benchmark suite (scale {:?}, seed {}) …",
+        options.config.scale, options.config.seed
+    );
+    let start = std::time::Instant::now();
+    let suite = run_suite(&options.config).unwrap_or_else(|e| panic!("suite failed: {e}"));
+    let insts: u64 = suite.benches.iter().map(|b| b.stats.insts).sum();
+    eprintln!(
+        "done in {:.1}s ({:.1}M dynamic instructions)",
+        start.elapsed().as_secs_f64(),
+        insts as f64 / 1e6
+    );
+    suite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_are_small_scale() {
+        let o = Options { config: ExperimentConfig::default(), format: Format::Text };
+        assert_eq!(o.config.seed, 1989);
+        assert!(matches!(o.config.scale, Scale::Small));
+    }
+
+    #[test]
+    fn render_selects_format() {
+        let mut t = Table::new("t", &["a"]);
+        t.row(vec!["1".into()]);
+        let mut o = Options { config: ExperimentConfig::default(), format: Format::Csv };
+        assert!(o.render(&t).starts_with("a\n"));
+        o.format = Format::Markdown;
+        assert!(o.render(&t).contains("| a |"));
+    }
+}

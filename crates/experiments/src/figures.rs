@@ -1,0 +1,163 @@
+//! Regeneration of the paper's Figures 3 and 4: branch cost vs ℓ̄ + m̄
+//! for k ∈ {1, 2, 4, 8}, one curve per scheme, using the suite-average
+//! accuracies (exactly how the paper produced them from Table 3).
+
+use branchlab_pipeline::cost_curve;
+
+use crate::harness::SuiteResult;
+use crate::render::{f2, Table};
+
+/// The three average accuracies a figure is drawn from.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct SchemeAccuracies {
+    /// Average SBTB accuracy.
+    pub sbtb: f64,
+    /// Average CBTB accuracy.
+    pub cbtb: f64,
+    /// Average Forward Semantic accuracy.
+    pub fs: f64,
+}
+
+impl SchemeAccuracies {
+    /// Suite averages (the means of Table 3).
+    #[must_use]
+    pub fn from_suite(suite: &SuiteResult) -> Self {
+        SchemeAccuracies {
+            sbtb: suite.mean_std(|b| b.sbtb.accuracy()).0,
+            cbtb: suite.mean_std(|b| b.cbtb.accuracy()).0,
+            fs: suite.mean_std(|b| b.fs.accuracy()).0,
+        }
+    }
+
+    /// The paper's own Table 3 averages, for overlaying the original
+    /// curves next to measured ones.
+    #[must_use]
+    pub fn paper() -> Self {
+        SchemeAccuracies { sbtb: 0.915, cbtb: 0.924, fs: 0.935 }
+    }
+}
+
+/// One figure panel: cost-vs-(ℓ̄+m̄) series for a fixed k.
+#[must_use]
+pub fn figure_panel(acc: &SchemeAccuracies, k: u32) -> Table {
+    let mut t = Table::new(
+        format!("Branch cost vs l+m for k = {k}"),
+        &["l+m", "SBTB", "CBTB", "FS"],
+    );
+    let sbtb = cost_curve(acc.sbtb, k, 10.0, 1.0);
+    let cbtb = cost_curve(acc.cbtb, k, 10.0, 1.0);
+    let fs = cost_curve(acc.fs, k, 10.0, 1.0);
+    for i in 0..sbtb.len() {
+        t.row(vec![
+            format!("{:.0}", sbtb[i].lm),
+            f2(sbtb[i].cost),
+            f2(cbtb[i].cost),
+            f2(fs[i].cost),
+        ]);
+    }
+    t
+}
+
+/// Figure 3: panels for k = 1 and k = 2.
+#[must_use]
+pub fn figure3(acc: &SchemeAccuracies) -> Vec<Table> {
+    vec![figure_panel(acc, 1), figure_panel(acc, 2)]
+}
+
+/// Figure 4: panels for k = 4 and k = 8.
+#[must_use]
+pub fn figure4(acc: &SchemeAccuracies) -> Vec<Table> {
+    vec![figure_panel(acc, 4), figure_panel(acc, 8)]
+}
+
+/// A low-tech ASCII plot of a figure panel (three curves, one character
+/// column per ℓ̄+m̄ step), so the bench binaries can show the *shape*
+/// the paper plots.
+#[must_use]
+pub fn ascii_plot(acc: &SchemeAccuracies, k: u32, height: usize) -> String {
+    let curves = [
+        ('S', cost_curve(acc.sbtb, k, 10.0, 1.0)),
+        ('C', cost_curve(acc.cbtb, k, 10.0, 1.0)),
+        ('F', cost_curve(acc.fs, k, 10.0, 1.0)),
+    ];
+    let max = curves
+        .iter()
+        .flat_map(|(_, c)| c.iter().map(|p| p.cost))
+        .fold(1.0f64, f64::max);
+    let min = 1.0;
+    let cols = curves[0].1.len();
+    let mut grid = vec![vec![b' '; cols * 3]; height];
+    for (ch, curve) in &curves {
+        for (x, p) in curve.iter().enumerate() {
+            let frac = (p.cost - min) / (max - min).max(1e-9);
+            let y = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+            let cell = &mut grid[y.min(height - 1)][x * 3];
+            // Stack overlapping curves left to right.
+            if *cell == b' ' {
+                *cell = *ch as u8;
+            } else {
+                grid[y.min(height - 1)][x * 3 + 1] = *ch as u8;
+            }
+        }
+    }
+    let mut out = format!(
+        "k = {k}  (S = SBTB, C = CBTB, F = FS; y: {:.2}..{:.2} cycles, x: l+m 0..10)\n",
+        min, max
+    );
+    for row in grid {
+        out.push_str(String::from_utf8_lossy(&row).trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panels_have_eleven_points() {
+        let t = figure_panel(&SchemeAccuracies::paper(), 1);
+        assert_eq!(t.rows.len(), 11);
+        assert_eq!(t.rows[0][0], "0");
+        assert_eq!(t.rows[10][0], "10");
+    }
+
+    #[test]
+    fn fs_curve_below_sbtb_curve_everywhere() {
+        // With A_FS > A_SBTB, FS cost < SBTB cost for every lm > 0.
+        let acc = SchemeAccuracies::paper();
+        let t = figure_panel(&acc, 4);
+        for row in &t.rows[1..] {
+            let sbtb: f64 = row[1].parse().unwrap();
+            let fs: f64 = row[3].parse().unwrap();
+            assert!(fs < sbtb, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn figures_cover_paper_k_values() {
+        let acc = SchemeAccuracies::paper();
+        assert_eq!(figure3(&acc).len(), 2);
+        assert_eq!(figure4(&acc).len(), 2);
+        assert!(figure4(&acc)[1].title.contains("k = 8"));
+    }
+
+    #[test]
+    fn ascii_plot_renders() {
+        let plot = ascii_plot(&SchemeAccuracies::paper(), 2, 12);
+        assert!(plot.contains('S'));
+        assert!(plot.contains('F'));
+        assert!(plot.lines().count() >= 12);
+    }
+
+    #[test]
+    fn deeper_k_panels_cost_more_at_same_lm() {
+        let acc = SchemeAccuracies::paper();
+        let k1 = figure_panel(&acc, 1);
+        let k8 = figure_panel(&acc, 8);
+        let c1: f64 = k1.rows[5][1].parse().unwrap();
+        let c8: f64 = k8.rows[5][1].parse().unwrap();
+        assert!(c8 > c1);
+    }
+}

@@ -1,0 +1,395 @@
+//! The end-to-end experiment pipeline: compile → profile → transform →
+//! evaluate all three schemes (plus static baselines) over every
+//! benchmark, in a single interpreter pass per run per layout.
+
+use branchlab_fsem::{code_expansion, fs_program, ExpansionPoint, FsConfig};
+use branchlab_interp::{run, ExecConfig, ExecError, ExecStats};
+use branchlab_ir::{lower, LowerError, Program};
+use branchlab_minic::CompileError;
+use branchlab_predict::{
+    AlwaysNotTaken, AlwaysTaken, BackwardTakenForwardNot, BranchPredictor, Cbtb, Evaluator,
+    LikelyBit, PredStats, Sbtb,
+};
+use branchlab_profile::{profile_module_with, Profile, ProfileError};
+use branchlab_trace::{BranchEvent, BranchMix, ExecHooks};
+use branchlab_workloads::{Benchmark, Scale, SUITE};
+
+/// Experiment-wide knobs.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Input scale for every benchmark.
+    pub scale: Scale,
+    /// Master seed for input generation.
+    pub seed: u64,
+    /// Forward slots (k + ℓ) used when building the FS binary whose
+    /// dynamic accuracy is measured. Accuracy is insensitive to this;
+    /// Table 5 sweeps its own depths.
+    pub fs_slots: u16,
+    /// Instruction budget per run (guards against runaway inputs).
+    pub max_insts_per_run: u64,
+    /// Cross-check that the FS binary produces byte-identical outputs to
+    /// the conventional binary on every run.
+    pub verify_equivalence: bool,
+    /// Use the paper's literal "predicted taken when C > T" counter rule
+    /// (see DESIGN.md); `false` selects the Smith-style `C ≥ T` reading.
+    pub cbtb_strict: bool,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            scale: Scale::Small,
+            seed: 1989,
+            fs_slots: 2,
+            max_insts_per_run: 2_000_000_000,
+            verify_equivalence: true,
+            cbtb_strict: true,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A fast configuration for tests.
+    #[must_use]
+    pub fn test() -> Self {
+        ExperimentConfig { scale: Scale::Test, ..ExperimentConfig::default() }
+    }
+
+    fn exec_config(&self) -> ExecConfig {
+        ExecConfig { max_insts: self.max_insts_per_run, ..ExecConfig::default() }
+    }
+}
+
+/// Everything measured for one benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Static source lines (Table 1 *Lines* analogue).
+    pub source_lines: usize,
+    /// Number of input runs (Table 1 *Runs*).
+    pub runs: usize,
+    /// Dynamic statistics accumulated over all runs on the conventional
+    /// layout (Table 1 *Inst.* / *Control*).
+    pub stats: ExecStats,
+    /// Taken/not-taken and known/unknown mixes (Table 2).
+    pub mix: BranchMix,
+    /// SBTB scoring (Table 3 ρ, A).
+    pub sbtb: PredStats,
+    /// CBTB scoring (Table 3 ρ, A).
+    pub cbtb: PredStats,
+    /// Forward Semantic scoring, measured on the FS binary (Table 3 A).
+    pub fs: PredStats,
+    /// Always-taken baseline (related-work ablation).
+    pub always_taken: PredStats,
+    /// Always-not-taken baseline.
+    pub always_not_taken: PredStats,
+    /// Backward-taken/forward-not-taken baseline.
+    pub btfn: PredStats,
+    /// Code expansion at k + ℓ ∈ {1, 2, 4, 8} (Table 5).
+    pub expansion: Vec<ExpansionPoint>,
+}
+
+/// Errors from the experiment pipeline.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// A benchmark failed to compile (would be a bug in the suite).
+    Compile(CompileError),
+    /// Lowering failed.
+    Lower(LowerError),
+    /// Profiling failed.
+    Profile(ProfileError),
+    /// An evaluation run failed.
+    Exec(ExecError),
+    /// The FS binary diverged from the conventional binary.
+    EquivalenceViolation {
+        /// Benchmark name.
+        bench: &'static str,
+        /// Which run diverged.
+        run: usize,
+    },
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::Compile(e) => write!(f, "compile failed: {e}"),
+            ExperimentError::Lower(e) => write!(f, "lowering failed: {e}"),
+            ExperimentError::Profile(e) => write!(f, "profiling failed: {e}"),
+            ExperimentError::Exec(e) => write!(f, "evaluation run failed: {e}"),
+            ExperimentError::EquivalenceViolation { bench, run } => {
+                write!(f, "FS binary diverged from conventional binary: {bench} run {run}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+impl From<CompileError> for ExperimentError {
+    fn from(e: CompileError) -> Self {
+        ExperimentError::Compile(e)
+    }
+}
+impl From<LowerError> for ExperimentError {
+    fn from(e: LowerError) -> Self {
+        ExperimentError::Lower(e)
+    }
+}
+impl From<ProfileError> for ExperimentError {
+    fn from(e: ProfileError) -> Self {
+        ExperimentError::Profile(e)
+    }
+}
+impl From<ExecError> for ExperimentError {
+    fn from(e: ExecError) -> Self {
+        ExperimentError::Exec(e)
+    }
+}
+
+/// All evaluators fed by one pass over the conventional binary.
+struct NaturalSinks {
+    mix: BranchMix,
+    sbtb: Evaluator<Sbtb>,
+    cbtb: Evaluator<Cbtb>,
+    at: Evaluator<AlwaysTaken>,
+    ant: Evaluator<AlwaysNotTaken>,
+    btfn: Evaluator<BackwardTakenForwardNot>,
+}
+
+impl NaturalSinks {
+    /// Each input run is a separate program invocation: hardware buffers
+    /// start cold (the compiler schemes keep their bits, of course).
+    fn start_run(&mut self) {
+        self.sbtb.predictor.flush();
+        self.cbtb.predictor.flush();
+    }
+}
+
+impl ExecHooks for NaturalSinks {
+    fn branch(&mut self, ev: &BranchEvent) {
+        self.mix.branch(ev);
+        self.sbtb.branch(ev);
+        self.cbtb.branch(ev);
+        self.at.branch(ev);
+        self.ant.branch(ev);
+        self.btfn.branch(ev);
+    }
+}
+
+/// Run the complete pipeline for one benchmark.
+///
+/// # Errors
+/// Returns [`ExperimentError`] on any stage failure, including semantic
+/// divergence of the transformed binary when
+/// [`ExperimentConfig::verify_equivalence`] is set.
+pub fn run_benchmark(
+    bench: &'static Benchmark,
+    config: &ExperimentConfig,
+) -> Result<BenchResult, ExperimentError> {
+    let module = bench.compile()?;
+    let runs = bench.runs(config.scale, config.seed);
+    let exec_cfg = config.exec_config();
+
+    // 1. Profiling pass (instrumented layout, the paper's probe build).
+    let profile: Profile = profile_module_with(&module, &runs, &exec_cfg)?;
+
+    // 2. The two binaries under study.
+    let natural: Program = lower(&module)?;
+    let fs_bin: Program = fs_program(&module, &profile, FsConfig::with_slots(config.fs_slots))?;
+
+    // 3. One pass per run over the conventional binary feeds every
+    //    hardware/static evaluator at once.
+    let mut sinks = NaturalSinks {
+        mix: BranchMix::new(),
+        sbtb: Evaluator::new(Sbtb::paper()),
+        cbtb: Evaluator::new(Cbtb::new(branchlab_predict::CbtbConfig {
+            strict_greater: config.cbtb_strict,
+            ..branchlab_predict::CbtbConfig::paper()
+        })),
+        at: Evaluator::new(AlwaysTaken),
+        ant: Evaluator::new(AlwaysNotTaken),
+        btfn: Evaluator::new(BackwardTakenForwardNot),
+    };
+    let mut stats = ExecStats::default();
+    let mut natural_outcomes = Vec::new();
+    for streams in &runs {
+        sinks.start_run();
+        let refs: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
+        let out = run(&natural, &exec_cfg, &refs, &mut sinks)?;
+        stats.merge(&out.stats);
+        natural_outcomes.push((out.exit_value, out.outputs));
+    }
+
+    // 4. The FS binary runs with its likely bits steering prediction.
+    let mut fs_eval = Evaluator::new(LikelyBit);
+    for (ri, streams) in runs.iter().enumerate() {
+        let refs: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
+        let out = run(&fs_bin, &exec_cfg, &refs, &mut fs_eval)?;
+        if config.verify_equivalence {
+            let (exit, outputs) = &natural_outcomes[ri];
+            if out.exit_value != *exit || out.outputs != *outputs {
+                return Err(ExperimentError::EquivalenceViolation { bench: bench.name, run: ri });
+            }
+        }
+    }
+
+    // 5. Static code expansion (Table 5 depths).
+    let expansion = code_expansion(&module, &profile, &[1, 2, 4, 8])?;
+
+    Ok(BenchResult {
+        name: bench.name,
+        source_lines: bench.source_lines(),
+        runs: runs.len(),
+        stats,
+        mix: sinks.mix,
+        sbtb: sinks.sbtb.stats,
+        cbtb: sinks.cbtb.stats,
+        fs: fs_eval.stats,
+        always_taken: sinks.at.stats,
+        always_not_taken: sinks.ant.stats,
+        btfn: sinks.btfn.stats,
+        expansion,
+    })
+}
+
+/// Results for the whole suite.
+#[derive(Clone, Debug)]
+pub struct SuiteResult {
+    /// Per-benchmark results, in suite order.
+    pub benches: Vec<BenchResult>,
+}
+
+impl SuiteResult {
+    /// Results restricted to the ten Table 1–4 benchmarks.
+    pub fn main_benches(&self) -> impl Iterator<Item = &BenchResult> {
+        self.benches.iter().filter(|b| {
+            branchlab_workloads::benchmark(b.name).is_some_and(|bm| bm.in_main_tables)
+        })
+    }
+
+    /// Mean and sample standard deviation of a per-benchmark metric over
+    /// the main suite.
+    pub fn mean_std(&self, f: impl Fn(&BenchResult) -> f64) -> (f64, f64) {
+        let xs: Vec<f64> = self.main_benches().map(f).collect();
+        mean_std(&xs)
+    }
+}
+
+/// Mean and sample standard deviation (n − 1 denominator).
+#[must_use]
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    if xs.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, var.sqrt())
+}
+
+/// Run the full 12-benchmark suite, one thread per benchmark.
+///
+/// # Errors
+/// Returns the first benchmark failure.
+pub fn run_suite(config: &ExperimentConfig) -> Result<SuiteResult, ExperimentError> {
+    let results: Vec<Result<BenchResult, ExperimentError>> =
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = SUITE
+                .iter()
+                .map(|bench| scope.spawn(move |_| run_benchmark(bench, config)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("bench thread panicked")).collect()
+        })
+        .expect("scope panicked");
+    let mut benches = Vec::with_capacity(results.len());
+    for r in results {
+        benches.push(r?);
+    }
+    Ok(SuiteResult { benches })
+}
+
+/// Evaluate an arbitrary set of predictors over every run of a
+/// benchmark's conventional binary in a single interpreter pass per run
+/// (the ablation workhorse).
+///
+/// # Errors
+/// Returns [`ExperimentError`] on compile/lower/run failure.
+pub fn eval_predictors(
+    bench: &Benchmark,
+    config: &ExperimentConfig,
+    predictors: Vec<Box<dyn BranchPredictor>>,
+) -> Result<Vec<PredStats>, ExperimentError> {
+    struct Many {
+        evals: Vec<Evaluator<Box<dyn BranchPredictor>>>,
+    }
+    impl ExecHooks for Many {
+        fn branch(&mut self, ev: &BranchEvent) {
+            for e in &mut self.evals {
+                e.branch(ev);
+            }
+        }
+    }
+
+    let module = bench.compile()?;
+    let program = lower(&module)?;
+    let exec_cfg = config.exec_config();
+    let mut many = Many { evals: predictors.into_iter().map(Evaluator::new).collect() };
+    for streams in bench.runs(config.scale, config.seed) {
+        let refs: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
+        run(&program, &exec_cfg, &refs, &mut many)?;
+    }
+    Ok(many.evals.into_iter().map(|e| e.stats).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use branchlab_workloads::benchmark;
+
+    #[test]
+    fn wc_pipeline_end_to_end() {
+        let r = run_benchmark(benchmark("wc").unwrap(), &ExperimentConfig::test()).unwrap();
+        assert!(r.stats.insts > 10_000, "{:?}", r.stats);
+        assert!(r.mix.cond_total() > 0);
+        assert!(r.sbtb.accuracy() > 0.5, "SBTB {:?}", r.sbtb);
+        assert!(r.cbtb.accuracy() > 0.5, "CBTB {:?}", r.cbtb);
+        assert!(r.fs.accuracy() > 0.5, "FS {:?}", r.fs);
+        // SBTB misses far more often than CBTB (taken-only residence).
+        assert!(r.sbtb.miss_ratio() > r.cbtb.miss_ratio());
+        assert_eq!(r.expansion.len(), 4);
+    }
+
+    #[test]
+    fn equivalence_is_verified_for_grep() {
+        // grep has the most intricate control flow; the FS binary must
+        // behave identically.
+        let r = run_benchmark(benchmark("grep").unwrap(), &ExperimentConfig::test()).unwrap();
+        assert!(r.fs.events > 0);
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        assert_eq!(mean_std(&[5.0]), (5.0, 0.0));
+    }
+
+    #[test]
+    fn eval_predictors_single_pass_consistency() {
+        let cfg = ExperimentConfig::test();
+        let stats = eval_predictors(
+            benchmark("wc").unwrap(),
+            &cfg,
+            vec![Box::new(Sbtb::paper()), Box::new(Sbtb::paper())],
+        )
+        .unwrap();
+        // Two identical predictors over the same stream must agree.
+        assert_eq!(stats[0], stats[1]);
+    }
+}

@@ -1,0 +1,30 @@
+//! # branchlab-experiments
+//!
+//! The experiment harness that regenerates every table and figure of
+//! Hwu, Conte & Chang (ISCA 1989):
+//!
+//! * [`run_suite`] / [`run_benchmark`]: compile → profile → Forward
+//!   Semantic transform → evaluate SBTB/CBTB/FS (plus static baselines)
+//!   over the 12-benchmark suite, verifying that the transformed binary
+//!   is observationally equivalent to the conventional one.
+//! * [`tables`]: Tables 1–5.
+//! * [`figures`]: Figures 3–4 (cost-vs-pipelining curves + ASCII plots).
+//! * [`ablation`]: geometry/counter/context-switch/static-baseline
+//!   sweeps that extend the paper's discussion quantitatively.
+//!
+//! The `branchlab-bench` crate exposes one binary per table/figure; see
+//! EXPERIMENTS.md for paper-vs-measured values.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod figures;
+mod harness;
+mod render;
+pub mod tables;
+
+pub use harness::{
+    eval_predictors, mean_std, run_benchmark, run_suite, BenchResult, ExperimentConfig,
+    ExperimentError, SuiteResult,
+};
+pub use render::{f2, mcount, pct, rho, Align, Table};

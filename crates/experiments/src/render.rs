@@ -1,0 +1,204 @@
+//! Plain-text / markdown / CSV rendering of experiment tables.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Align {
+    /// Left-aligned (names).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A rendered experiment table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table title (e.g. "Table 3: Branch prediction performance").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Per-column alignment (defaults to Left for col 0, Right after).
+    pub aligns: Vec<Align>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with headers; alignment defaults to left for the
+    /// first column and right for the rest.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        let aligns = (0..headers.len())
+            .map(|i| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(ToString::to_string).collect(),
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Fixed-width text rendering (what the bench binaries print).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let render_row = |out: &mut String, cells: &[String]| {
+            for i in 0..ncols {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let w = widths[i];
+                match self.aligns[i] {
+                    Align::Left => {
+                        let _ = write!(out, "{:<w$}", cells[i]);
+                    }
+                    Align::Right => {
+                        let _ = write!(out, "{:>w$}", cells[i]);
+                    }
+                }
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+
+    /// GitHub-flavored markdown rendering.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "**{}**\n", self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let seps: Vec<&str> = self
+            .aligns
+            .iter()
+            .map(|a| if *a == Align::Left { ":--" } else { "--:" })
+            .collect();
+        let _ = writeln!(out, "| {} |", seps.join(" | "));
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// CSV rendering (quotes cells containing commas).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |c: &String| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        };
+        let _ = writeln!(out, "{}", self.headers.iter().map(esc).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(esc).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+}
+
+/// Format a probability as a percentage with one decimal (Table 2/3
+/// style).
+#[must_use]
+pub fn pct(p: f64) -> String {
+    format!("{:.1}%", p * 100.0)
+}
+
+/// Format a cost/ratio with the paper's two-decimal style.
+#[must_use]
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a miss ratio with up to four significant decimals (the paper
+/// prints ρ_CBTB values like 0.0053).
+#[must_use]
+pub fn rho(x: f64) -> String {
+    if x >= 0.01 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Format an instruction count like the paper's Table 1 ("11.7M").
+#[must_use]
+pub fn mcount(n: u64) -> String {
+    format!("{:.1}M", n as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Demo", &["name", "x"]);
+        t.row(vec!["alpha".into(), "1.00".into()]);
+        t.row(vec!["b".into(), "12.50".into()]);
+        t
+    }
+
+    #[test]
+    fn text_rendering_aligns_columns() {
+        let text = sample().to_text();
+        assert!(text.contains("alpha   1.00"), "{text}");
+        assert!(text.contains("b      12.50"), "{text}");
+    }
+
+    #[test]
+    fn markdown_has_header_separator() {
+        let md = sample().to_markdown();
+        assert!(md.contains("| :-- | --: |"), "{md}");
+        assert!(md.contains("| alpha | 1.00 |"), "{md}");
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("c", &["a", "b"]);
+        t.row(vec!["x,y".into(), "2".into()]);
+        assert!(t.to_csv().contains("\"x,y\",2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_rejected() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.915), "91.5%");
+        assert_eq!(f2(1.2345), "1.23");
+        assert_eq!(rho(0.48), "0.48");
+        assert_eq!(rho(0.0053), "0.0053");
+        assert_eq!(mcount(11_700_000), "11.7M");
+    }
+}

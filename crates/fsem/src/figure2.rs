@@ -1,0 +1,195 @@
+//! A literal reconstruction of the paper's **Figure 2** example: a
+//! program fragment whose likely branch absorbs an *unlikely branch*
+//! into its forward slots.
+//!
+//! Original fragment (left column of Figure 2):
+//!
+//! ```text
+//! 1: I1
+//! 2: beq pc+3 (likely)      → 5
+//! 3: I3
+//! 4: I4
+//! 5: beq pc+3 (unlikely)    → 8
+//! 6: I6
+//! 7: I7
+//! 8: I8
+//! 9: I9
+//! ```
+//!
+//! After the transformation (right column), the two instructions of the
+//! likely branch's target path — the unlikely branch and I6 — are
+//! copied into its k+ℓ = 2 forward slots, everything after shifts down,
+//! and the branch's target is adjusted. This module exists for the
+//! golden test below, which checks our slot-filling lowering produces
+//! exactly that layout.
+
+use branchlab_ir::{
+    AluOp, BlockId, BranchId, Cond, FuncId, FunctionBuilder, LayoutPlan, Module, Op, Reg, Term,
+};
+
+/// Build a CFG module equivalent to Figure 2's original fragment.
+///
+/// Block structure (r0 and r1 drive the two branches):
+/// * b0: `I1`; `beq r0 → b2 (likely)` else b1
+/// * b1: `I3; I4`; jmp b2  — the fall-through path
+/// * b2: `beq r1 → b4 (unlikely)` else b3
+/// * b3: `I6; I7`; jmp b4
+/// * b4: `I8; I9`; halt
+#[must_use]
+pub fn figure2_module() -> Module {
+    let mut fb = FunctionBuilder::new("main", FuncId(0), 0);
+    let r0 = fb.new_reg();
+    let r1 = fb.new_reg();
+    let marker = fb.new_reg();
+    let b1 = fb.new_block();
+    let b2 = fb.new_block();
+    let b3 = fb.new_block();
+    let b4 = fb.new_block();
+
+    let inst = |n: i64| Op::Alu {
+        op: AluOp::Add,
+        dst: marker,
+        a: Reg(2).into(),
+        b: n.into(),
+    };
+
+    // b0: I1; beq (likely taken → b2)
+    fb.push(inst(1)); // I1
+    fb.terminate(Term::Br {
+        cond: Cond::Eq,
+        a: r0.into(),
+        b: 0i64.into(),
+        then_: b2,
+        else_: b1,
+    });
+    // b1: I3; I4 (the not-taken path of the likely branch)
+    fb.switch_to(b1);
+    fb.push(inst(3)); // I3
+    fb.push(inst(4)); // I4
+    fb.terminate(Term::Jmp(b2));
+    // b2: beq (unlikely → b4)
+    fb.switch_to(b2);
+    fb.terminate(Term::Br {
+        cond: Cond::Eq,
+        a: r1.into(),
+        b: 0i64.into(),
+        then_: b4,
+        else_: b3,
+    });
+    // b3: I6; I7
+    fb.switch_to(b3);
+    fb.push(inst(6)); // I6
+    fb.push(inst(7)); // I7
+    fb.terminate(Term::Jmp(b4));
+    // b4: I8; I9
+    fb.switch_to(b4);
+    fb.push(inst(8)); // I8
+    fb.push(inst(9)); // I9
+    fb.terminate(Term::Halt);
+
+    Module {
+        funcs: vec![fb.finish()],
+        globals_words: 0,
+        globals_init: Vec::new(),
+        entry: FuncId(0),
+    }
+}
+
+/// The layout plan of the figure: block order 0,1,2,3,4 (the original
+/// order), the first branch likely-taken, the second unlikely, and
+/// k + ℓ = 2 forward slots.
+#[must_use]
+pub fn figure2_plan(module: &Module) -> LayoutPlan {
+    let mut plan = LayoutPlan::natural(module);
+    plan.slots = 2;
+    plan.slot_jumps = false;
+    plan.set_likely(BranchId { func: FuncId(0), block: BlockId(0) }, true); // likely
+    plan.set_likely(BranchId { func: FuncId(0), block: BlockId(2) }, false); // unlikely
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use branchlab_interp::run_simple;
+    use branchlab_ir::{lower, lower_with_plan, Addr, Inst};
+
+    #[test]
+    fn figure2_transformed_layout_matches_the_paper() {
+        let module = figure2_module();
+        let plan = figure2_plan(&module);
+        let prog = lower_with_plan(&module, &plan).unwrap();
+
+        // Expected layout (0-based addresses; paper's figure is 1-based):
+        //  0: I1
+        //  1: beq (likely) → target 6, 2 slots
+        //  2: [slot] copy of the unlikely beq      ← absorbed branch
+        //  3: [slot] copy of I6
+        //  4: I3
+        //  5: I4
+        //  6: beq (unlikely) → I8's address
+        //  7: I6
+        //  8: I7
+        //  9: I8
+        // 10: I9
+        // 11: halt
+        assert_eq!(prog.len(), 12, "{:#?}", prog.code);
+        assert!(matches!(prog.code[0], Inst::Alu { .. })); // I1
+        match &prog.code[1] {
+            Inst::Br { likely, slots, target, .. } => {
+                assert!(*likely);
+                assert_eq!(*slots, 2);
+                // Target = relocated start of the branch's target path
+                // (original location 5 → shifted by the 2 slots → 6, the
+                // paper's "pc+3 becomes pc+5").
+                assert_eq!(*target, Addr(6));
+            }
+            other => panic!("expected likely branch, got {other:?}"),
+        }
+        // The forward slots hold copies of the target path's first two
+        // instructions: the unlikely branch (absorbed, target unchanged)
+        // and I6.
+        assert!(prog.meta[2].is_slot && prog.meta[3].is_slot);
+        match (&prog.code[2], &prog.code[6]) {
+            (
+                Inst::Br { target: slot_target, likely: slot_likely, .. },
+                Inst::Br { target: real_target, .. },
+            ) => {
+                assert_eq!(
+                    slot_target, real_target,
+                    "the absorbed branch's target is not altered (paper: \
+                     'Note that the target for this branch is not altered')"
+                );
+                assert!(!slot_likely);
+            }
+            other => panic!("expected branch copies at 2 and 6, got {other:?}"),
+        }
+        assert!(matches!(prog.code[3], Inst::Alu { .. })); // copy of I6
+        // Fall-through path I3, I4 follows the slots.
+        assert!(matches!(prog.code[4], Inst::Alu { .. }));
+        assert!(matches!(prog.code[5], Inst::Alu { .. }));
+        // And the unlikely branch received no slots of its own.
+        match &prog.code[6] {
+            Inst::Br { slots, likely, .. } => {
+                assert_eq!(*slots, 0);
+                assert!(!likely);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure2_semantics_survive_for_all_register_outcomes() {
+        // The fragment reads r0/r1 as 0 (registers initialize to zero),
+        // so both branches are taken; semantics must match the
+        // slot-free build. (With MiniC we also cover data-driven cases;
+        // this is the raw-IR check.)
+        let module = figure2_module();
+        let natural = lower(&module).unwrap();
+        let fs = lower_with_plan(&module, &figure2_plan(&module)).unwrap();
+        let a = run_simple(&natural, &[]).unwrap();
+        let b = run_simple(&fs, &[]).unwrap();
+        assert_eq!(a.exit_value, b.exit_value);
+        assert_eq!(a.stats.insts, b.stats.insts);
+    }
+}

@@ -1,0 +1,42 @@
+//! # branchlab-fsem
+//!
+//! The **Forward Semantic** — the software branch-cost-reduction scheme
+//! that is the central contribution of Hwu, Conte & Chang (ISCA 1989) —
+//! implemented end to end:
+//!
+//! 1. [`select_traces`]: Hwu–Chang trace selection over profile data,
+//!    so that predicted-taken conditional branches land at trace ends;
+//! 2. [`build_fs_plan`]: trace-order layout + likely bits + reservation
+//!    of `k + ℓ` forward slots after every predicted-taken branch;
+//! 3. [`fs_program`]: the transformed executable (slots filled with
+//!    copies of the target path during lowering — the paper's
+//!    slot-filling algorithm);
+//! 4. [`code_expansion`]: the static code-growth measurement behind the
+//!    paper's Table 5.
+//!
+//! ```
+//! use branchlab_fsem::{fs_program, FsConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let module = branchlab_minic::compile(
+//!     "int main() { int i; int s = 0; for (i = 0; i < 64; i++) { s += i; } return s; }",
+//! )?;
+//! let profile = branchlab_profile::profile_module(&module, &[vec![]])?;
+//! let fs = fs_program(&module, &profile, FsConfig::with_slots(2))?;
+//! let out = branchlab_interp::run_simple(&fs, &[])?;
+//! assert_eq!(out.exit_value, 2016);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod delayed;
+pub mod figure2;
+mod metrics;
+mod plan;
+mod traces;
+
+pub use metrics::{code_expansion, ExpansionPoint};
+pub use plan::{build_fs_plan, fs_program, FsConfig};
+pub use traces::{select_function_traces, select_traces, FunctionTraces};

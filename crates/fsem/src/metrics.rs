@@ -1,0 +1,147 @@
+//! Code-expansion metrics: the source of the paper's Table 5
+//! ("Percentage of code-size increase as a function of k + ℓ").
+
+use branchlab_ir::{lower, LowerError, Module};
+use branchlab_profile::Profile;
+
+use crate::plan::{fs_program, FsConfig};
+
+/// Static code sizes of one module's builds at one slot depth.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ExpansionPoint {
+    /// Forward slots per predicted-taken branch (k + ℓ).
+    pub slots: u16,
+    /// Static instructions in the conventional (natural) build.
+    pub natural_size: usize,
+    /// Static instructions in the trace-laid-out build *without* slots —
+    /// the Table 5 baseline ("code-size increases occur due to the
+    /// copying of instructions into forward slots").
+    pub base_size: usize,
+    /// Static instructions in the Forward Semantic build (trace layout +
+    /// forward slots).
+    pub fs_size: usize,
+    /// Forward-slot instructions within `fs_size`.
+    pub slot_insts: usize,
+}
+
+impl ExpansionPoint {
+    /// Percentage growth caused by forward-slot copying, relative to the
+    /// trace layout without slots — the quantity Table 5 reports.
+    #[must_use]
+    pub fn increase_pct(&self) -> f64 {
+        if self.base_size == 0 {
+            0.0
+        } else {
+            (self.fs_size as f64 - self.base_size as f64) / self.base_size as f64 * 100.0
+        }
+    }
+
+    /// Percentage size change of the slot-free trace re-layout relative
+    /// to the conventional layout (can be negative: re-layout removes
+    /// jumps).
+    #[must_use]
+    pub fn relayout_pct(&self) -> f64 {
+        if self.natural_size == 0 {
+            0.0
+        } else {
+            (self.base_size as f64 - self.natural_size as f64) / self.natural_size as f64
+                * 100.0
+        }
+    }
+}
+
+/// Measure code expansion at each requested slot depth.
+///
+/// # Errors
+/// Returns [`LowerError`] if the module cannot be lowered.
+pub fn code_expansion(
+    module: &Module,
+    profile: &Profile,
+    slot_depths: &[u16],
+) -> Result<Vec<ExpansionPoint>, LowerError> {
+    let natural_size = lower(module)?.len();
+    let base_size =
+        fs_program(module, profile, FsConfig { slots: 0, slot_jumps: false })?.len();
+    slot_depths
+        .iter()
+        .map(|&slots| {
+            let fs = fs_program(module, profile, FsConfig::with_slots(slots))?;
+            Ok(ExpansionPoint {
+                slots,
+                natural_size,
+                base_size,
+                fs_size: fs.len(),
+                slot_insts: fs.slot_count(),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use branchlab_minic::compile;
+    use branchlab_profile::profile_module;
+
+    fn measure(src: &str, runs: &[Vec<Vec<u8>>], depths: &[u16]) -> Vec<ExpansionPoint> {
+        let m = compile(src).unwrap();
+        let prof = profile_module(&m, runs).unwrap();
+        code_expansion(&m, &prof, depths).unwrap()
+    }
+
+    const LOOPY: &str = r"
+        int main() {
+            int c; int n = 0; int w = 0; int in = 0;
+            while ((c = getc(0)) != -1) {
+                n++;
+                if (c == ' ' || c == '\n') { in = 0; }
+                else if (in == 0) { in = 1; w++; }
+            }
+            return n * 100 + w;
+        }
+    ";
+
+    #[test]
+    fn expansion_grows_with_slot_depth() {
+        let pts = measure(LOOPY, &[vec![b"the quick brown fox".to_vec()]], &[1, 2, 4, 8]);
+        assert_eq!(pts.len(), 4);
+        for w in pts.windows(2) {
+            assert!(
+                w[1].fs_size >= w[0].fs_size,
+                "expansion must be monotone: {pts:?}"
+            );
+        }
+        assert!(pts[3].increase_pct() > pts[0].increase_pct());
+    }
+
+    #[test]
+    fn expansion_is_roughly_linear_in_slots() {
+        let pts = measure(LOOPY, &[vec![b"a b c d e f g h".to_vec()]], &[1, 2, 4, 8]);
+        // slot_insts = (#slotted branches) × slots → exactly linear in
+        // slots as long as the same branches are predicted taken.
+        let per_slot: Vec<f64> = pts.iter().map(|p| p.slot_insts as f64 / f64::from(p.slots)).collect();
+        for w in per_slot.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-9, "{per_slot:?}");
+        }
+    }
+
+    #[test]
+    fn paper_magnitude_band() {
+        // Table 5 averages ≈3.2% at k+ℓ=1 up to ≈33% at k+ℓ=8. Our MiniC
+        // workloads should land in the same order of magnitude (0.5%–60%).
+        let pts = measure(LOOPY, &[vec![b"words in a row for counting".to_vec()]], &[1, 8]);
+        let p1 = pts[0].increase_pct();
+        let p8 = pts[1].increase_pct();
+        assert!(p1 > 0.0 && p1 < 25.0, "k+l=1 expansion {p1}%");
+        assert!(p8 > p1 && p8 < 120.0, "k+l=8 expansion {p8}%");
+    }
+
+    #[test]
+    fn zero_depth_has_zero_slot_expansion() {
+        let pts = measure(LOOPY, &[vec![b"x y".to_vec()]], &[0]);
+        assert_eq!(pts[0].slot_insts, 0);
+        assert!((pts[0].increase_pct() - 0.0).abs() < 1e-12);
+        // Re-layout delta is reported separately and may have any sign.
+        let _ = pts[0].relayout_pct();
+    }
+}

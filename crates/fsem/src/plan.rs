@@ -1,0 +1,216 @@
+//! Building the Forward Semantic layout plan: trace order, likely bits,
+//! and forward-slot reservation — the complete software side of the
+//! paper's scheme, handed to `branchlab_ir::lower_with_plan`.
+
+use branchlab_ir::{LayoutPlan, LowerError, Module, Program, Term};
+use branchlab_profile::Profile;
+
+use crate::traces::select_traces;
+
+/// Configuration of the Forward Semantic transformation.
+#[derive(Copy, Clone, Debug)]
+pub struct FsConfig {
+    /// Forward slots per predicted-taken branch — `k + ℓ` in the paper.
+    pub slots: u16,
+    /// Give slots to unconditional direct jumps too (they are trivially
+    /// "predicted taken"; the paper reserves slots after every
+    /// predicted-taken branch at a trace end, which includes these).
+    pub slot_jumps: bool,
+}
+
+impl FsConfig {
+    /// The paper's Table 4 machine: `k + ℓ = 2`.
+    #[must_use]
+    pub fn paper_shallow() -> Self {
+        FsConfig { slots: 2, slot_jumps: true }
+    }
+
+    /// A configuration with `k + ℓ = slots`.
+    #[must_use]
+    pub fn with_slots(slots: u16) -> Self {
+        FsConfig { slots, slot_jumps: true }
+    }
+}
+
+impl Default for FsConfig {
+    fn default() -> Self {
+        Self::paper_shallow()
+    }
+}
+
+/// Build the Forward Semantic [`LayoutPlan`] for a module:
+///
+/// 1. select traces from the profile (hot paths fall through);
+/// 2. set each conditional branch's likely bit from profile edge
+///    weights (`then` likely iff its edge outweighs the `else` edge);
+/// 3. reserve `config.slots` forward slots after every predicted-taken
+///    branch (filled with target-path copies during lowering).
+#[must_use]
+pub fn build_fs_plan(module: &Module, profile: &Profile, config: FsConfig) -> LayoutPlan {
+    let traces = select_traces(module, profile);
+    let weights = profile.block_weights(module);
+    let mut plan = LayoutPlan::natural(module);
+    plan.slots = config.slots;
+    plan.slot_jumps = config.slot_jumps;
+    for (fi, f) in module.funcs.iter().enumerate() {
+        plan.hot[fi] = weights[fi].iter().map(|&w| w > 0).collect();
+        plan.order[fi] = traces[fi].layout_order();
+        for b in &f.blocks {
+            if let Term::Br { then_, else_, .. } = b.term {
+                let wt = profile.edge_weight(f.id, b.id, then_);
+                let we = profile.edge_weight(f.id, b.id, else_);
+                plan.then_likely[fi][b.id.0 as usize] = if wt == 0 && we == 0 {
+                    None
+                } else {
+                    Some(wt > we)
+                };
+            }
+        }
+    }
+    plan
+}
+
+/// Lower a module under the Forward Semantic transformation.
+///
+/// # Errors
+/// Returns [`LowerError`] if the module/plan are inconsistent (cannot
+/// happen for plans produced by [`build_fs_plan`] on the same module).
+pub fn fs_program(
+    module: &Module,
+    profile: &Profile,
+    config: FsConfig,
+) -> Result<Program, LowerError> {
+    branchlab_ir::lower_with_plan(module, &build_fs_plan(module, profile, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use branchlab_interp::run_simple;
+    use branchlab_ir::{lower, Inst};
+    use branchlab_minic::compile;
+    use branchlab_profile::profile_module;
+
+    const SPACE_COUNTER: &str = r"
+        int main() {
+            int c; int n = 0;
+            while ((c = getc(0)) != -1) {
+                if (c == ' ') { n++; }
+            }
+            return n;
+        }
+    ";
+
+    fn spacey_input() -> Vec<u8> {
+        (0..400).map(|i| if i % 10 == 0 { b'x' } else { b' ' }).collect()
+    }
+
+    #[test]
+    fn fs_program_preserves_semantics() {
+        let m = compile(SPACE_COUNTER).unwrap();
+        let prof = profile_module(&m, &[vec![spacey_input()]]).unwrap();
+        let natural = lower(&m).unwrap();
+        let fs = fs_program(&m, &prof, FsConfig::with_slots(3)).unwrap();
+        // Same input as the profile…
+        let input = spacey_input();
+        let a = run_simple(&natural, &[&input]).unwrap();
+        let b = run_simple(&fs, &[&input]).unwrap();
+        assert_eq!(a.exit_value, b.exit_value);
+        assert_eq!(a.outputs, b.outputs);
+        // …and a *different* input (transformation must not bake in data).
+        let other = b"  x  yy   z".to_vec();
+        let a = run_simple(&natural, &[&other]).unwrap();
+        let b = run_simple(&fs, &[&other]).unwrap();
+        assert_eq!(a.exit_value, b.exit_value);
+    }
+
+    #[test]
+    fn fs_program_contains_slots_and_likely_bits() {
+        // A do-while back edge is a conditional branch whose likely
+        // successor (the loop head) is already placed in its own trace,
+        // so it is predicted taken and receives forward slots.
+        let m = compile(
+            "int main() { int i = 0; do { i++; } while (i < 1000); return i; }",
+        )
+        .unwrap();
+        let prof = profile_module(&m, &[vec![]]).unwrap();
+        let fs = fs_program(&m, &prof, FsConfig::with_slots(2)).unwrap();
+        assert!(fs.slot_count() > 0, "expected forward slots");
+        let has_likely_slots = fs
+            .code
+            .iter()
+            .any(|i| matches!(i, Inst::Br { likely: true, slots: 2, .. }));
+        assert!(has_likely_slots, "expected a likely-taken branch with slots");
+    }
+
+    #[test]
+    fn hot_fallthrough_paths_are_not_predicted_taken() {
+        // In SPACE_COUNTER every hot direction falls through after trace
+        // layout — exactly the paper's intent ("all conditional branches
+        // that are predicted taken are placed at the end of traces").
+        let m = compile(SPACE_COUNTER).unwrap();
+        let prof = profile_module(&m, &[vec![spacey_input()]]).unwrap();
+        let fs = fs_program(&m, &prof, FsConfig::with_slots(2)).unwrap();
+        let likely_brs = fs
+            .code
+            .iter()
+            .filter(|i| matches!(i, Inst::Br { likely: true, .. }))
+            .count();
+        assert_eq!(likely_brs, 0, "hot paths should fall through");
+        // The loop back edge (unconditional) still carries slots.
+        assert!(fs.slot_count() > 0);
+    }
+
+    #[test]
+    fn zero_slots_fs_is_pure_relayout() {
+        let m = compile(SPACE_COUNTER).unwrap();
+        let prof = profile_module(&m, &[vec![spacey_input()]]).unwrap();
+        let fs = fs_program(&m, &prof, FsConfig { slots: 0, slot_jumps: false }).unwrap();
+        assert_eq!(fs.slot_count(), 0);
+        let input = spacey_input();
+        let a = run_simple(&lower(&m).unwrap(), &[&input]).unwrap();
+        let b = run_simple(&fs, &[&input]).unwrap();
+        assert_eq!(a.exit_value, b.exit_value);
+    }
+
+    #[test]
+    fn likely_bits_follow_edge_majority() {
+        let m = compile(SPACE_COUNTER).unwrap();
+        let prof = profile_module(&m, &[vec![spacey_input()]]).unwrap();
+        let plan = build_fs_plan(&m, &prof, FsConfig::default());
+        // At least one branch has a decided likely bit.
+        let decided = plan.then_likely[0].iter().filter(|b| b.is_some()).count();
+        assert!(decided >= 2, "plan: {:?}", plan.then_likely);
+    }
+
+    #[test]
+    fn unprofiled_branches_have_no_likely_bit() {
+        let m = compile(
+            r"
+            int main() {
+                if (getc(0) == -1) { return 1; }
+                if (getc(0) == 'q') { return 2; } // unreached on empty input
+                return 3;
+            }",
+        )
+        .unwrap();
+        let prof = profile_module(&m, &[vec![Vec::new()]]).unwrap();
+        let plan = build_fs_plan(&m, &prof, FsConfig::default());
+        assert!(
+            plan.then_likely[0].iter().any(Option::is_none),
+            "unexecuted branch should stay undecided"
+        );
+    }
+
+    #[test]
+    fn recursion_and_calls_survive_transformation() {
+        let src = r"
+            int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+            int main() { return fib(14); }
+        ";
+        let m = compile(src).unwrap();
+        let prof = profile_module(&m, &[vec![]]).unwrap();
+        let fs = fs_program(&m, &prof, FsConfig::with_slots(4)).unwrap();
+        assert_eq!(run_simple(&fs, &[]).unwrap().exit_value, 377);
+    }
+}

@@ -1,0 +1,268 @@
+//! Trace selection à la Hwu & Chang (MICRO-21, 1988), as used by the
+//! paper's Forward Semantic: group basic blocks that almost always
+//! execute together into *traces*, growing each trace from a seed block
+//! along mutually-most-likely edges.
+
+use std::collections::HashMap;
+
+use branchlab_ir::{BlockId, Function, Module};
+use branchlab_profile::Profile;
+
+/// The traces selected for one function, in layout order (entry trace
+/// first, then by descending weight).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FunctionTraces {
+    /// Each trace is a sequence of blocks laid out consecutively.
+    pub traces: Vec<Vec<BlockId>>,
+}
+
+impl FunctionTraces {
+    /// The block layout order implied by the traces (concatenation).
+    #[must_use]
+    pub fn layout_order(&self) -> Vec<BlockId> {
+        self.traces.iter().flatten().copied().collect()
+    }
+
+    /// Index of the trace containing each block.
+    #[must_use]
+    pub fn trace_of(&self) -> HashMap<BlockId, usize> {
+        let mut m = HashMap::new();
+        for (i, t) in self.traces.iter().enumerate() {
+            for &b in t {
+                m.insert(b, i);
+            }
+        }
+        m
+    }
+}
+
+/// Select traces for every function of a module from profile data.
+#[must_use]
+pub fn select_traces(module: &Module, profile: &Profile) -> Vec<FunctionTraces> {
+    let weights = profile.block_weights(module);
+    module
+        .funcs
+        .iter()
+        .map(|f| select_function_traces(f, profile, &weights[f.id.0 as usize]))
+        .collect()
+}
+
+/// Select traces for one function.
+///
+/// Growth rule: from the current block, follow the heaviest outgoing
+/// edge to a block not yet in any trace, but only when that edge is also
+/// the heaviest *incoming* edge of its destination ("mutually most
+/// likely"); symmetric for backward growth from the seed. Ties break
+/// toward lower block ids for determinism. Unexecuted blocks become
+/// singleton traces at the end.
+#[must_use]
+pub fn select_function_traces(
+    func: &Function,
+    profile: &Profile,
+    weights: &[u64],
+) -> FunctionTraces {
+    let n = func.blocks.len();
+    let mut in_trace = vec![false; n];
+
+    // Successor/predecessor edge weights.
+    let succs: Vec<Vec<(BlockId, u64)>> = func
+        .blocks
+        .iter()
+        .map(|b| {
+            b.term
+                .successors()
+                .into_iter()
+                .map(|s| (s, profile.edge_weight(func.id, b.id, s)))
+                .collect()
+        })
+        .collect();
+    let mut preds: Vec<Vec<(BlockId, u64)>> = vec![Vec::new(); n];
+    for b in &func.blocks {
+        for &(s, w) in &succs[b.id.0 as usize] {
+            preds[s.0 as usize].push((b.id, w));
+        }
+    }
+
+    // Seeds in descending weight order (stable on block id).
+    let mut seed_order: Vec<usize> = (0..n).collect();
+    seed_order.sort_by_key(|&i| (std::cmp::Reverse(weights[i]), i));
+
+    let best = |edges: &[(BlockId, u64)], in_trace: &[bool]| -> Option<BlockId> {
+        edges
+            .iter()
+            .filter(|(b, w)| *w > 0 && !in_trace[b.0 as usize])
+            .max_by_key(|(b, w)| (*w, std::cmp::Reverse(b.0)))
+            .map(|(b, _)| *b)
+    };
+    let heaviest = |edges: &[(BlockId, u64)]| -> Option<BlockId> {
+        edges
+            .iter()
+            .filter(|(_, w)| *w > 0)
+            .max_by_key(|(b, w)| (*w, std::cmp::Reverse(b.0)))
+            .map(|(b, _)| *b)
+    };
+
+    let mut traces: Vec<Vec<BlockId>> = Vec::new();
+    for &seed in &seed_order {
+        if in_trace[seed] || weights[seed] == 0 {
+            continue;
+        }
+        let seed = BlockId(seed as u32);
+        let mut trace = vec![seed];
+        in_trace[seed.0 as usize] = true;
+
+        // Grow forward.
+        let mut cur = seed;
+        while let Some(next) = best(&succs[cur.0 as usize], &in_trace) {
+            // Mutually most likely: cur must be next's heaviest predecessor.
+            if heaviest(&preds[next.0 as usize]) != Some(cur) {
+                break;
+            }
+            trace.push(next);
+            in_trace[next.0 as usize] = true;
+            cur = next;
+        }
+
+        // Grow backward.
+        let mut cur = seed;
+        while let Some(prev) = best(&preds[cur.0 as usize], &in_trace) {
+            if heaviest(&succs[prev.0 as usize]) != Some(cur) {
+                break;
+            }
+            trace.insert(0, prev);
+            in_trace[prev.0 as usize] = true;
+            cur = prev;
+        }
+
+        traces.push(trace);
+    }
+
+    // Unexecuted blocks: singleton traces, in id order.
+    for i in 0..n {
+        if !in_trace[i] {
+            traces.push(vec![BlockId(i as u32)]);
+        }
+    }
+
+    // Entry block's trace leads; the rest stay in selection (weight) order.
+    if let Some(pos) = traces.iter().position(|t| t.contains(&BlockId(0))) {
+        let entry_trace = traces.remove(pos);
+        traces.insert(0, entry_trace);
+    }
+
+    FunctionTraces { traces }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use branchlab_minic::compile;
+    use branchlab_profile::profile_module;
+
+    fn traces_for(src: &str, runs: &[Vec<Vec<u8>>]) -> (Module, Vec<FunctionTraces>) {
+        let m = compile(src).unwrap();
+        let p = profile_module(&m, runs).unwrap();
+        let t = select_traces(&m, &p);
+        (m, t)
+    }
+
+    #[test]
+    fn layout_order_is_a_permutation() {
+        let (m, ts) = traces_for(
+            r"
+            int main() {
+                int c; int n = 0;
+                while ((c = getc(0)) != -1) {
+                    if (c == ' ') { n++; } else { n += 2; }
+                }
+                return n;
+            }",
+            &[vec![b"a b c d".to_vec()]],
+        );
+        for (f, t) in m.funcs.iter().zip(&ts) {
+            let mut order = t.layout_order();
+            order.sort();
+            let expect: Vec<BlockId> = (0..f.blocks.len() as u32).map(BlockId).collect();
+            assert_eq!(order, expect, "function {}", f.name);
+        }
+    }
+
+    #[test]
+    fn entry_trace_comes_first() {
+        let (_, ts) = traces_for(
+            "int main() { int i; int s = 0; for (i = 0; i < 9; i++) { s += i; } return s; }",
+            &[vec![]],
+        );
+        assert_eq!(ts[0].traces[0][0], BlockId(0));
+    }
+
+    #[test]
+    fn hot_loop_blocks_share_a_trace() {
+        let (_, ts) = traces_for(
+            "int main() { int i; int s = 0; for (i = 0; i < 100; i++) { s += i; } return s; }",
+            &[vec![]],
+        );
+        // The loop condition block and body block execute 100+ times each
+        // and are connected by a dominant edge: they must share a trace.
+        let t = &ts[0];
+        let map = t.trace_of();
+        // Find the largest trace; it must have at least 2 blocks (cond+body chain).
+        let max_len = t.traces.iter().map(Vec::len).max().unwrap();
+        assert!(max_len >= 2, "traces: {:?}", t.traces);
+        let _ = map;
+    }
+
+    #[test]
+    fn biased_if_keeps_hot_path_in_trace() {
+        // The ' ' case is hot (90%); the else side should be in a
+        // different trace than the hot chain.
+        let input: Vec<u8> = (0..200).map(|i| if i % 10 == 0 { b'x' } else { b' ' }).collect();
+        let (m, ts) = traces_for(
+            r"
+            int hot;
+            int cold;
+            int main() {
+                int c;
+                while ((c = getc(0)) != -1) {
+                    if (c == ' ') { hot = hot + 1; } else { cold = cold + 1; }
+                }
+                return hot * 1000 + cold;
+            }",
+            &[vec![input]],
+        );
+        let f = &m.funcs[0];
+        // Identify then/else blocks of the biased branch via the profile-free
+        // CFG: find the Br block with two distinct successors both nonempty.
+        let t = &ts[0];
+        let map = t.trace_of();
+        // The hot successor shares a trace with some neighbor; the cold one
+        // is elsewhere. Weak but structural assertion: at least 2 traces.
+        assert!(t.traces.len() >= 2);
+        let _ = (f, map);
+    }
+
+    #[test]
+    fn unexecuted_blocks_become_singletons() {
+        let (_, ts) = traces_for(
+            r"
+            int main() {
+                if (getc(0) == -1) { return 1; }
+                return 2; // never reached with empty input
+            }",
+            &[vec![]],
+        );
+        let t = &ts[0];
+        // Every block is in exactly one trace.
+        let total: usize = t.traces.iter().map(Vec::len).sum();
+        let distinct: std::collections::HashSet<_> = t.layout_order().into_iter().collect();
+        assert_eq!(total, distinct.len());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let src = "int main() { int i; int s = 0; for (i = 0; i < 50; i++) { s += i; } return s; }";
+        let (_, a) = traces_for(src, &[vec![]]);
+        let (_, b) = traces_for(src, &[vec![]]);
+        assert_eq!(a[0], b[0]);
+    }
+}

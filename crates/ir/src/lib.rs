@@ -1,0 +1,51 @@
+//! # branchlab-ir
+//!
+//! Intermediate representation for the `branchlab` reproduction of
+//! Hwu, Conte & Chang, *"Comparing Software and Hardware Schemes For
+//! Reducing the Cost of Branches"* (ISCA 1989).
+//!
+//! The IR has two forms:
+//!
+//! * **CFG form** ([`Module`]/[`Function`]/[`Block`]): what the MiniC
+//!   compiler produces and what profiling and trace selection analyze.
+//! * **Linear form** ([`Program`]): laid-out code with resolved addresses,
+//!   produced by [`lower_with_plan`] under a [`LayoutPlan`]. The plan is
+//!   where the Forward Semantic lives: block order (trace layout), likely
+//!   bits, and forward-slot reservation.
+//!
+//! Instruction granularity matches the paper's "compiler intermediate
+//! instructions" (Table 1 counts those), and conditional branches fold in
+//! their comparison, as the paper's machine model assumes.
+//!
+//! ```
+//! use branchlab_ir::{FunctionBuilder, FuncId, Module, Op, Term, lower};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut fb = FunctionBuilder::new("main", FuncId(0), 0);
+//! let r = fb.new_reg();
+//! fb.push(Op::Mov { dst: r, src: 42i64.into() });
+//! fb.push(Op::Out { src: r.into(), stream: 0i64.into() });
+//! fb.terminate(Term::Halt);
+//! let module = Module { funcs: vec![fb.finish()], globals_words: 0, globals_init: Vec::new(), entry: FuncId(0) };
+//! branchlab_ir::validate_module(&module)?;
+//! let program = lower(&module)?;
+//! assert_eq!(program.len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod cfg;
+mod linear;
+mod lower;
+mod printer;
+mod types;
+mod validate;
+
+pub use cfg::{Block, Function, FunctionBuilder, Module, Op, Term};
+pub use linear::{FuncInfo, Inst, InstMeta, JumpTable, Program};
+pub use lower::{lower, lower_with_plan, LayoutPlan, LowerError};
+pub use printer::{disassemble, print_module};
+pub use types::{Addr, AluOp, BlockId, BranchId, Cond, FuncId, Operand, Reg};
+pub use validate::{validate_module, ValidateError};

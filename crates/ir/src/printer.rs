@@ -1,0 +1,174 @@
+//! Textual listings of CFG modules and linear programs, for debugging and
+//! golden tests.
+
+use std::fmt::Write as _;
+
+use crate::cfg::{Module, Op, Term};
+use crate::linear::{Inst, Program};
+
+/// Render a CFG module as a human-readable listing.
+#[must_use]
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    for f in &m.funcs {
+        let _ = writeln!(
+            out,
+            "fn {} ({}) [regs={} frame={}]",
+            f.name, f.num_params, f.num_regs, f.frame_words
+        );
+        for b in &f.blocks {
+            let _ = writeln!(out, "  {}:", b.id);
+            for op in &b.ops {
+                let _ = writeln!(out, "    {}", format_op(op));
+            }
+            let _ = writeln!(out, "    {}", format_term(&b.term));
+        }
+    }
+    out
+}
+
+fn format_op(op: &Op) -> String {
+    match op {
+        Op::Alu { op, dst, a, b } => format!("{dst} = {op} {a}, {b}"),
+        Op::Cmp { cond, dst, a, b } => format!("{dst} = cmp.{cond} {a}, {b}"),
+        Op::Mov { dst, src } => format!("{dst} = {src}"),
+        Op::Ld { dst, base, offset } => format!("{dst} = mem[{base} + {offset}]"),
+        Op::St { src, base, offset } => format!("mem[{base} + {offset}] = {src}"),
+        Op::FrameAddr { dst, offset } => format!("{dst} = fp + {offset}"),
+        Op::In { dst, stream } => format!("{dst} = in #{stream}"),
+        Op::Out { src, stream } => format!("out #{stream}, {src}"),
+        Op::Call { func, args, dst } => {
+            let args = args.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ");
+            match dst {
+                Some(d) => format!("{d} = call {func}({args})"),
+                None => format!("call {func}({args})"),
+            }
+        }
+        Op::Nop => "nop".to_string(),
+    }
+}
+
+fn format_term(t: &Term) -> String {
+    match t {
+        Term::Br { cond, a, b, then_, else_ } => {
+            format!("br.{cond} {a}, {b} -> {then_} else {else_}")
+        }
+        Term::Jmp(t) => format!("jmp {t}"),
+        Term::Switch { sel, targets, default } => {
+            let ts = targets.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ");
+            format!("switch {sel} [{ts}] default {default}")
+        }
+        Term::Ret(Some(v)) => format!("ret {v}"),
+        Term::Ret(None) => "ret".to_string(),
+        Term::Halt => "halt".to_string(),
+    }
+}
+
+/// Disassemble a linear program.
+#[must_use]
+pub fn disassemble(p: &Program) -> String {
+    let mut out = String::new();
+    for (i, inst) in p.code.iter().enumerate() {
+        let meta = &p.meta[i];
+        if let Some(f) = p.funcs.iter().find(|f| f.entry.0 as usize == i) {
+            let _ = writeln!(out, "{}:", f.name);
+        }
+        let slot = if meta.is_slot { " [slot]" } else { "" };
+        let _ = writeln!(out, "  {:6}  {}{}", i, format_inst(inst), slot);
+    }
+    out
+}
+
+fn format_inst(inst: &Inst) -> String {
+    match inst {
+        Inst::Alu { op, dst, a, b } => format!("{dst} = {op} {a}, {b}"),
+        Inst::Cmp { cond, dst, a, b } => format!("{dst} = cmp.{cond} {a}, {b}"),
+        Inst::Mov { dst, src } => format!("{dst} = {src}"),
+        Inst::Ld { dst, base, offset } => format!("{dst} = mem[{base} + {offset}]"),
+        Inst::St { src, base, offset } => format!("mem[{base} + {offset}] = {src}"),
+        Inst::FrameAddr { dst, offset } => format!("{dst} = fp + {offset}"),
+        Inst::In { dst, stream } => format!("{dst} = in #{stream}"),
+        Inst::Out { src, stream } => format!("out #{stream}, {src}"),
+        Inst::Br { cond, a, b, target, slots, likely } => {
+            let lk = if *likely { " (likely)" } else { "" };
+            let sl = if *slots > 0 { format!(" +{slots} slots") } else { String::new() };
+            format!("br.{cond} {a}, {b} -> {target}{lk}{sl}")
+        }
+        Inst::Jmp { target, slots } => {
+            let sl = if *slots > 0 { format!(" +{slots} slots") } else { String::new() };
+            format!("jmp {target}{sl}")
+        }
+        Inst::JmpTable { sel, table } => format!("jmp.table {sel} via t{table}"),
+        Inst::Call { func, args, dst } => {
+            let args = args.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ");
+            match dst {
+                Some(d) => format!("{d} = call {func}({args})"),
+                None => format!("call {func}({args})"),
+            }
+        }
+        Inst::Ret { val: Some(v) } => format!("ret {v}"),
+        Inst::Ret { val: None } => "ret".to_string(),
+        Inst::Nop => "nop".to_string(),
+        Inst::Halt => "halt".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::FunctionBuilder;
+    use crate::lower::lower;
+    use crate::types::{AluOp, Cond, FuncId, Reg};
+
+    fn sample() -> Module {
+        let mut fb = FunctionBuilder::new("main", FuncId(0), 0);
+        let r = fb.new_reg();
+        let exit = fb.new_block();
+        fb.push(Op::Mov { dst: r, src: 41i64.into() });
+        fb.push(Op::Alu { op: AluOp::Add, dst: r, a: r.into(), b: 1i64.into() });
+        fb.push(Op::Out { src: r.into(), stream: 0i64.into() });
+        fb.terminate(Term::Br {
+            cond: Cond::Eq,
+            a: r.into(),
+            b: 42i64.into(),
+            then_: exit,
+            else_: exit,
+        });
+        fb.switch_to(exit);
+        fb.terminate(Term::Halt);
+        Module { funcs: vec![fb.finish()], globals_words: 0, globals_init: Vec::new(), entry: FuncId(0) }
+    }
+
+    #[test]
+    fn module_listing_contains_expected_lines() {
+        let text = print_module(&sample());
+        assert!(text.contains("fn main (0)"), "{text}");
+        assert!(text.contains("r0 = 41"), "{text}");
+        assert!(text.contains("r0 = add r0, 1"), "{text}");
+        assert!(text.contains("out #0, r0"), "{text}");
+        assert!(text.contains("br.eq r0, 42 -> b1 else b1"), "{text}");
+        assert!(text.contains("halt"), "{text}");
+    }
+
+    #[test]
+    fn disassembly_marks_function_entries() {
+        let p = lower(&sample()).unwrap();
+        let text = disassemble(&p);
+        assert!(text.starts_with("main:\n"), "{text}");
+        assert!(text.contains("br.eq"), "{text}");
+    }
+
+    #[test]
+    fn format_inst_covers_control_variants() {
+        assert_eq!(
+            format_inst(&Inst::Jmp { target: crate::types::Addr(5), slots: 2 }),
+            "jmp @000005 +2 slots"
+        );
+        assert_eq!(
+            format_inst(&Inst::JmpTable { sel: Reg(1).into(), table: 3 }),
+            "jmp.table r1 via t3"
+        );
+        assert_eq!(format_inst(&Inst::Ret { val: Some(Reg(0).into()) }), "ret r0");
+        assert_eq!(format_inst(&Inst::Halt), "halt");
+    }
+}

@@ -1,0 +1,361 @@
+//! Core identifier and operand types shared by the CFG and linear forms.
+
+use std::fmt;
+
+/// A virtual register index, local to one function frame.
+///
+/// Registers are 64-bit signed integers at runtime. Each function declares
+/// how many registers it uses ([`crate::Function::num_regs`]); the
+/// interpreter allocates a fresh register file per activation.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct Reg(pub u16);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Index of a function within a [`crate::Module`] or [`crate::Program`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct FuncId(pub u32);
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Index of a basic block within one function.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// An instruction address in linear code (word addressed, one word per
+/// instruction, mirroring the paper's pipeline which fetches one
+/// instruction per cycle).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct Addr(pub u32);
+
+impl Addr {
+    /// Address of the instruction `n` slots later.
+    #[must_use]
+    pub fn offset(self, n: u32) -> Addr {
+        Addr(self.0 + n)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{:06}", self.0)
+    }
+}
+
+/// A layout-stable identity for a static branch site: the basic block whose
+/// terminator it is. Profiles and likely bits are keyed by `BranchId` so
+/// they survive re-layout (the Forward Semantic moves code around).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct BranchId {
+    /// Function containing the branch.
+    pub func: FuncId,
+    /// Block whose terminator is the branch.
+    pub block: BlockId,
+}
+
+impl fmt::Display for BranchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.func, self.block)
+    }
+}
+
+/// Either a register or an immediate. Most ALU and branch operands accept
+/// both, which keeps MiniC codegen simple and matches the paper's
+/// "compiler intermediate instruction" granularity.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Operand {
+    /// Read the value of a register in the current frame.
+    Reg(Reg),
+    /// A constant.
+    Imm(i64),
+}
+
+impl Operand {
+    /// The register read by this operand, if any.
+    pub fn reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Comparison condition for compare-and-branch and [`crate::Op::Cmp`].
+///
+/// The paper's machine model folds the comparison into the conditional
+/// branch ("it is assumed that comparisons are included in the semantics of
+/// the conditional branch instruction"), so conditions appear directly on
+/// branches rather than via condition codes.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Cond {
+    /// `a == b`
+    Eq,
+    /// `a != b`
+    Ne,
+    /// `a < b` (signed)
+    Lt,
+    /// `a <= b` (signed)
+    Le,
+    /// `a > b` (signed)
+    Gt,
+    /// `a >= b` (signed)
+    Ge,
+}
+
+impl Cond {
+    /// Evaluate the condition on two signed values.
+    #[must_use]
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+            Cond::Ge => a >= b,
+        }
+    }
+
+    /// The condition that is true exactly when `self` is false.
+    #[must_use]
+    pub fn invert(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+        }
+    }
+
+    /// Mnemonic used by the printers (`eq`, `ne`, …).
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+            Cond::Ge => "ge",
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Binary ALU operation.
+///
+/// Division and remainder by zero are defined to produce `0` rather than
+/// trapping; the workloads never rely on this, but it keeps the interpreter
+/// total, which matters for property tests over arbitrary programs.
+/// Overflow wraps. Shift counts are masked to the low 6 bits.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Signed division; `x / 0 == 0`, `MIN / -1 == MIN`.
+    Div,
+    /// Signed remainder; `x % 0 == 0`.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift (count masked to 6 bits).
+    Shl,
+    /// Arithmetic right shift (count masked to 6 bits).
+    Shr,
+}
+
+impl AluOp {
+    /// Evaluate the operation with total (non-trapping) semantics.
+    #[must_use]
+    pub fn eval(self, a: i64, b: i64) -> i64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            AluOp::Rem => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_rem(b)
+                }
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl((b & 63) as u32),
+            AluOp::Shr => a.wrapping_shr((b & 63) as u32),
+        }
+    }
+
+    /// Mnemonic used by the printers.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_eval_covers_all_orderings() {
+        assert!(Cond::Eq.eval(3, 3));
+        assert!(!Cond::Eq.eval(3, 4));
+        assert!(Cond::Ne.eval(3, 4));
+        assert!(Cond::Lt.eval(-1, 0));
+        assert!(!Cond::Lt.eval(0, 0));
+        assert!(Cond::Le.eval(0, 0));
+        assert!(Cond::Gt.eval(5, -5));
+        assert!(Cond::Ge.eval(5, 5));
+    }
+
+    #[test]
+    fn cond_invert_is_logical_negation() {
+        let conds = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge];
+        for c in conds {
+            for (a, b) in [(0, 0), (1, 2), (2, 1), (-3, 3), (i64::MIN, i64::MAX)] {
+                assert_eq!(c.eval(a, b), !c.invert().eval(a, b), "{c:?} a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn cond_invert_is_involution() {
+        for c in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge] {
+            assert_eq!(c.invert().invert(), c);
+        }
+    }
+
+    #[test]
+    fn alu_div_rem_by_zero_are_total() {
+        assert_eq!(AluOp::Div.eval(7, 0), 0);
+        assert_eq!(AluOp::Rem.eval(7, 0), 0);
+        assert_eq!(AluOp::Div.eval(i64::MIN, -1), i64::MIN);
+        assert_eq!(AluOp::Rem.eval(i64::MIN, -1), 0);
+    }
+
+    #[test]
+    fn alu_basic_arithmetic() {
+        assert_eq!(AluOp::Add.eval(2, 3), 5);
+        assert_eq!(AluOp::Sub.eval(2, 3), -1);
+        assert_eq!(AluOp::Mul.eval(-4, 3), -12);
+        assert_eq!(AluOp::Div.eval(7, 2), 3);
+        assert_eq!(AluOp::Rem.eval(7, 2), 1);
+        assert_eq!(AluOp::And.eval(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.eval(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.eval(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Shl.eval(1, 4), 16);
+        assert_eq!(AluOp::Shr.eval(-16, 2), -4);
+    }
+
+    #[test]
+    fn alu_shift_counts_are_masked() {
+        assert_eq!(AluOp::Shl.eval(1, 64), 1);
+        assert_eq!(AluOp::Shl.eval(1, 65), 2);
+        assert_eq!(AluOp::Shr.eval(4, 64), 4);
+    }
+
+    #[test]
+    fn alu_wrapping_overflow() {
+        assert_eq!(AluOp::Add.eval(i64::MAX, 1), i64::MIN);
+        assert_eq!(AluOp::Mul.eval(i64::MAX, 2), -2);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Reg(3).to_string(), "r3");
+        assert_eq!(Addr(17).to_string(), "@000017");
+        assert_eq!(Operand::from(Reg(1)).to_string(), "r1");
+        assert_eq!(Operand::from(-9i64).to_string(), "-9");
+        assert_eq!(
+            BranchId { func: FuncId(1), block: BlockId(2) }.to_string(),
+            "f1:b2"
+        );
+    }
+
+    #[test]
+    fn operand_reg_extraction() {
+        assert_eq!(Operand::Reg(Reg(5)).reg(), Some(Reg(5)));
+        assert_eq!(Operand::Imm(5).reg(), None);
+    }
+
+    #[test]
+    fn addr_offset() {
+        assert_eq!(Addr(10).offset(5), Addr(15));
+    }
+}

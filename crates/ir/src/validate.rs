@@ -1,0 +1,232 @@
+//! Structural validation of CFG modules.
+//!
+//! The MiniC compiler always produces valid modules (a property test in
+//! `branchlab-minic` asserts this), but hand-built modules and generated
+//! test programs go through [`validate_module`] before execution.
+
+use std::fmt;
+
+use crate::cfg::{Module, Op, Term};
+use crate::types::{BlockId, FuncId, Operand, Reg};
+
+/// A structural defect found in a module.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValidateError {
+    /// Function where the defect was found.
+    pub func: FuncId,
+    /// Block where the defect was found (if block-local).
+    pub block: Option<BlockId>,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.block {
+            Some(b) => write!(f, "invalid module at {}:{b}: {}", self.func, self.detail),
+            None => write!(f, "invalid module at {}: {}", self.func, self.detail),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Check a module for structural validity: register and block indices in
+/// range, call signatures consistent, entry function present, block ids
+/// self-consistent.
+///
+/// # Errors
+/// Returns the first defect found.
+pub fn validate_module(m: &Module) -> Result<(), ValidateError> {
+    if m.funcs.is_empty() {
+        return Err(ValidateError {
+            func: FuncId(0),
+            block: None,
+            detail: "module has no functions".into(),
+        });
+    }
+    if m.entry.0 as usize >= m.funcs.len() {
+        return Err(ValidateError {
+            func: m.entry,
+            block: None,
+            detail: "entry function out of range".into(),
+        });
+    }
+    for (fi, f) in m.funcs.iter().enumerate() {
+        let err = |block: Option<BlockId>, detail: String| ValidateError {
+            func: FuncId(fi as u32),
+            block,
+            detail,
+        };
+        if f.id != FuncId(fi as u32) {
+            return Err(err(None, format!("function id {} != position {fi}", f.id)));
+        }
+        if f.blocks.is_empty() {
+            return Err(err(None, "function has no blocks".into()));
+        }
+        if f.num_params > f.num_regs {
+            return Err(err(None, "more params than registers".into()));
+        }
+        let nblocks = f.blocks.len();
+        let check_block = |b: BlockId| -> bool { (b.0 as usize) < nblocks };
+        let check_reg = |r: Reg| -> bool { r.0 < f.num_regs };
+        let check_opnd = |o: Operand| -> bool { o.reg().is_none_or(check_reg) };
+
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let here = Some(BlockId(bi as u32));
+            if b.id != BlockId(bi as u32) {
+                return Err(err(here, format!("block id {} != position {bi}", b.id)));
+            }
+            for op in &b.ops {
+                let ok = match op {
+                    Op::Alu { dst, a, b, .. } | Op::Cmp { dst, a, b, .. } => {
+                        check_reg(*dst) && check_opnd(*a) && check_opnd(*b)
+                    }
+                    Op::Mov { dst, src } => check_reg(*dst) && check_opnd(*src),
+                    Op::Ld { dst, base, .. } => check_reg(*dst) && check_opnd(*base),
+                    Op::St { src, base, .. } => check_opnd(*src) && check_opnd(*base),
+                    Op::FrameAddr { dst, .. } => check_reg(*dst),
+                    Op::In { dst, stream } => check_reg(*dst) && check_opnd(*stream),
+                    Op::Out { src, stream } => check_opnd(*src) && check_opnd(*stream),
+                    Op::Call { func, args, dst } => {
+                        let callee_ok = (func.0 as usize) < m.funcs.len();
+                        let sig_ok = callee_ok
+                            && m.funcs[func.0 as usize].num_params as usize == args.len();
+                        callee_ok
+                            && sig_ok
+                            && args.iter().all(|r| check_reg(*r))
+                            && dst.is_none_or(check_reg)
+                    }
+                    Op::Nop => true,
+                };
+                if !ok {
+                    return Err(err(here, format!("malformed op {op:?}")));
+                }
+            }
+            let ok = match &b.term {
+                Term::Br { a, b: bb, then_, else_, .. } => {
+                    check_opnd(*a) && check_opnd(*bb) && check_block(*then_) && check_block(*else_)
+                }
+                Term::Jmp(t) => check_block(*t),
+                Term::Switch { sel, targets, default } => {
+                    check_reg(*sel)
+                        && !targets.is_empty()
+                        && targets.iter().all(|t| check_block(*t))
+                        && check_block(*default)
+                }
+                Term::Ret(v) => v.is_none_or(check_opnd),
+                Term::Halt => true,
+            };
+            if !ok {
+                return Err(err(here, format!("malformed terminator {:?}", b.term)));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{Block, Function, FunctionBuilder};
+    use crate::types::Cond;
+
+    fn valid_module() -> Module {
+        let mut fb = FunctionBuilder::new("main", FuncId(0), 0);
+        fb.terminate(Term::Halt);
+        Module { funcs: vec![fb.finish()], globals_words: 0, globals_init: Vec::new(), entry: FuncId(0) }
+    }
+
+    #[test]
+    fn accepts_valid_module() {
+        assert_eq!(validate_module(&valid_module()), Ok(()));
+    }
+
+    #[test]
+    fn rejects_empty_module() {
+        let m = Module { funcs: vec![], globals_words: 0, globals_init: Vec::new(), entry: FuncId(0) };
+        assert!(validate_module(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_entry() {
+        let mut m = valid_module();
+        m.entry = FuncId(9);
+        assert!(validate_module(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_register() {
+        let mut m = valid_module();
+        m.funcs[0].blocks[0].ops.push(Op::Mov { dst: Reg(99), src: 0i64.into() });
+        let e = validate_module(&m).unwrap_err();
+        assert!(e.detail.contains("malformed op"), "{e}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_block_target() {
+        let mut m = valid_module();
+        m.funcs[0].blocks[0].term = Term::Jmp(BlockId(5));
+        assert!(validate_module(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_call_arity_mismatch() {
+        let mut m = valid_module();
+        // Add a second function taking 2 params; call it with 1 arg.
+        let mut fb = FunctionBuilder::new("two", FuncId(1), 2);
+        fb.terminate(Term::Ret(Some(0i64.into())));
+        m.funcs.push(fb.finish());
+        m.funcs[0].num_regs = 4;
+        m.funcs[0].blocks[0].ops.push(Op::Call {
+            func: FuncId(1),
+            args: vec![Reg(0)],
+            dst: None,
+        });
+        assert!(validate_module(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_switch() {
+        let mut m = valid_module();
+        m.funcs[0].num_regs = 1;
+        m.funcs[0].blocks[0].term = Term::Switch {
+            sel: Reg(0),
+            targets: vec![],
+            default: BlockId(0),
+        };
+        assert!(validate_module(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_block_ids() {
+        let mut m = valid_module();
+        let f: &mut Function = &mut m.funcs[0];
+        f.blocks.push(Block { id: BlockId(7), ops: vec![], term: Term::Halt });
+        let e = validate_module(&m).unwrap_err();
+        assert!(e.detail.contains("block id"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_branch_operand() {
+        let mut m = valid_module();
+        m.funcs[0].blocks[0].term = Term::Br {
+            cond: Cond::Eq,
+            a: Reg(50).into(),
+            b: 0i64.into(),
+            then_: BlockId(0),
+            else_: BlockId(0),
+        };
+        assert!(validate_module(&m).is_err());
+    }
+
+    #[test]
+    fn error_display_mentions_location() {
+        let e = ValidateError {
+            func: FuncId(1),
+            block: Some(BlockId(2)),
+            detail: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "invalid module at f1:b2: boom");
+    }
+}

@@ -1,0 +1,192 @@
+//! Abstract syntax tree for MiniC.
+//!
+//! MiniC is a small C-like language: 64-bit integers only, global and
+//! local scalars and arrays, functions, `if`/`while`/`for`/`do`/`switch`,
+//! short-circuit logical operators, string literals (which evaluate to
+//! the address of NUL-terminated global data), and two I/O builtins
+//! (`getc(stream)` / `putc(stream, byte)`).
+
+use crate::token::Pos;
+
+/// A top-level item.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Item {
+    /// A global scalar: `int x;` or `int x = 3;`.
+    GlobalScalar {
+        /// Variable name.
+        name: String,
+        /// Initial value (0 when omitted).
+        init: i64,
+        /// Source position.
+        pos: Pos,
+    },
+    /// A global array: `int a[4];`, `int a[] = {1, 2};`.
+    GlobalArray {
+        /// Variable name.
+        name: String,
+        /// Number of elements.
+        size: usize,
+        /// Leading initial values (zero padded).
+        init: Vec<i64>,
+        /// Source position.
+        pos: Pos,
+    },
+    /// A function definition.
+    Func(Func),
+}
+
+/// A function definition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Func {
+    /// Function name.
+    pub name: String,
+    /// Parameter names (all parameters are `int`).
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source position of the definition.
+    pub pos: Pos,
+}
+
+/// A statement with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Stmt {
+    /// What the statement does.
+    pub kind: StmtKind,
+    /// Source position.
+    pub pos: Pos,
+}
+
+/// Statement kinds.
+#[derive(Clone, Debug, PartialEq)]
+#[allow(missing_docs)] // variant fields are described in variant docs
+pub enum StmtKind {
+    /// `int x;` / `int x = e;` — local scalar declaration.
+    DeclScalar { name: String, init: Option<Expr> },
+    /// `int a[N];` — local array declaration (no initializer).
+    DeclArray { name: String, size: usize },
+    /// `x = e;`, `x += e;`, `x++;` (the latter desugars to `x += 1`).
+    AssignVar { name: String, value: Expr },
+    /// `b[i] = e;`, `b[i] += e;`, `b[i]++;` (desugared like above).
+    AssignIndex { base: Expr, index: Expr, value: Expr },
+    /// `if (c) { … } else { … }`
+    If { cond: Expr, then_: Vec<Stmt>, else_: Vec<Stmt> },
+    /// `while (c) { … }`
+    While { cond: Expr, body: Vec<Stmt> },
+    /// `do { … } while (c);`
+    DoWhile { body: Vec<Stmt>, cond: Expr },
+    /// `for (init; cond; step) { … }` (each clause optional).
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Box<Stmt>>,
+        body: Vec<Stmt>,
+    },
+    /// `switch (e) { case N: … default: … }` with C fall-through.
+    Switch { scrutinee: Expr, arms: Vec<SwitchArm> },
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `return;` / `return e;`
+    Return(Option<Expr>),
+    /// An expression evaluated for side effects (calls).
+    Expr(Expr),
+    /// `{ … }` — a nested scope.
+    Block(Vec<Stmt>),
+}
+
+/// One arm of a `switch`. Arms fall through in source order unless a
+/// `break` intervenes, exactly like C.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SwitchArm {
+    /// Case labels for this arm (`None` marks `default`). Multiple
+    /// consecutive labels (`case 1: case 2:`) share one arm.
+    pub labels: Vec<Option<i64>>,
+    /// The arm's statements.
+    pub stmts: Vec<Stmt>,
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq)]
+#[allow(missing_docs)] // variant fields are described in variant docs
+pub enum Expr {
+    /// Integer literal.
+    Num(i64),
+    /// String literal: evaluates to the address of the NUL-terminated
+    /// copy placed in global data (one word per byte).
+    Str(Vec<u8>),
+    /// Variable reference; arrays evaluate to their base address.
+    Var(String, Pos),
+    /// `base[index]` — a load from `base + index`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Unary operator application.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operator application (`&&`/`||` short-circuit).
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Function or builtin call.
+    Call(String, Vec<Expr>, Pos),
+    /// Assignment expression `(x = e)` / `(a[i] = e)`; evaluates to the
+    /// assigned value. The target must be a variable or index expression.
+    Assign(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Best-effort source position (for diagnostics).
+    #[must_use]
+    pub fn pos(&self) -> Option<Pos> {
+        match self {
+            Expr::Var(_, p) | Expr::Call(_, _, p) => Some(*p),
+            Expr::Index(b, _) => b.pos(),
+            Expr::Unary(_, e) => e.pos(),
+            Expr::Binary(_, a, b) => a.pos().or_else(|| b.pos()),
+            Expr::Assign(t, v) => t.pos().or_else(|| v.pos()),
+            Expr::Num(_) | Expr::Str(_) => None,
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!e` is 1 when `e == 0`).
+    Not,
+    /// Bitwise complement.
+    BitNot,
+}
+
+/// Binary operators.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Short-circuit logical and.
+    LAnd,
+    /// Short-circuit logical or.
+    LOr,
+}
+
+impl BinOp {
+    /// Is this a comparison producing 0/1?
+    #[must_use]
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+}

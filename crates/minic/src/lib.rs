@@ -1,0 +1,275 @@
+//! # branchlab-minic
+//!
+//! MiniC: a small C-like language compiled to [`branchlab_ir`] modules.
+//! MiniC plays the role of the paper's profiling C compiler front end —
+//! the ten Unix benchmarks of Hwu/Conte/Chang (ISCA 1989) are
+//! re-implemented in MiniC (see `branchlab-workloads`), compiled with
+//! [`compile`], and then profiled, transformed, and simulated.
+//!
+//! The language: 64-bit ints, globals/locals, arrays, functions,
+//! `if`/`while`/`for`/`do`/`switch` (with C fall-through), short-circuit
+//! `&&`/`||`, string literals, and the builtins `getc(stream)`,
+//! `putc(stream, byte)` and `halt()`.
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let module = branchlab_minic::compile(r"
+//!     int main() {
+//!         int c;
+//!         while ((c = 0) || (c = getc(0)) >= 0) { putc(1, c); }
+//!         return 0;
+//!     }
+//! ")?;
+//! assert_eq!(module.funcs.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+mod codegen;
+pub mod parser;
+pub mod token;
+
+pub use codegen::{compile, CompileError};
+pub use parser::{parse, ParseError};
+pub use token::{lex, LexError, Pos};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use branchlab_ir::{print_module, validate_module, Term};
+
+    #[test]
+    fn compiles_minimal_main() {
+        let m = compile("int main() { return 0; }").unwrap();
+        assert_eq!(m.funcs.len(), 1);
+        assert_eq!(m.funcs[0].name, "main");
+        assert_eq!(validate_module(&m), Ok(()));
+    }
+
+    #[test]
+    fn rejects_missing_main() {
+        let e = compile("int f() { return 0; }").unwrap_err();
+        assert!(e.msg.contains("main"), "{e}");
+    }
+
+    #[test]
+    fn rejects_main_with_params() {
+        assert!(compile("int main(int x) { return x; }").is_err());
+    }
+
+    #[test]
+    fn rejects_undeclared_variable() {
+        let e = compile("int main() { return nope; }").unwrap_err();
+        assert!(e.msg.contains("nope"), "{e}");
+        assert!(e.pos.is_some());
+    }
+
+    #[test]
+    fn rejects_duplicate_declaration_in_scope() {
+        assert!(compile("int main() { int x; int x; return 0; }").is_err());
+        // Shadowing in a nested scope is allowed.
+        assert!(compile("int main() { int x; { int x; } return 0; }").is_ok());
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let src = "int f(int a) { return a; } int main() { return f(1, 2); }";
+        let e = compile(src).unwrap_err();
+        assert!(e.msg.contains("expects 1"), "{e}");
+    }
+
+    #[test]
+    fn rejects_break_outside_loop() {
+        assert!(compile("int main() { break; return 0; }").is_err());
+        assert!(compile("int main() { continue; return 0; }").is_err());
+    }
+
+    #[test]
+    fn rejects_redefined_builtin() {
+        assert!(compile("int getc(int s) { return 0; } int main() { return 0; }").is_err());
+    }
+
+    #[test]
+    fn rejects_assignment_to_array_name() {
+        assert!(compile("int a[3]; int main() { a = 1; return 0; }").is_err());
+    }
+
+    #[test]
+    fn stream_arguments() {
+        // Runtime stream indices are allowed (masked at execution)…
+        assert!(compile("int main() { int s = 0; return getc(s); }").is_ok());
+        // …but constant out-of-range streams are compile errors.
+        assert!(compile("int main() { return getc(9); }").is_err());
+        assert!(compile("int main() { putc(-1, 'x'); return 0; }").is_err());
+    }
+
+    #[test]
+    fn globals_are_laid_out_with_initializers() {
+        let m = compile("int x = 7; int a[3] = {1, 2}; int main() { return x + a[1]; }")
+            .unwrap();
+        assert_eq!(m.globals_words, 4);
+        assert_eq!(m.globals_init, vec![7, 1, 2, 0]);
+    }
+
+    #[test]
+    fn string_literals_are_interned_nul_terminated() {
+        let m = compile(r#"int main() { return "ab"[0] + "ab"[1]; }"#).unwrap();
+        // One copy of "ab\0" only.
+        assert_eq!(m.globals_words, 3);
+        assert_eq!(m.globals_init, vec![97, 98, 0]);
+    }
+
+    #[test]
+    fn comparison_condition_folds_into_branch() {
+        let m = compile("int main() { int x = getc(0); if (x < 10) { return 1; } return 2; }")
+            .unwrap();
+        let text = print_module(&m);
+        assert!(text.contains("br.lt"), "{text}");
+        // No separate cmp instruction for the condition.
+        assert!(!text.contains("cmp.lt"), "{text}");
+    }
+
+    #[test]
+    fn logical_and_short_circuits_via_blocks() {
+        let m = compile(
+            "int main() { int x = getc(0); if (x > 0 && x < 10) { return 1; } return 0; }",
+        )
+        .unwrap();
+        let text = print_module(&m);
+        assert!(text.contains("br.gt"), "{text}");
+        assert!(text.contains("br.lt"), "{text}");
+    }
+
+    #[test]
+    fn dense_switch_compiles_to_jump_table() {
+        // ≥6 cases, density ≥ 0.5 → indirect jump table.
+        let m = compile(
+            "int main() { switch (getc(0)) { case 10: return 1; case 11: return 2; case 12: return 3; case 13: return 4; case 14: return 5; case 15: return 6; default: return 0; } return 9; }",
+        )
+        .unwrap();
+        let f = &m.funcs[0];
+        let Some(Term::Switch { targets, .. }) =
+            f.blocks.iter().map(|b| &b.term).find(|t| matches!(t, Term::Switch { .. }))
+        else {
+            panic!("expected a switch terminator")
+        };
+        assert_eq!(targets.len(), 6); // spans 10..=15
+    }
+
+    #[test]
+    fn small_switch_compiles_to_compare_chain() {
+        // Below the table heuristics (1980s compilers used chains here).
+        let m = compile(
+            "int main() { switch (getc(0)) { case 10: return 1; case 12: return 2; default: return 3; } return 0; }",
+        )
+        .unwrap();
+        let f = &m.funcs[0];
+        assert!(
+            !f.blocks.iter().any(|b| matches!(b.term, Term::Switch { .. })),
+            "expected a compare chain"
+        );
+        // Two Eq tests, one per case.
+        let brs = f
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, Term::Br { .. }))
+            .count();
+        assert!(brs >= 2);
+    }
+
+    #[test]
+    fn sparse_switch_compiles_to_compare_chain() {
+        // Many cases but density < 0.5 → chain.
+        let m = compile(
+            "int main() { switch (getc(0)) { case 0: return 1; case 100: return 2; case 200: return 3; case 300: return 4; case 400: return 5; case 500: return 6; } return 0; }",
+        )
+        .unwrap();
+        assert!(
+            !m.funcs[0].blocks.iter().any(|b| matches!(b.term, Term::Switch { .. })),
+            "expected a compare chain"
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_case() {
+        assert!(compile(
+            "int main() { switch (0) { case 1: break; case 1: break; } return 0; }"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn wide_sparse_switch_is_fine_as_chain() {
+        // The 4096-span limit only applies to table-worthy switches;
+        // sparse ones lower to chains regardless of span.
+        assert!(compile(
+            "int main() { switch (0) { case 0: break; case 100000: break; } return 0; }"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn constant_folding_removes_trivial_alu() {
+        let m = compile("int main() { return 2 + 3 * 4; }").unwrap();
+        let text = print_module(&m);
+        assert!(text.contains("ret 14"), "{text}");
+    }
+
+    #[test]
+    fn recursion_compiles() {
+        let src = r"
+            int fib(int n) {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            int main() { return fib(10); }
+        ";
+        let m = compile(src).unwrap();
+        assert_eq!(m.funcs.len(), 2);
+        assert_eq!(validate_module(&m), Ok(()));
+    }
+
+    #[test]
+    fn halt_is_a_terminator() {
+        let m = compile("int main() { halt(); }").unwrap();
+        assert!(m.funcs[0].blocks.iter().any(|b| b.term == Term::Halt));
+        assert!(compile("int main() { return halt(); }").is_err());
+    }
+
+    #[test]
+    fn kitchen_sink_module_validates_and_lowers() {
+        let src = r#"
+            int counts[128];
+            int total;
+            int helper(int x, int y) {
+                int i;
+                int acc = 0;
+                for (i = x; i < y; i++) {
+                    if (i % 3 == 0 || i % 5 == 0) { acc += i; }
+                }
+                return acc;
+            }
+            int main() {
+                int c;
+                int buf[16];
+                buf[0] = 'h';
+                while ((c = getc(0)) != -1) {
+                    if (c >= 0 && c < 128) { counts[c]++; total++; }
+                    switch (c) {
+                        case '\n': putc(1, '$'); break;
+                        case ' ': break;
+                        default: putc(1, c);
+                    }
+                }
+                putc(1, "done"[0]);
+                return helper(0, total) + buf[0];
+            }
+        "#;
+        let m = compile(src).unwrap();
+        assert_eq!(validate_module(&m), Ok(()));
+        assert!(branchlab_ir::lower(&m).is_ok());
+    }
+}

@@ -1,0 +1,758 @@
+//! Recursive-descent parser for MiniC.
+
+use std::fmt;
+
+use crate::ast::{BinOp, Expr, Func, Item, Stmt, StmtKind, SwitchArm, UnOp};
+use crate::token::{lex, Kw, LexError, Pos, Punct, Tok};
+
+/// A parse error with source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where the error occurred.
+    pub pos: Pos,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { pos: e.pos, msg: e.msg }
+    }
+}
+
+/// Parse a MiniC source file into items.
+///
+/// # Errors
+/// Returns [`ParseError`] on the first syntax error.
+pub fn parse(src: &str) -> Result<Vec<Item>, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut items = Vec::new();
+    while !p.at_eof() {
+        items.push(p.item()?);
+    }
+    Ok(items)
+}
+
+struct Parser {
+    toks: Vec<(Tok, Pos)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].0
+    }
+
+    fn here(&self) -> Pos {
+        self.toks[self.pos].1
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), Tok::Eof)
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { pos: self.here(), msg: msg.into() })
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if self.peek() == &Tok::Punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: Punct) -> Result<(), ParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{p}`, found {}", self.peek()))
+        }
+    }
+
+    fn eat_kw(&mut self, k: Kw) -> bool {
+        if self.peek() == &Tok::Kw(k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, k: Kw) -> Result<(), ParseError> {
+        if self.eat_kw(k) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{k}`, found {}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    /// Signed integer constant (for globals/case labels): `N` or `-N`.
+    fn int_const(&mut self) -> Result<i64, ParseError> {
+        let neg = self.eat_punct(Punct::Minus);
+        match self.peek().clone() {
+            Tok::Num(n) => {
+                self.bump();
+                Ok(if neg { n.wrapping_neg() } else { n })
+            }
+            other => self.err(format!("expected integer constant, found {other}")),
+        }
+    }
+
+    // ---- items ----
+
+    fn item(&mut self) -> Result<Item, ParseError> {
+        let pos = self.here();
+        let is_void = if self.eat_kw(Kw::Void) {
+            true
+        } else {
+            self.expect_kw(Kw::Int)?;
+            false
+        };
+        let name = self.ident()?;
+        if self.peek() == &Tok::Punct(Punct::LParen) {
+            return Ok(Item::Func(self.func(name, pos)?));
+        }
+        if is_void {
+            return self.err("`void` is only valid as a function return type");
+        }
+        // Global scalar or array.
+        if self.eat_punct(Punct::LBracket) {
+            let size = if self.peek() == &Tok::Punct(Punct::RBracket) {
+                None
+            } else {
+                let n = self.int_const()?;
+                if n <= 0 {
+                    return self.err("array size must be positive");
+                }
+                Some(n as usize)
+            };
+            self.expect_punct(Punct::RBracket)?;
+            let init = if self.eat_punct(Punct::Assign) {
+                self.init_list()?
+            } else {
+                Vec::new()
+            };
+            let size = match size {
+                Some(s) => {
+                    if init.len() > s {
+                        return self.err("more initializers than array elements");
+                    }
+                    s
+                }
+                None => {
+                    if init.is_empty() {
+                        return self.err("array with `[]` needs an initializer");
+                    }
+                    init.len()
+                }
+            };
+            self.expect_punct(Punct::Semi)?;
+            Ok(Item::GlobalArray { name, size, init, pos })
+        } else {
+            let init = if self.eat_punct(Punct::Assign) { self.int_const()? } else { 0 };
+            self.expect_punct(Punct::Semi)?;
+            Ok(Item::GlobalScalar { name, init, pos })
+        }
+    }
+
+    fn init_list(&mut self) -> Result<Vec<i64>, ParseError> {
+        self.expect_punct(Punct::LBrace)?;
+        let mut vals = Vec::new();
+        if !self.eat_punct(Punct::RBrace) {
+            loop {
+                vals.push(self.int_const()?);
+                if self.eat_punct(Punct::RBrace) {
+                    break;
+                }
+                self.expect_punct(Punct::Comma)?;
+                // allow trailing comma
+                if self.eat_punct(Punct::RBrace) {
+                    break;
+                }
+            }
+        }
+        Ok(vals)
+    }
+
+    fn func(&mut self, name: String, pos: Pos) -> Result<Func, ParseError> {
+        self.expect_punct(Punct::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat_punct(Punct::RParen) {
+            loop {
+                self.expect_kw(Kw::Int)?;
+                params.push(self.ident()?);
+                if self.eat_punct(Punct::RParen) {
+                    break;
+                }
+                self.expect_punct(Punct::Comma)?;
+            }
+        }
+        let body = self.block()?;
+        Ok(Func { name, params, body, pos })
+    }
+
+    // ---- statements ----
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_punct(Punct::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct(Punct::RBrace) {
+            if self.at_eof() {
+                return self.err("unexpected end of input in block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let pos = self.here();
+        let kind = match self.peek().clone() {
+            Tok::Kw(Kw::Int) => {
+                self.bump();
+                let name = self.ident()?;
+                if self.eat_punct(Punct::LBracket) {
+                    let n = self.int_const()?;
+                    if n <= 0 {
+                        return self.err("array size must be positive");
+                    }
+                    self.expect_punct(Punct::RBracket)?;
+                    self.expect_punct(Punct::Semi)?;
+                    StmtKind::DeclArray { name, size: n as usize }
+                } else {
+                    let init = if self.eat_punct(Punct::Assign) {
+                        Some(self.expr()?)
+                    } else {
+                        None
+                    };
+                    self.expect_punct(Punct::Semi)?;
+                    StmtKind::DeclScalar { name, init }
+                }
+            }
+            Tok::Kw(Kw::If) => {
+                self.bump();
+                return self.if_stmt(pos);
+            }
+            Tok::Kw(Kw::While) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.expr()?;
+                self.expect_punct(Punct::RParen)?;
+                let body = self.block()?;
+                StmtKind::While { cond, body }
+            }
+            Tok::Kw(Kw::Do) => {
+                self.bump();
+                let body = self.block()?;
+                self.expect_kw(Kw::While)?;
+                self.expect_punct(Punct::LParen)?;
+                let cond = self.expr()?;
+                self.expect_punct(Punct::RParen)?;
+                self.expect_punct(Punct::Semi)?;
+                StmtKind::DoWhile { body, cond }
+            }
+            Tok::Kw(Kw::For) => {
+                self.bump();
+                self.expect_punct(Punct::LParen)?;
+                let init = if self.peek() == &Tok::Punct(Punct::Semi) {
+                    None
+                } else {
+                    Some(Box::new(Stmt { kind: self.simple_stmt()?, pos }))
+                };
+                self.expect_punct(Punct::Semi)?;
+                let cond = if self.peek() == &Tok::Punct(Punct::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect_punct(Punct::Semi)?;
+                let step = if self.peek() == &Tok::Punct(Punct::RParen) {
+                    None
+                } else {
+                    Some(Box::new(Stmt { kind: self.simple_stmt()?, pos }))
+                };
+                self.expect_punct(Punct::RParen)?;
+                let body = self.block()?;
+                StmtKind::For { init, cond, step, body }
+            }
+            Tok::Kw(Kw::Switch) => {
+                self.bump();
+                return self.switch_stmt(pos);
+            }
+            Tok::Kw(Kw::Break) => {
+                self.bump();
+                self.expect_punct(Punct::Semi)?;
+                StmtKind::Break
+            }
+            Tok::Kw(Kw::Continue) => {
+                self.bump();
+                self.expect_punct(Punct::Semi)?;
+                StmtKind::Continue
+            }
+            Tok::Kw(Kw::Return) => {
+                self.bump();
+                let v = if self.peek() == &Tok::Punct(Punct::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect_punct(Punct::Semi)?;
+                StmtKind::Return(v)
+            }
+            Tok::Punct(Punct::LBrace) => StmtKind::Block(self.block()?),
+            _ => {
+                let k = self.simple_stmt()?;
+                self.expect_punct(Punct::Semi)?;
+                k
+            }
+        };
+        Ok(Stmt { kind, pos })
+    }
+
+    /// `if` with optional `else` / `else if` chain (already past `if`).
+    fn if_stmt(&mut self, pos: Pos) -> Result<Stmt, ParseError> {
+        self.expect_punct(Punct::LParen)?;
+        let cond = self.expr()?;
+        self.expect_punct(Punct::RParen)?;
+        let then_ = self.block()?;
+        let else_ = if self.eat_kw(Kw::Else) {
+            if self.eat_kw(Kw::If) {
+                let p = self.here();
+                vec![self.if_stmt(p)?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt { kind: StmtKind::If { cond, then_, else_ }, pos })
+    }
+
+    fn switch_stmt(&mut self, pos: Pos) -> Result<Stmt, ParseError> {
+        self.expect_punct(Punct::LParen)?;
+        let scrutinee = self.expr()?;
+        self.expect_punct(Punct::RParen)?;
+        self.expect_punct(Punct::LBrace)?;
+        let mut arms: Vec<SwitchArm> = Vec::new();
+        while !self.eat_punct(Punct::RBrace) {
+            let mut labels = Vec::new();
+            loop {
+                if self.eat_kw(Kw::Case) {
+                    labels.push(Some(self.int_const()?));
+                    self.expect_punct(Punct::Colon)?;
+                } else if self.eat_kw(Kw::Default) {
+                    labels.push(None);
+                    self.expect_punct(Punct::Colon)?;
+                } else {
+                    break;
+                }
+            }
+            if labels.is_empty() {
+                return self.err("expected `case` or `default` in switch body");
+            }
+            let mut stmts = Vec::new();
+            while !matches!(
+                self.peek(),
+                Tok::Kw(Kw::Case) | Tok::Kw(Kw::Default) | Tok::Punct(Punct::RBrace)
+            ) {
+                if self.at_eof() {
+                    return self.err("unexpected end of input in switch");
+                }
+                stmts.push(self.stmt()?);
+            }
+            arms.push(SwitchArm { labels, stmts });
+        }
+        Ok(Stmt { kind: StmtKind::Switch { scrutinee, arms }, pos })
+    }
+
+    /// Assignment, compound assignment, increment, or expression —
+    /// without the trailing `;` (shared by statements and `for` clauses).
+    fn simple_stmt(&mut self) -> Result<StmtKind, ParseError> {
+        // Lookahead: IDENT followed by an assignment-ish operator.
+        if let Tok::Ident(name) = self.peek().clone() {
+            match self.peek2() {
+                Tok::Punct(Punct::Assign) => {
+                    self.bump();
+                    self.bump();
+                    let value = self.expr()?;
+                    return Ok(StmtKind::AssignVar { name, value });
+                }
+                Tok::Punct(Punct::PlusEq) | Tok::Punct(Punct::MinusEq) => {
+                    let op = if self.peek2() == &Tok::Punct(Punct::PlusEq) {
+                        BinOp::Add
+                    } else {
+                        BinOp::Sub
+                    };
+                    let pos = self.here();
+                    self.bump();
+                    self.bump();
+                    let rhs = self.expr()?;
+                    let value = Expr::Binary(
+                        op,
+                        Box::new(Expr::Var(name.clone(), pos)),
+                        Box::new(rhs),
+                    );
+                    return Ok(StmtKind::AssignVar { name, value });
+                }
+                Tok::Punct(Punct::PlusPlus) | Tok::Punct(Punct::MinusMinus) => {
+                    let op = if self.peek2() == &Tok::Punct(Punct::PlusPlus) {
+                        BinOp::Add
+                    } else {
+                        BinOp::Sub
+                    };
+                    let pos = self.here();
+                    self.bump();
+                    self.bump();
+                    let value = Expr::Binary(
+                        op,
+                        Box::new(Expr::Var(name.clone(), pos)),
+                        Box::new(Expr::Num(1)),
+                    );
+                    return Ok(StmtKind::AssignVar { name, value });
+                }
+                _ => {}
+            }
+        }
+        // General expression; may turn out to be an indexed assignment.
+        let e = self.expr()?;
+        // `expr()` already parses `lhs = rhs`; re-shape it as a statement.
+        if let Expr::Assign(target, value) = e {
+            return Ok(match *target {
+                Expr::Var(name, _) => StmtKind::AssignVar { name, value: *value },
+                Expr::Index(base, index) => {
+                    StmtKind::AssignIndex { base: *base, index: *index, value: *value }
+                }
+                _ => unreachable!("expr() only builds Assign with Var/Index targets"),
+            });
+        }
+        if let Expr::Index(base, index) = &e {
+            let mk = |value| StmtKind::AssignIndex {
+                base: (**base).clone(),
+                index: (**index).clone(),
+                value,
+            };
+            for (p, op) in [
+                (Punct::PlusEq, BinOp::Add),
+                (Punct::MinusEq, BinOp::Sub),
+            ] {
+                if self.eat_punct(p) {
+                    let rhs = self.expr()?;
+                    return Ok(mk(Expr::Binary(op, Box::new(e.clone()), Box::new(rhs))));
+                }
+            }
+            for (p, op) in [
+                (Punct::PlusPlus, BinOp::Add),
+                (Punct::MinusMinus, BinOp::Sub),
+            ] {
+                if self.eat_punct(p) {
+                    return Ok(mk(Expr::Binary(op, Box::new(e.clone()), Box::new(Expr::Num(1)))));
+                }
+            }
+        }
+        Ok(StmtKind::Expr(e))
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.binary(0)?;
+        if self.peek() == &Tok::Punct(Punct::Assign) {
+            if !matches!(lhs, Expr::Var(..) | Expr::Index(..)) {
+                return self.err("invalid assignment target");
+            }
+            self.bump();
+            let rhs = self.expr()?; // right-associative
+            return Ok(Expr::Assign(Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Tok::Punct(Punct::OrOr) => (BinOp::LOr, 1),
+                Tok::Punct(Punct::AndAnd) => (BinOp::LAnd, 2),
+                Tok::Punct(Punct::Pipe) => (BinOp::BitOr, 3),
+                Tok::Punct(Punct::Caret) => (BinOp::BitXor, 4),
+                Tok::Punct(Punct::Amp) => (BinOp::BitAnd, 5),
+                Tok::Punct(Punct::EqEq) => (BinOp::Eq, 6),
+                Tok::Punct(Punct::NotEq) => (BinOp::Ne, 6),
+                Tok::Punct(Punct::Lt) => (BinOp::Lt, 7),
+                Tok::Punct(Punct::Le) => (BinOp::Le, 7),
+                Tok::Punct(Punct::Gt) => (BinOp::Gt, 7),
+                Tok::Punct(Punct::Ge) => (BinOp::Ge, 7),
+                Tok::Punct(Punct::Shl) => (BinOp::Shl, 8),
+                Tok::Punct(Punct::Shr) => (BinOp::Shr, 8),
+                Tok::Punct(Punct::Plus) => (BinOp::Add, 9),
+                Tok::Punct(Punct::Minus) => (BinOp::Sub, 9),
+                Tok::Punct(Punct::Star) => (BinOp::Mul, 10),
+                Tok::Punct(Punct::Slash) => (BinOp::Div, 10),
+                Tok::Punct(Punct::Percent) => (BinOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        let op = match self.peek() {
+            Tok::Punct(Punct::Minus) => Some(UnOp::Neg),
+            Tok::Punct(Punct::Bang) => Some(UnOp::Not),
+            Tok::Punct(Punct::Tilde) => Some(UnOp::BitNot),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let e = self.unary()?;
+            return Ok(Expr::Unary(op, Box::new(e)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        while self.eat_punct(Punct::LBracket) {
+            let idx = self.expr()?;
+            self.expect_punct(Punct::RBracket)?;
+            e = Expr::Index(Box::new(e), Box::new(idx));
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let pos = self.here();
+        match self.peek().clone() {
+            Tok::Num(n) => {
+                self.bump();
+                Ok(Expr::Num(n))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s))
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if self.eat_punct(Punct::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(Punct::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_punct(Punct::RParen) {
+                                break;
+                            }
+                            self.expect_punct(Punct::Comma)?;
+                        }
+                    }
+                    Ok(Expr::Call(name, args, pos))
+                } else {
+                    Ok(Expr::Var(name, pos))
+                }
+            }
+            Tok::Punct(Punct::LParen) => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_punct(Punct::RParen)?;
+                Ok(e)
+            }
+            other => self.err(format!("expected expression, found {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_global_scalars_and_arrays() {
+        let items = parse("int x; int y = -3; int a[4]; int b[] = {1, 2};").unwrap();
+        assert_eq!(items.len(), 4);
+        assert!(matches!(&items[0], Item::GlobalScalar { name, init: 0, .. } if name == "x"));
+        assert!(matches!(&items[1], Item::GlobalScalar { init: -3, .. }));
+        assert!(matches!(&items[2], Item::GlobalArray { size: 4, .. }));
+        match &items[3] {
+            Item::GlobalArray { size, init, .. } => {
+                assert_eq!(*size, 2);
+                assert_eq!(init, &vec![1, 2]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_function_with_params() {
+        let items = parse("int add(int a, int b) { return a + b; }").unwrap();
+        match &items[0] {
+            Item::Func(f) => {
+                assert_eq!(f.name, "add");
+                assert_eq!(f.params, vec!["a", "b"]);
+                assert_eq!(f.body.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let items = parse("int main() { return 1 + 2 * 3; }").unwrap();
+        let Item::Func(f) = &items[0] else { panic!() };
+        let StmtKind::Return(Some(e)) = &f.body[0].kind else { panic!() };
+        assert_eq!(
+            *e,
+            Expr::Binary(
+                BinOp::Add,
+                Box::new(Expr::Num(1)),
+                Box::new(Expr::Binary(BinOp::Mul, Box::new(Expr::Num(2)), Box::new(Expr::Num(3)))),
+            )
+        );
+    }
+
+    #[test]
+    fn precedence_logical_lowest() {
+        let items = parse("int main() { return 1 < 2 && 3 == 3 || 0; }").unwrap();
+        let Item::Func(f) = &items[0] else { panic!() };
+        let StmtKind::Return(Some(Expr::Binary(BinOp::LOr, _, _))) = &f.body[0].kind else {
+            panic!("expected top-level ||: {:?}", f.body[0].kind)
+        };
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let src = r"
+            int main() {
+                int i;
+                for (i = 0; i < 10; i++) {
+                    if (i % 2 == 0) { continue; } else { break; }
+                }
+                while (i) { i -= 1; }
+                do { i += 1; } while (i < 5);
+                return i;
+            }
+        ";
+        let items = parse(src).unwrap();
+        let Item::Func(f) = &items[0] else { panic!() };
+        assert_eq!(f.body.len(), 5);
+        assert!(matches!(f.body[1].kind, StmtKind::For { .. }));
+        assert!(matches!(f.body[2].kind, StmtKind::While { .. }));
+        assert!(matches!(f.body[3].kind, StmtKind::DoWhile { .. }));
+    }
+
+    #[test]
+    fn parses_switch_with_fallthrough_and_shared_labels() {
+        let src = r"
+            int main() {
+                switch (getc(0)) {
+                    case 1: case 2: return 1;
+                    case 3: break;
+                    default: return 9;
+                }
+                return 0;
+            }
+        ";
+        let items = parse(src).unwrap();
+        let Item::Func(f) = &items[0] else { panic!() };
+        let StmtKind::Switch { arms, .. } = &f.body[0].kind else { panic!() };
+        assert_eq!(arms.len(), 3);
+        assert_eq!(arms[0].labels, vec![Some(1), Some(2)]);
+        assert_eq!(arms[1].labels, vec![Some(3)]);
+        assert_eq!(arms[2].labels, vec![None]);
+    }
+
+    #[test]
+    fn parses_indexed_assignment_forms() {
+        let src = "int a[4]; int main() { a[0] = 1; a[1] += 2; a[2]++; a[a[0]] = 3; return a[0]; }";
+        let items = parse(src).unwrap();
+        let Item::Func(f) = &items[1] else { panic!() };
+        assert!(matches!(f.body[0].kind, StmtKind::AssignIndex { .. }));
+        assert!(matches!(f.body[1].kind, StmtKind::AssignIndex { .. }));
+        assert!(matches!(f.body[2].kind, StmtKind::AssignIndex { .. }));
+        assert!(matches!(f.body[3].kind, StmtKind::AssignIndex { .. }));
+    }
+
+    #[test]
+    fn parses_string_literal_expression() {
+        let items = parse(r#"int main() { return "ab"[0]; }"#).unwrap();
+        let Item::Func(f) = &items[0] else { panic!() };
+        let StmtKind::Return(Some(Expr::Index(b, _))) = &f.body[0].kind else { panic!() };
+        assert_eq!(**b, Expr::Str(b"ab".to_vec()));
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let src = "int main() { if (1) { } else if (2) { } else { return 3; } return 0; }";
+        let items = parse(src).unwrap();
+        let Item::Func(f) = &items[0] else { panic!() };
+        let StmtKind::If { else_, .. } = &f.body[0].kind else { panic!() };
+        assert_eq!(else_.len(), 1);
+        assert!(matches!(else_[0].kind, StmtKind::If { .. }));
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        assert!(parse("int main() { return 1 }").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_global() {
+        assert!(parse("int a[0];").is_err());
+        assert!(parse("int a[] ;").is_err());
+        assert!(parse("int a[1] = {1, 2};").is_err());
+        assert!(parse("void x;").is_err());
+    }
+
+    #[test]
+    fn error_carries_position() {
+        let e = parse("int main() {\n  return @;\n}").unwrap_err();
+        assert_eq!(e.pos.line, 2);
+    }
+
+    #[test]
+    fn unary_chains() {
+        let items = parse("int main() { return !!-~1; }").unwrap();
+        let Item::Func(f) = &items[0] else { panic!() };
+        let StmtKind::Return(Some(Expr::Unary(UnOp::Not, _))) = &f.body[0].kind else {
+            panic!()
+        };
+    }
+}

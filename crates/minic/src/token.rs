@@ -1,0 +1,430 @@
+//! Tokens and the MiniC lexer.
+
+use std::fmt;
+
+/// A source position (1-based line and column), carried through to
+/// compile errors.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// Integer literal (decimal, hex `0x…`, or char `'c'`).
+    Num(i64),
+    /// String literal (escapes already processed).
+    Str(Vec<u8>),
+    /// Identifier.
+    Ident(String),
+    /// Keyword.
+    Kw(Kw),
+    /// Punctuation / operator.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Num(n) => write!(f, "{n}"),
+            Tok::Str(_) => write!(f, "string literal"),
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Kw(k) => write!(f, "`{k}`"),
+            Tok::Punct(p) => write!(f, "`{p}`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+macro_rules! keywords {
+    ($($variant:ident => $text:literal),* $(,)?) => {
+        /// MiniC keywords.
+        #[derive(Copy, Clone, PartialEq, Eq, Debug)]
+        #[allow(missing_docs)]
+        pub enum Kw { $($variant),* }
+
+        impl Kw {
+            fn from_str(s: &str) -> Option<Kw> {
+                match s { $($text => Some(Kw::$variant),)* _ => None }
+            }
+        }
+
+        impl fmt::Display for Kw {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(match self { $(Kw::$variant => $text),* })
+            }
+        }
+    };
+}
+
+keywords! {
+    Int => "int", Void => "void", If => "if", Else => "else",
+    While => "while", For => "for", Do => "do", Break => "break",
+    Continue => "continue", Return => "return", Switch => "switch",
+    Case => "case", Default => "default",
+}
+
+macro_rules! puncts {
+    ($($variant:ident => $text:literal),* $(,)?) => {
+        /// Punctuation and operators.
+        #[derive(Copy, Clone, PartialEq, Eq, Debug)]
+        #[allow(missing_docs)]
+        pub enum Punct { $($variant),* }
+
+        impl fmt::Display for Punct {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(match self { $(Punct::$variant => $text),* })
+            }
+        }
+    };
+}
+
+puncts! {
+    LParen => "(", RParen => ")", LBrace => "{", RBrace => "}",
+    LBracket => "[", RBracket => "]", Semi => ";", Comma => ",",
+    Colon => ":", Assign => "=", Plus => "+", Minus => "-",
+    Star => "*", Slash => "/", Percent => "%", Amp => "&",
+    Pipe => "|", Caret => "^", Tilde => "~", Bang => "!",
+    Shl => "<<", Shr => ">>", EqEq => "==", NotEq => "!=",
+    Lt => "<", Le => "<=", Gt => ">", Ge => ">=",
+    AndAnd => "&&", OrOr => "||",
+    PlusEq => "+=", MinusEq => "-=", PlusPlus => "++", MinusMinus => "--",
+}
+
+/// A lexical error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Where the error occurred.
+    pub pos: Pos,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize MiniC source. Returns tokens paired with their positions;
+/// the final element is always [`Tok::Eof`].
+///
+/// # Errors
+/// Returns [`LexError`] on malformed literals, unterminated comments or
+/// strings, and unknown characters.
+pub fn lex(src: &str) -> Result<Vec<(Tok, Pos)>, LexError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if b[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < b.len() {
+        let pos = Pos { line, col };
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => bump!(),
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    bump!();
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                bump!();
+                bump!();
+                loop {
+                    if i + 1 >= b.len() {
+                        return Err(LexError { pos, msg: "unterminated block comment".into() });
+                    }
+                    if b[i] == b'*' && b[i + 1] == b'/' {
+                        bump!();
+                        bump!();
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            b'0'..=b'9' => {
+                let mut v: i64 = 0;
+                if c == b'0' && i + 1 < b.len() && (b[i + 1] | 32) == b'x' {
+                    bump!();
+                    bump!();
+                    let start = i;
+                    while i < b.len() && b[i].is_ascii_hexdigit() {
+                        v = v.wrapping_mul(16)
+                            + i64::from((b[i] as char).to_digit(16).unwrap_or(0));
+                        bump!();
+                    }
+                    if i == start {
+                        return Err(LexError { pos, msg: "empty hex literal".into() });
+                    }
+                } else {
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        v = v.wrapping_mul(10) + i64::from(b[i] - b'0');
+                        bump!();
+                    }
+                }
+                if i < b.len() && (b[i].is_ascii_alphabetic() || b[i] == b'_') {
+                    return Err(LexError { pos, msg: "identifier starts with digit".into() });
+                }
+                out.push((Tok::Num(v), pos));
+            }
+            b'\'' => {
+                bump!();
+                if i >= b.len() {
+                    return Err(LexError { pos, msg: "unterminated char literal".into() });
+                }
+                let v = if b[i] == b'\\' {
+                    bump!();
+                    if i >= b.len() {
+                        return Err(LexError { pos, msg: "unterminated char literal".into() });
+                    }
+                    let e = escape(b[i])
+                        .ok_or_else(|| LexError { pos, msg: "bad escape in char".into() })?;
+                    bump!();
+                    e
+                } else {
+                    let v = b[i];
+                    bump!();
+                    v
+                };
+                if i >= b.len() || b[i] != b'\'' {
+                    return Err(LexError { pos, msg: "unterminated char literal".into() });
+                }
+                bump!();
+                out.push((Tok::Num(i64::from(v)), pos));
+            }
+            b'"' => {
+                bump!();
+                let mut s = Vec::new();
+                loop {
+                    if i >= b.len() {
+                        return Err(LexError { pos, msg: "unterminated string".into() });
+                    }
+                    match b[i] {
+                        b'"' => {
+                            bump!();
+                            break;
+                        }
+                        b'\\' => {
+                            bump!();
+                            if i >= b.len() {
+                                return Err(LexError { pos, msg: "unterminated string".into() });
+                            }
+                            let e = escape(b[i]).ok_or_else(|| LexError {
+                                pos,
+                                msg: "bad escape in string".into(),
+                            })?;
+                            s.push(e);
+                            bump!();
+                        }
+                        c => {
+                            s.push(c);
+                            bump!();
+                        }
+                    }
+                }
+                out.push((Tok::Str(s), pos));
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    bump!();
+                }
+                let word = std::str::from_utf8(&b[start..i]).expect("ascii ident");
+                match Kw::from_str(word) {
+                    Some(k) => out.push((Tok::Kw(k), pos)),
+                    None => out.push((Tok::Ident(word.to_string()), pos)),
+                }
+            }
+            _ => {
+                let two = if i + 1 < b.len() { &b[i..i + 2] } else { &b[i..i + 1] };
+                let p2 = match two {
+                    b"<<" => Some(Punct::Shl),
+                    b">>" => Some(Punct::Shr),
+                    b"==" => Some(Punct::EqEq),
+                    b"!=" => Some(Punct::NotEq),
+                    b"<=" => Some(Punct::Le),
+                    b">=" => Some(Punct::Ge),
+                    b"&&" => Some(Punct::AndAnd),
+                    b"||" => Some(Punct::OrOr),
+                    b"+=" => Some(Punct::PlusEq),
+                    b"-=" => Some(Punct::MinusEq),
+                    b"++" => Some(Punct::PlusPlus),
+                    b"--" => Some(Punct::MinusMinus),
+                    _ => None,
+                };
+                if let Some(p) = p2 {
+                    bump!();
+                    bump!();
+                    out.push((Tok::Punct(p), pos));
+                    continue;
+                }
+                let p1 = match c {
+                    b'(' => Punct::LParen,
+                    b')' => Punct::RParen,
+                    b'{' => Punct::LBrace,
+                    b'}' => Punct::RBrace,
+                    b'[' => Punct::LBracket,
+                    b']' => Punct::RBracket,
+                    b';' => Punct::Semi,
+                    b',' => Punct::Comma,
+                    b':' => Punct::Colon,
+                    b'=' => Punct::Assign,
+                    b'+' => Punct::Plus,
+                    b'-' => Punct::Minus,
+                    b'*' => Punct::Star,
+                    b'/' => Punct::Slash,
+                    b'%' => Punct::Percent,
+                    b'&' => Punct::Amp,
+                    b'|' => Punct::Pipe,
+                    b'^' => Punct::Caret,
+                    b'~' => Punct::Tilde,
+                    b'!' => Punct::Bang,
+                    b'<' => Punct::Lt,
+                    b'>' => Punct::Gt,
+                    other => {
+                        return Err(LexError {
+                            pos,
+                            msg: format!("unexpected character {:?}", other as char),
+                        })
+                    }
+                };
+                bump!();
+                out.push((Tok::Punct(p1), pos));
+            }
+        }
+    }
+    out.push((Tok::Eof, Pos { line, col }));
+    Ok(out)
+}
+
+fn escape(c: u8) -> Option<u8> {
+    Some(match c {
+        b'n' => b'\n',
+        b't' => b'\t',
+        b'r' => b'\r',
+        b'0' => 0,
+        b'\\' => b'\\',
+        b'\'' => b'\'',
+        b'"' => b'"',
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(toks("0 42 0x1f"), vec![Tok::Num(0), Tok::Num(42), Tok::Num(31), Tok::Eof]);
+    }
+
+    #[test]
+    fn lexes_char_literals() {
+        assert_eq!(toks("'a' '\\n' '\\0'"), vec![
+            Tok::Num(97),
+            Tok::Num(10),
+            Tok::Num(0),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            toks(r#""hi\n""#),
+            vec![Tok::Str(b"hi\n".to_vec()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(toks("int foo while_x"), vec![
+            Tok::Kw(Kw::Int),
+            Tok::Ident("foo".into()),
+            Tok::Ident("while_x".into()),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn lexes_two_char_operators_greedily() {
+        assert_eq!(toks("<= << = == ++"), vec![
+            Tok::Punct(Punct::Le),
+            Tok::Punct(Punct::Shl),
+            Tok::Punct(Punct::Assign),
+            Tok::Punct(Punct::EqEq),
+            Tok::Punct(Punct::PlusPlus),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(toks("1 // line\n2 /* block\nmore */ 3"), vec![
+            Tok::Num(1),
+            Tok::Num(2),
+            Tok::Num(3),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn tracks_positions_across_lines() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].1, Pos { line: 1, col: 1 });
+        assert_eq!(ts[1].1, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("\"abc").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        assert!(lex("/* abc").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        assert!(lex("@").is_err());
+    }
+
+    #[test]
+    fn rejects_ident_starting_with_digit() {
+        assert!(lex("1abc").is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! Robustness properties of the MiniC front end: no input can panic the
+//! lexer/parser/compiler, and lexing is total over printable streams.
+
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn compile_never_panics_on_arbitrary_strings(src in "\\PC*") {
+        // Result is Ok or Err — never a panic.
+        let _ = branchlab_minic::compile(&src);
+    }
+
+    #[test]
+    fn lexer_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        if let Ok(s) = std::str::from_utf8(&bytes) {
+            let _ = branchlab_minic::lex(s);
+        }
+    }
+
+    #[test]
+    fn lexer_roundtrips_integer_literals(n in 0i64..1_000_000_000) {
+        let toks = branchlab_minic::lex(&n.to_string()).unwrap();
+        prop_assert_eq!(toks.len(), 2); // Num + Eof
+        match &toks[0].0 {
+            branchlab_minic::token::Tok::Num(v) => prop_assert_eq!(*v, n),
+            other => prop_assert!(false, "expected Num, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn parser_accepts_all_rendered_expression_trees(depth in 0u32..4, seed in any::<u64>()) {
+        // Build a nested arithmetic expression and check it parses.
+        fn render(depth: u32, seed: u64) -> String {
+            if depth == 0 {
+                return format!("{}", seed % 100);
+            }
+            let op = ["+", "-", "*", "/", "%", "<", "==", "&&"][(seed % 8) as usize];
+            format!("({} {op} {})", render(depth - 1, seed / 3), render(depth - 1, seed / 7))
+        }
+        let src = format!("int main() {{ return {}; }}", render(depth, seed));
+        prop_assert!(branchlab_minic::parse(&src).is_ok(), "{src}");
+    }
+}

@@ -1,0 +1,193 @@
+//! The paper's branch cost model (§2.3):
+//!
+//! ```text
+//! cost = A + (k + ℓ̄ + m̄)(1 − A)   cycles per branch
+//! ```
+//!
+//! where `A` is the prediction accuracy, `k` the instruction-memory
+//! stages of the fetch unit, `ℓ̄` the average decode-flush depth
+//! (`ℓ̄ = ℓ` for RISC-like fixed-latency decode), and `m̄` the average
+//! execute-flush depth (`m̄ = f_cond · m` under compiler-static
+//! interlocking, since only conditional branches flush the execute
+//! pipeline).
+
+/// The pipeline shape of Figure 1: a (k+1)-stage instruction fetch unit,
+/// ℓ-stage decode, m-stage execute.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct PipelineConfig {
+    /// Instruction-memory access stages in the fetch unit (the fetch
+    /// unit has `k + 1` stages including next-address selection).
+    pub k: u32,
+    /// Decode stages ℓ.
+    pub l: u32,
+    /// Execute stages m.
+    pub m: u32,
+}
+
+impl PipelineConfig {
+    /// A machine like the paper's "moderately pipelined processor"
+    /// (5-stage: k = 1, ℓ = 1, m = 2 ⇒ (k+1) + ℓ + m = 5).
+    #[must_use]
+    pub fn moderate() -> Self {
+        PipelineConfig { k: 1, l: 1, m: 2 }
+    }
+
+    /// A machine like the paper's "highly pipelined processor"
+    /// (11-stage: k = 2, ℓ = 3, m = 5 ⇒ (k+1) + ℓ + m = 11).
+    #[must_use]
+    pub fn deep() -> Self {
+        PipelineConfig { k: 2, l: 3, m: 5 }
+    }
+
+    /// Total pipeline stages `(k + 1) + ℓ + m`.
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        self.k + 1 + self.l + self.m
+    }
+}
+
+/// Average flush depths (ℓ̄, m̄) for the cost formula.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct FlushModel {
+    /// Average decode-unit flush ℓ̄ (0 ≤ ℓ̄ ≤ ℓ).
+    pub l_bar: f64,
+    /// Average execute-unit flush m̄.
+    pub m_bar: f64,
+}
+
+impl FlushModel {
+    /// RISC-style fixed decode latency with compiler-static
+    /// interlocking: ℓ̄ = ℓ and m̄ = f_cond · m, where `f_cond` is the
+    /// fraction of branches that are conditional (paper §2.1).
+    #[must_use]
+    pub fn static_interlock(config: &PipelineConfig, f_cond: f64) -> Self {
+        FlushModel {
+            l_bar: f64::from(config.l),
+            m_bar: f_cond * f64::from(config.m),
+        }
+    }
+}
+
+/// `cost = A + (k + ℓ̄ + m̄)(1 − A)` — cycles per branch.
+///
+/// # Panics
+/// Panics (debug) if `accuracy` is outside `[0, 1]`.
+#[must_use]
+pub fn branch_cost(accuracy: f64, k: u32, flush: &FlushModel) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&accuracy), "accuracy {accuracy} out of range");
+    let penalty = f64::from(k) + flush.l_bar + flush.m_bar;
+    accuracy + penalty * (1.0 - accuracy)
+}
+
+/// A point on a Figure 3/4 curve: branch cost as a function of ℓ̄ + m̄.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct CostPoint {
+    /// ℓ̄ + m̄ (x-axis).
+    pub lm: f64,
+    /// Branch cost in cycles (y-axis).
+    pub cost: f64,
+}
+
+/// Generate a Figure 3/4 curve: branch cost vs ℓ̄ + m̄ over
+/// `0..=lm_max` in steps of `step`, at fixed `k` and accuracy.
+#[must_use]
+pub fn cost_curve(accuracy: f64, k: u32, lm_max: f64, step: f64) -> Vec<CostPoint> {
+    assert!(step > 0.0, "step must be positive");
+    let n = (lm_max / step).round() as usize;
+    (0..=n)
+        .map(|i| {
+            let lm = i as f64 * step;
+            let flush = FlushModel { l_bar: lm, m_bar: 0.0 };
+            CostPoint { lm, cost: branch_cost(accuracy, k, &flush) }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_costs_one_cycle() {
+        let flush = FlushModel { l_bar: 3.0, m_bar: 5.0 };
+        assert!((branch_cost(1.0, 8, &flush) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_accuracy_costs_full_flush() {
+        let flush = FlushModel { l_bar: 1.0, m_bar: 1.0 };
+        // k + l̄ + m̄ = 4
+        assert!((branch_cost(0.0, 2, &flush) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_table4_numbers_match_formula() {
+        // Table 4 uses k + l̄ = 2, m̄ = 1 (penalty 3). Cross-check
+        // against Table 3 accuracies: cmp FS A = 0.986 → 1.03;
+        // wc FS A = 0.904 → 1.19; wc SBTB A = 0.854 → 1.29.
+        let flush = FlushModel { l_bar: 1.0, m_bar: 1.0 };
+        assert!((branch_cost(0.986, 1, &flush) - 1.03).abs() < 0.005);
+        assert!((branch_cost(0.904, 1, &flush) - 1.19).abs() < 0.005);
+        assert!((branch_cost(0.854, 1, &flush) - 1.29).abs() < 0.005);
+    }
+
+    #[test]
+    fn paper_abstract_ranking_holds_for_deep_and_moderate_pipelines() {
+        // Abstract: FS beats the best hardware scheme at 11 stages
+        // (≈1.65 vs 1.68 cycles/branch) and at 5 stages (1.19 vs 1.23),
+        // using the average accuracies of Table 3.
+        let deep = FlushModel { l_bar: 3.0, m_bar: 5.0 };
+        assert!(branch_cost(0.935, 2, &deep) < branch_cost(0.924, 2, &deep));
+        let moderate = FlushModel { l_bar: 1.0, m_bar: 1.0 };
+        assert!(branch_cost(0.935, 1, &moderate) < branch_cost(0.924, 1, &moderate));
+    }
+
+    #[test]
+    fn higher_accuracy_always_cheaper() {
+        let flush = FlushModel { l_bar: 2.0, m_bar: 2.0 };
+        let mut last = f64::INFINITY;
+        for a in [0.5, 0.7, 0.9, 0.95, 0.99] {
+            let c = branch_cost(a, 4, &flush);
+            assert!(c < last);
+            last = c;
+        }
+    }
+
+    #[test]
+    fn cost_gap_grows_with_pipeline_depth() {
+        // The paper's Figures 3–4: the gap between schemes widens as
+        // ℓ̄ + m̄ and k grow.
+        let gap = |k: u32, lm: f64| {
+            let flush = FlushModel { l_bar: lm, m_bar: 0.0 };
+            branch_cost(0.915, k, &flush) - branch_cost(0.935, k, &flush)
+        };
+        assert!(gap(2, 4.0) > gap(1, 2.0));
+        assert!(gap(8, 10.0) > gap(2, 4.0));
+    }
+
+    #[test]
+    fn static_interlock_flush_model() {
+        let cfg = PipelineConfig { k: 1, l: 2, m: 4 };
+        let f = FlushModel::static_interlock(&cfg, 0.75);
+        assert!((f.l_bar - 2.0).abs() < 1e-12);
+        assert!((f.m_bar - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_is_monotone_and_starts_at_lm_zero() {
+        let c = cost_curve(0.9, 2, 10.0, 0.5);
+        assert_eq!(c.len(), 21);
+        assert!((c[0].lm - 0.0).abs() < 1e-12);
+        for w in c.windows(2) {
+            assert!(w[1].cost > w[0].cost);
+        }
+        // cost(lm=0) = A + k(1 − A)
+        assert!((c[0].cost - (0.9 + 2.0 * 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn named_configs_have_documented_depths() {
+        assert_eq!(PipelineConfig::moderate().depth(), 5);
+        assert_eq!(PipelineConfig::deep().depth(), 11);
+    }
+}

@@ -1,0 +1,25 @@
+//! # branchlab-pipeline
+//!
+//! The machine-model half of the reproduction: the paper's parametric
+//! pipeline (Figure 1: a (k+1)-stage fetch unit, ℓ-stage decode,
+//! m-stage execute), its closed-form branch cost model
+//! `cost = A + (k + ℓ̄ + m̄)(1 − A)` (§2.3), and a trace-driven cycle
+//! simulator ([`CycleSim`]) that executes the same rule structurally and
+//! validates the formula on real traces.
+//!
+//! ```
+//! use branchlab_pipeline::{branch_cost, FlushModel};
+//!
+//! // Table 4's machine: k + ℓ̄ = 2, m̄ = 1, with cmp's A_FS = 0.986.
+//! let flush = FlushModel { l_bar: 1.0, m_bar: 1.0 };
+//! let cost = branch_cost(0.986, 1, &flush);
+//! assert!((cost - 1.028).abs() < 1e-3);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cost;
+mod sim;
+
+pub use cost::{branch_cost, cost_curve, CostPoint, FlushModel, PipelineConfig};
+pub use sim::CycleSim;

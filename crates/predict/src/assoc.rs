@@ -1,0 +1,216 @@
+//! A set-associative buffer with true-LRU replacement — the storage
+//! substrate of the SBTB and CBTB. The paper's configuration (256-entry
+//! fully associative) is `AssocBuffer::fully_associative(256)`; the
+//! ablation benches sweep sizes and associativities.
+
+/// A set-associative, true-LRU key→value buffer keyed by `u32` (branch
+/// instruction addresses).
+#[derive(Clone, Debug)]
+pub struct AssocBuffer<V> {
+    sets: Vec<Vec<Entry<V>>>,
+    ways: usize,
+    set_mask: u32,
+    stamp: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Entry<V> {
+    key: u32,
+    value: V,
+    stamp: u64,
+}
+
+impl<V> AssocBuffer<V> {
+    /// A buffer with `sets × ways` entries.
+    ///
+    /// # Panics
+    /// Panics if `sets` is not a power of two, or either argument is 0.
+    #[must_use]
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && ways > 0, "sets and ways must be positive");
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        AssocBuffer {
+            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            set_mask: (sets - 1) as u32,
+            stamp: 0,
+        }
+    }
+
+    /// A fully-associative buffer with `entries` entries.
+    ///
+    /// # Panics
+    /// Panics if `entries` is 0.
+    #[must_use]
+    pub fn fully_associative(entries: usize) -> Self {
+        Self::new(1, entries)
+    }
+
+    /// Total capacity in entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Number of resident entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sets.iter().all(Vec::is_empty)
+    }
+
+    fn set_index(&self, key: u32) -> usize {
+        (key & self.set_mask) as usize
+    }
+
+    /// Look up `key`, refreshing its LRU position on a hit.
+    pub fn lookup(&mut self, key: u32) -> Option<&mut V> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set = self.set_index(key);
+        self.sets[set].iter_mut().find(|e| e.key == key).map(|e| {
+            e.stamp = stamp;
+            &mut e.value
+        })
+    }
+
+    /// Look up `key` without touching LRU state.
+    #[must_use]
+    pub fn peek(&self, key: u32) -> Option<&V> {
+        let set = self.set_index(key);
+        self.sets[set].iter().find(|e| e.key == key).map(|e| &e.value)
+    }
+
+    /// Insert or overwrite `key`, evicting the least-recently-used entry
+    /// of a full set. Returns the evicted `(key, value)`, if any.
+    pub fn insert(&mut self, key: u32, value: V) -> Option<(u32, V)> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set_idx = self.set_index(key);
+        let set = &mut self.sets[set_idx];
+        if let Some(e) = set.iter_mut().find(|e| e.key == key) {
+            e.value = value;
+            e.stamp = stamp;
+            return None;
+        }
+        if set.len() < self.ways {
+            set.push(Entry { key, value, stamp });
+            return None;
+        }
+        let victim = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.stamp)
+            .map(|(i, _)| i)
+            .expect("full set is nonempty");
+        let old = std::mem::replace(&mut set[victim], Entry { key, value, stamp });
+        Some((old.key, old.value))
+    }
+
+    /// Remove `key`, returning its value if present.
+    pub fn remove(&mut self, key: u32) -> Option<V> {
+        let set_idx = self.set_index(key);
+        let set = &mut self.sets[set_idx];
+        let pos = set.iter().position(|e| e.key == key)?;
+        Some(set.swap_remove(pos).value)
+    }
+
+    /// Discard all entries (context switch).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_lookup_hits() {
+        let mut b = AssocBuffer::fully_associative(4);
+        assert!(b.insert(10, "a").is_none());
+        assert_eq!(b.lookup(10), Some(&mut "a"));
+        assert_eq!(b.lookup(11), None);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut b = AssocBuffer::fully_associative(2);
+        b.insert(1, 1);
+        b.insert(2, 2);
+        b.lookup(1); // 2 is now LRU
+        let evicted = b.insert(3, 3);
+        assert_eq!(evicted, Some((2, 2)));
+        assert!(b.peek(1).is_some());
+        assert!(b.peek(3).is_some());
+        assert!(b.peek(2).is_none());
+    }
+
+    #[test]
+    fn insert_existing_key_overwrites_without_eviction() {
+        let mut b = AssocBuffer::fully_associative(2);
+        b.insert(1, 1);
+        b.insert(2, 2);
+        assert!(b.insert(1, 100).is_none());
+        assert_eq!(b.peek(1), Some(&100));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut b = AssocBuffer::fully_associative(8);
+        for k in 0..100 {
+            b.insert(k, k);
+            assert!(b.len() <= 8);
+        }
+        assert_eq!(b.len(), 8);
+    }
+
+    #[test]
+    fn set_associative_maps_keys_to_sets() {
+        // 4 sets × 1 way: keys 0 and 4 collide (same set), 0 and 1 don't.
+        let mut b = AssocBuffer::new(4, 1);
+        b.insert(0, "zero");
+        b.insert(1, "one");
+        assert_eq!(b.len(), 2);
+        let evicted = b.insert(4, "four");
+        assert_eq!(evicted, Some((0, "zero")));
+        assert_eq!(b.peek(1), Some(&"one"));
+    }
+
+    #[test]
+    fn peek_does_not_refresh_lru() {
+        let mut b = AssocBuffer::fully_associative(2);
+        b.insert(1, 1);
+        b.insert(2, 2);
+        let _ = b.peek(1); // does NOT protect 1
+        let evicted = b.insert(3, 3);
+        assert_eq!(evicted, Some((1, 1)));
+    }
+
+    #[test]
+    fn remove_and_flush() {
+        let mut b = AssocBuffer::fully_associative(4);
+        b.insert(1, 1);
+        b.insert(2, 2);
+        assert_eq!(b.remove(1), Some(1));
+        assert_eq!(b.remove(1), None);
+        b.flush();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        let _ = AssocBuffer::<()>::new(3, 2);
+    }
+}

@@ -1,0 +1,300 @@
+//! The Counter-based Branch Target Buffer (CBTB) of the paper's §2.2,
+//! using J. E. Smith's saturating up/down counter per entry.
+//!
+//! All branches (taken or not) are eligible for residence. A new entry's
+//! n-bit counter is initialized to the threshold `T` on a taken fill and
+//! `T − 1` on a not-taken fill; it then saturates at `0` and `2ⁿ − 1`.
+//! A resident branch is predicted taken when its counter reaches the
+//! threshold.
+//!
+//! The paper's text says "predicted taken when C > T", which with the
+//! stated T = 2 would make a just-inserted taken branch predict
+//! *not-taken* — contradicting both the cited Smith scheme and the
+//! initialization rule. We read it as `C ≥ T` (see DESIGN.md);
+//! [`CbtbConfig::strict_greater`] restores the literal reading for
+//! sensitivity experiments.
+
+use branchlab_ir::Addr;
+use branchlab_trace::BranchEvent;
+
+use crate::assoc::AssocBuffer;
+use crate::predictor::{BranchPredictor, Prediction, TargetInfo};
+
+/// CBTB geometry and counter parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct CbtbConfig {
+    /// Total entries.
+    pub entries: usize,
+    /// Associativity (ways per set); `entries` for fully associative.
+    pub ways: usize,
+    /// Counter width in bits (the paper uses 2).
+    pub counter_bits: u8,
+    /// Prediction threshold `T` (the paper uses 2).
+    pub threshold: u8,
+    /// Predict taken only when `C > T` (the paper's literal text) instead
+    /// of `C ≥ T` (the reading consistent with Smith's scheme).
+    pub strict_greater: bool,
+}
+
+impl CbtbConfig {
+    /// The paper's configuration: 256 entries, fully associative, 2-bit
+    /// counters, T = 2.
+    #[must_use]
+    pub fn paper() -> Self {
+        CbtbConfig {
+            entries: 256,
+            ways: 256,
+            counter_bits: 2,
+            threshold: 2,
+            strict_greater: false,
+        }
+    }
+
+    fn counter_max(&self) -> u8 {
+        ((1u16 << self.counter_bits) - 1) as u8
+    }
+}
+
+impl Default for CbtbConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// One CBTB entry.
+#[derive(Copy, Clone, Debug)]
+struct CbtbEntry {
+    counter: u8,
+    target: Addr,
+}
+
+/// The Counter-based Branch Target Buffer.
+#[derive(Clone, Debug)]
+pub struct Cbtb {
+    buf: AssocBuffer<CbtbEntry>,
+    config: CbtbConfig,
+}
+
+impl Cbtb {
+    /// Build a CBTB.
+    ///
+    /// # Panics
+    /// Panics on invalid geometry, zero-width counters, counters wider
+    /// than 7 bits, or a threshold outside the counter range.
+    #[must_use]
+    pub fn new(config: CbtbConfig) -> Self {
+        assert!(
+            config.ways > 0 && config.entries % config.ways == 0,
+            "entries must be a multiple of ways"
+        );
+        assert!(
+            (1..=7).contains(&config.counter_bits),
+            "counter bits must be in 1..=7"
+        );
+        assert!(
+            config.threshold >= 1 && config.threshold <= config.counter_max(),
+            "threshold must be in 1..=counter max"
+        );
+        Cbtb {
+            buf: AssocBuffer::new(config.entries / config.ways, config.ways),
+            config,
+        }
+    }
+
+    /// The paper's 256-entry fully-associative 2-bit CBTB with T = 2.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::new(CbtbConfig::paper())
+    }
+
+    /// Resident entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    fn predicts_taken(&self, counter: u8) -> bool {
+        if self.config.strict_greater {
+            counter > self.config.threshold
+        } else {
+            counter >= self.config.threshold
+        }
+    }
+}
+
+impl Default for Cbtb {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl BranchPredictor for Cbtb {
+    fn name(&self) -> &'static str {
+        "CBTB"
+    }
+
+    fn predict(&mut self, ev: &BranchEvent) -> Prediction {
+        // Split borrows: compute the direction from the entry, then drop it.
+        let hit = self.buf.peek(ev.pc.0).copied();
+        match hit {
+            Some(entry) => {
+                let _ = self.buf.lookup(ev.pc.0); // refresh LRU
+                Prediction {
+                    taken: self.predicts_taken(entry.counter),
+                    target: TargetInfo::Addr(entry.target),
+                    hit: Some(true),
+                }
+            }
+            None => Prediction { taken: false, target: TargetInfo::None, hit: Some(false) },
+        }
+    }
+
+    fn update(&mut self, ev: &BranchEvent, _pred: &Prediction) {
+        let max = self.config.counter_max();
+        if let Some(entry) = self.buf.lookup(ev.pc.0) {
+            if ev.taken {
+                entry.counter = (entry.counter + 1).min(max);
+                entry.target = ev.target;
+            } else {
+                entry.counter = entry.counter.saturating_sub(1);
+            }
+        } else {
+            let counter = if ev.taken {
+                self.config.threshold
+            } else {
+                self.config.threshold - 1
+            };
+            self.buf.insert(ev.pc.0, CbtbEntry { counter, target: ev.target });
+        }
+    }
+
+    fn flush(&mut self) {
+        self.buf.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::test_util::{cond, cond_to};
+    use crate::predictor::Evaluator;
+    use branchlab_trace::ExecHooks;
+
+    fn drive(c: Cbtb, outcomes: &[bool]) -> Evaluator<Cbtb> {
+        let mut e = Evaluator::new(c);
+        for &taken in outcomes {
+            e.branch(&cond_to(10, taken, 50));
+        }
+        e
+    }
+
+    #[test]
+    fn all_branches_enter_the_buffer() {
+        let mut e = Evaluator::new(Cbtb::paper());
+        e.branch(&cond(10, false)); // not-taken still inserted
+        assert_eq!(e.predictor.len(), 1);
+    }
+
+    #[test]
+    fn fresh_taken_entry_predicts_taken() {
+        // taken (miss→insert at T), then taken again → predicted taken.
+        let e = drive(Cbtb::paper(), &[true, true]);
+        assert_eq!(e.stats.correct, 1);
+    }
+
+    #[test]
+    fn fresh_not_taken_entry_predicts_not_taken() {
+        let e = drive(Cbtb::paper(), &[false, false]);
+        // First is a correct not-taken miss, second a correct hit.
+        assert_eq!(e.stats.correct, 2);
+        assert_eq!(e.stats.btb_misses, 1);
+    }
+
+    #[test]
+    fn counter_saturates_and_tolerates_one_anomaly() {
+        // Long taken run saturates at 3; one not-taken dip (to 2) must
+        // not flip the prediction (the 2-bit counter's hysteresis).
+        let mut outcomes = vec![true; 10];
+        outcomes.push(false);
+        outcomes.push(true); // still predicted taken → correct
+        let e = drive(Cbtb::paper(), &outcomes);
+        // Events: 1 miss-wrong + 9 correct taken + 1 wrong not-taken + 1 correct.
+        assert_eq!(e.stats.events, 12);
+        assert_eq!(e.stats.correct, 10);
+    }
+
+    #[test]
+    fn two_anomalies_flip_the_prediction() {
+        // saturate taken, then two not-taken (3→2→1), next prediction is
+        // not-taken.
+        let mut e = drive(Cbtb::paper(), &[true, true, true, true, false, false]);
+        e.branch(&cond_to(10, false, 50));
+        // That last event should be predicted not-taken → correct.
+        assert_eq!(e.stats.correct, 3 + 0 + 1);
+    }
+
+    #[test]
+    fn alternating_pattern_defeats_counters() {
+        // T,N,T,N… the counter oscillates around the threshold.
+        let outcomes: Vec<bool> = (0..40).map(|i| i % 2 == 0).collect();
+        let e = drive(Cbtb::paper(), &outcomes);
+        assert!(
+            e.stats.accuracy() < 0.6,
+            "alternation should be hard: {}",
+            e.stats.accuracy()
+        );
+    }
+
+    #[test]
+    fn strict_greater_reading_hurts_fresh_entries() {
+        let cfg = CbtbConfig { strict_greater: true, ..CbtbConfig::paper() };
+        let strict = drive(Cbtb::new(cfg), &[true, true, true]);
+        let lenient = drive(Cbtb::paper(), &[true, true, true]);
+        assert!(strict.stats.correct < lenient.stats.correct);
+    }
+
+    #[test]
+    fn stale_target_counts_as_misprediction() {
+        let mut e = Evaluator::new(Cbtb::paper());
+        e.branch(&cond_to(10, true, 100));
+        e.branch(&cond_to(10, true, 100)); // correct
+        e.branch(&cond_to(10, true, 999)); // predicted taken but old target
+        assert_eq!(e.stats.correct, 1);
+        // Target refreshed after the update.
+        e.branch(&cond_to(10, true, 999));
+        assert_eq!(e.stats.correct, 2);
+    }
+
+    #[test]
+    fn miss_ratio_much_lower_than_sbtb_on_mixed_branches() {
+        // A branch that is never taken stays resident in the CBTB
+        // (misses once) but would never enter an SBTB (misses always).
+        let e = drive(Cbtb::paper(), &[false; 50]);
+        assert_eq!(e.stats.btb_misses, 1);
+        assert!((e.stats.miss_ratio() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_bits_sweep_is_constructible() {
+        for bits in 1..=4u8 {
+            let cfg = CbtbConfig {
+                counter_bits: bits,
+                threshold: 1 << (bits - 1),
+                ..CbtbConfig::paper()
+            };
+            let _ = Cbtb::new(cfg);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn threshold_above_counter_max_rejected() {
+        let _ = Cbtb::new(CbtbConfig { counter_bits: 2, threshold: 4, ..CbtbConfig::paper() });
+    }
+}

@@ -1,0 +1,51 @@
+//! # branchlab-predict
+//!
+//! Branch prediction schemes for the `branchlab` reproduction of
+//! Hwu/Conte/Chang, *ISCA 1989*:
+//!
+//! * [`Sbtb`] — the Simple Branch Target Buffer (taken branches only,
+//!   delete-on-mispredict), 256-entry fully-associative LRU by default.
+//! * [`Cbtb`] — the Counter-based BTB with n-bit saturating counters
+//!   (2-bit, threshold 2 by default).
+//! * [`ForwardSemantic`] — the software scheme's prediction side:
+//!   profile-derived likely bits with encoded targets.
+//! * [`AlwaysTaken`], [`AlwaysNotTaken`], [`BackwardTakenForwardNot`] —
+//!   static baselines from the paper's related work.
+//! * [`Evaluator`] — scores any [`BranchPredictor`] over a branch-event
+//!   stream, producing the accuracy `A` and miss ratio `ρ` of Table 3.
+//! * [`ContextSwitched`] — periodic-flush wrapper for the context-switch
+//!   sensitivity study the paper discusses qualitatively.
+//!
+//! ```
+//! use branchlab_predict::{Evaluator, Sbtb};
+//! use branchlab_trace::ExecHooks;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let module = branchlab_minic::compile(
+//!     "int main() { int i; int s = 0; for (i = 0; i < 100; i++) { s += i; } return s; }",
+//! )?;
+//! let program = branchlab_ir::lower(&module)?;
+//! let mut eval = Evaluator::new(Sbtb::paper());
+//! branchlab_interp::run(&program, &Default::default(), &[], &mut eval)?;
+//! assert!(eval.stats.accuracy() > 0.9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod assoc;
+mod cbtb;
+mod predictor;
+mod ras;
+mod sbtb;
+mod statics;
+mod twolevel;
+
+pub use assoc::AssocBuffer;
+pub use ras::ReturnAddressStack;
+pub use twolevel::{Gshare, LocalHistory};
+pub use cbtb::{Cbtb, CbtbConfig};
+pub use predictor::{BranchPredictor, ContextSwitched, Evaluator, PredStats, Prediction, TargetInfo};
+pub use sbtb::{Sbtb, SbtbConfig};
+pub use statics::{AlwaysNotTaken, AlwaysTaken, BackwardTakenForwardNot, ForwardSemantic, LikelyBit, OpcodeBias, OpcodeCounts};

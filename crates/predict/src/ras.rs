@@ -1,0 +1,186 @@
+//! A return-address stack (RAS) model.
+//!
+//! The machine model (DESIGN.md) excludes returns from branch statistics
+//! on the grounds that a small hardware stack in the fetch unit predicts
+//! them essentially perfectly. This module *checks* that claim instead
+//! of assuming it: it consumes the interpreter's call/return hook stream
+//! and scores a bounded stack's target predictions. With any realistic
+//! depth the accuracy is ≥ 99.9% on the benchmark suite (see the
+//! ablation study), which is what justifies the exclusion.
+
+use branchlab_ir::{Addr, FuncId};
+use branchlab_trace::ExecHooks;
+
+/// A bounded return-address stack with wrap-around overwrite (the usual
+/// hardware behaviour: overflow silently drops the oldest entry).
+#[derive(Clone, Debug)]
+pub struct ReturnAddressStack {
+    ring: Vec<Addr>,
+    top: usize,
+    live: usize,
+    /// Returns observed.
+    pub returns: u64,
+    /// Returns whose predicted target matched the actual target.
+    pub correct: u64,
+    /// Calls that overwrote a live entry (stack overflow).
+    pub overflows: u64,
+    /// Returns that found the stack empty (underflow — mispredicted).
+    pub underflows: u64,
+}
+
+impl ReturnAddressStack {
+    /// A RAS with `depth` entries.
+    ///
+    /// # Panics
+    /// Panics if `depth` is 0.
+    #[must_use]
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "RAS depth must be positive");
+        ReturnAddressStack {
+            ring: vec![Addr(0); depth],
+            top: 0,
+            live: 0,
+            returns: 0,
+            correct: 0,
+            overflows: 0,
+            underflows: 0,
+        }
+    }
+
+    /// Depth of the stack.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Prediction accuracy over the observed returns.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        if self.returns == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.returns as f64
+        }
+    }
+
+    fn push(&mut self, addr: Addr) {
+        if self.live == self.ring.len() {
+            self.overflows += 1;
+        } else {
+            self.live += 1;
+        }
+        self.top = (self.top + 1) % self.ring.len();
+        self.ring[self.top] = addr;
+    }
+
+    fn pop(&mut self) -> Option<Addr> {
+        if self.live == 0 {
+            return None;
+        }
+        let v = self.ring[self.top];
+        self.top = (self.top + self.ring.len() - 1) % self.ring.len();
+        self.live -= 1;
+        Some(v)
+    }
+}
+
+impl ExecHooks for ReturnAddressStack {
+    fn call(&mut self, from: Addr, _callee: FuncId) {
+        self.push(from.offset(1));
+    }
+
+    fn ret(&mut self, _from: Addr, to: Addr) {
+        self.returns += 1;
+        match self.pop() {
+            Some(predicted) if predicted == to => self.correct += 1,
+            Some(_) => {}
+            None => self.underflows += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(ras: &mut ReturnAddressStack, from: u32) {
+        ras.call(Addr(from), FuncId(0));
+    }
+    fn ret(ras: &mut ReturnAddressStack, to: u32) {
+        ras.ret(Addr(0), Addr(to));
+    }
+
+    #[test]
+    fn balanced_calls_predict_perfectly() {
+        let mut ras = ReturnAddressStack::new(8);
+        call(&mut ras, 10);
+        call(&mut ras, 20);
+        call(&mut ras, 30);
+        ret(&mut ras, 31);
+        ret(&mut ras, 21);
+        ret(&mut ras, 11);
+        assert_eq!(ras.returns, 3);
+        assert_eq!(ras.correct, 3);
+        assert!((ras.accuracy() - 1.0).abs() < 1e-12);
+        assert_eq!(ras.overflows, 0);
+    }
+
+    #[test]
+    fn deep_recursion_overflows_and_mispredicts_old_frames() {
+        let mut ras = ReturnAddressStack::new(2);
+        for i in 0..4 {
+            call(&mut ras, i * 10);
+        }
+        assert_eq!(ras.overflows, 2);
+        // Innermost two return correctly, outer two were overwritten.
+        ret(&mut ras, 31);
+        ret(&mut ras, 21);
+        ret(&mut ras, 11);
+        ret(&mut ras, 1);
+        assert_eq!(ras.correct, 2);
+        assert_eq!(ras.underflows, 2);
+        assert!((ras.accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn underflow_counts_as_misprediction() {
+        let mut ras = ReturnAddressStack::new(4);
+        ret(&mut ras, 5);
+        assert_eq!(ras.returns, 1);
+        assert_eq!(ras.correct, 0);
+        assert_eq!(ras.underflows, 1);
+    }
+
+    #[test]
+    fn wrong_target_is_not_correct() {
+        let mut ras = ReturnAddressStack::new(4);
+        call(&mut ras, 10); // predicts 11
+        ret(&mut ras, 99);
+        assert_eq!(ras.correct, 0);
+        assert_eq!(ras.underflows, 0);
+    }
+
+    #[test]
+    fn works_against_real_execution() {
+        let src = r"
+            int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+            int main() { return fib(12); }
+        ";
+        let module = branchlab_minic::compile(src).unwrap();
+        let program = branchlab_ir::lower(&module).unwrap();
+        let mut ras = ReturnAddressStack::new(64);
+        branchlab_interp::run(&program, &Default::default(), &[], &mut ras).unwrap();
+        assert!(ras.returns > 100);
+        // Every observed return is predicted (`main`'s terminating
+        // return is program end, not a control transfer, and is not
+        // reported).
+        assert_eq!(ras.underflows, 0);
+        assert_eq!(ras.correct, ras.returns);
+        assert!((ras.accuracy() - 1.0).abs() < 1e-12);
+        // A 4-deep RAS loses some of the depth-12 recursion…
+        let mut small = ReturnAddressStack::new(4);
+        branchlab_interp::run(&program, &Default::default(), &[], &mut small).unwrap();
+        assert!(small.accuracy() < 1.0);
+        assert!(small.accuracy() > 0.3);
+    }
+}

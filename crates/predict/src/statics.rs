@@ -1,0 +1,375 @@
+//! Static and profile-based predictors.
+//!
+//! [`ForwardSemantic`] is the paper's software scheme viewed from the
+//! prediction side: per-site likely bits derived from profiling, encoded
+//! targets (always right for direct branches, never for indirect ones),
+//! and no volatile state — `flush` is a no-op, which is precisely why the
+//! paper argues the scheme is immune to context switches.
+//!
+//! [`AlwaysTaken`], [`AlwaysNotTaken`], and [`BackwardTakenForwardNot`]
+//! are the classic static baselines the paper's related-work section
+//! surveys (≈63–77% and ≈76.5% reported accuracies); they are included
+//! for the ablation benches.
+
+use std::collections::HashMap;
+
+use branchlab_ir::{BranchId, Cond};
+use branchlab_trace::{BranchEvent, BranchKind, SiteStats};
+
+use crate::predictor::{BranchPredictor, Prediction, TargetInfo};
+
+/// Follows the likely bit *encoded in the executing instruction* — the
+/// prediction side of a Forward-Semantic-transformed binary, where the
+/// recompilation already set each branch's bit. Equivalent to
+/// [`ForwardSemantic`] with the same profile, but needs no side table.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct LikelyBit;
+
+impl BranchPredictor for LikelyBit {
+    fn name(&self) -> &'static str {
+        "FS-bit"
+    }
+
+    fn predict(&mut self, ev: &BranchEvent) -> Prediction {
+        match ev.kind {
+            BranchKind::Cond => {
+                if ev.likely {
+                    Prediction { taken: true, target: TargetInfo::Encoded, hit: None }
+                } else {
+                    Prediction::not_taken()
+                }
+            }
+            BranchKind::UncondDirect | BranchKind::UncondIndirect => {
+                Prediction { taken: true, target: TargetInfo::Encoded, hit: None }
+            }
+        }
+    }
+
+    fn update(&mut self, _ev: &BranchEvent, _pred: &Prediction) {}
+}
+
+/// Predict every branch taken (direction-only).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct AlwaysTaken;
+
+impl BranchPredictor for AlwaysTaken {
+    fn name(&self) -> &'static str {
+        "always-taken"
+    }
+
+    fn predict(&mut self, _ev: &BranchEvent) -> Prediction {
+        Prediction { taken: true, target: TargetInfo::None, hit: None }
+    }
+
+    fn update(&mut self, _ev: &BranchEvent, _pred: &Prediction) {}
+}
+
+/// Predict every branch not-taken (the no-hardware default of §2.1).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct AlwaysNotTaken;
+
+impl BranchPredictor for AlwaysNotTaken {
+    fn name(&self) -> &'static str {
+        "always-not-taken"
+    }
+
+    fn predict(&mut self, _ev: &BranchEvent) -> Prediction {
+        Prediction::not_taken()
+    }
+
+    fn update(&mut self, _ev: &BranchEvent, _pred: &Prediction) {}
+}
+
+/// Backward-taken / forward-not-taken: predict taken exactly when the
+/// target precedes the branch (loop back-edges). J. E. Smith's study
+/// reports ≈76.5% average accuracy for this on FORTRAN codes.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct BackwardTakenForwardNot;
+
+impl BranchPredictor for BackwardTakenForwardNot {
+    fn name(&self) -> &'static str {
+        "btfn"
+    }
+
+    fn predict(&mut self, ev: &BranchEvent) -> Prediction {
+        if ev.target < ev.pc {
+            Prediction { taken: true, target: TargetInfo::Encoded, hit: None }
+        } else {
+            Prediction::not_taken()
+        }
+    }
+
+    fn update(&mut self, _ev: &BranchEvent, _pred: &Prediction) {}
+}
+
+/// Opcode-based static prediction (Lee & Smith): one fixed direction
+/// per branch opcode (here: per comparison kind), derived offline from
+/// performance studies and "stored in a ROM". The paper's related work
+/// reports 66.2%–86.7% accuracy for this class of scheme.
+#[derive(Clone, Debug)]
+pub struct OpcodeBias {
+    taken: [bool; 6],
+}
+
+impl OpcodeBias {
+    fn idx(c: Cond) -> usize {
+        match c {
+            Cond::Eq => 0,
+            Cond::Ne => 1,
+            Cond::Lt => 2,
+            Cond::Le => 3,
+            Cond::Gt => 4,
+            Cond::Ge => 5,
+        }
+    }
+
+    /// The classic ROM heuristics: equality tests are usually guards
+    /// that fail (`==` not-taken, `!=` taken); orderings are usually
+    /// loop conditions (taken).
+    #[must_use]
+    pub fn heuristic() -> Self {
+        let mut taken = [false; 6];
+        taken[Self::idx(Cond::Ne)] = true;
+        taken[Self::idx(Cond::Lt)] = true;
+        taken[Self::idx(Cond::Le)] = true;
+        OpcodeBias { taken }
+    }
+
+    /// Derive the ROM contents from aggregate per-opcode statistics of a
+    /// training trace (the "performance studies" of the related work):
+    /// `counts[opcode] = (taken, total)`.
+    #[must_use]
+    pub fn from_counts(counts: &[(u64, u64); 6]) -> Self {
+        let mut taken = [false; 6];
+        for (i, (t, n)) in counts.iter().enumerate() {
+            taken[i] = *t * 2 > *n;
+        }
+        OpcodeBias { taken }
+    }
+
+    /// The direction this scheme predicts for a comparison kind.
+    #[must_use]
+    pub fn predicts_taken(&self, c: Cond) -> bool {
+        self.taken[Self::idx(c)]
+    }
+}
+
+impl Default for OpcodeBias {
+    fn default() -> Self {
+        Self::heuristic()
+    }
+}
+
+impl BranchPredictor for OpcodeBias {
+    fn name(&self) -> &'static str {
+        "opcode-bias"
+    }
+
+    fn predict(&mut self, ev: &BranchEvent) -> Prediction {
+        match (ev.kind, ev.cond) {
+            (BranchKind::Cond, Some(c)) => {
+                if self.predicts_taken(c) {
+                    Prediction { taken: true, target: TargetInfo::Encoded, hit: None }
+                } else {
+                    Prediction::not_taken()
+                }
+            }
+            _ => Prediction { taken: true, target: TargetInfo::Encoded, hit: None },
+        }
+    }
+
+    fn update(&mut self, _ev: &BranchEvent, _pred: &Prediction) {}
+}
+
+/// Collect per-opcode taken/total counts from a trace (the training
+/// pass for [`OpcodeBias::from_counts`]).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct OpcodeCounts {
+    /// `(taken, total)` per comparison kind, indexed like `OpcodeBias`.
+    pub counts: [(u64, u64); 6],
+}
+
+impl branchlab_trace::ExecHooks for OpcodeCounts {
+    fn branch(&mut self, ev: &BranchEvent) {
+        if let (BranchKind::Cond, Some(c)) = (ev.kind, ev.cond) {
+            let e = &mut self.counts[OpcodeBias::idx(c)];
+            e.0 += u64::from(ev.taken);
+            e.1 += 1;
+        }
+    }
+}
+
+/// The Forward Semantic's prediction side: a likely bit per branch site,
+/// set by the profiling compiler. Conditional branches follow their
+/// site's bit; direct unconditional branches are trivially correct
+/// (encoded target); indirect ones cannot be predicted by a compile-time
+/// scheme at all.
+#[derive(Clone, Debug, Default)]
+pub struct ForwardSemantic {
+    likely: HashMap<BranchId, bool>,
+}
+
+impl ForwardSemantic {
+    /// Build from explicit likely bits.
+    #[must_use]
+    pub fn new(likely: HashMap<BranchId, bool>) -> Self {
+        ForwardSemantic { likely }
+    }
+
+    /// Derive likely bits from profile data: a site is likely-taken when
+    /// its observed taken probability exceeds ½ (majority vote, as the
+    /// paper's recompilation step does).
+    #[must_use]
+    pub fn from_profile(profile: &SiteStats) -> Self {
+        let likely = profile
+            .iter()
+            .map(|(site, c)| (site, c.taken * 2 > c.total))
+            .collect();
+        ForwardSemantic { likely }
+    }
+
+    /// The likely bit for a site (sites never profiled default to
+    /// not-taken, matching the not-taken fetch default).
+    #[must_use]
+    pub fn is_likely(&self, site: BranchId) -> bool {
+        self.likely.get(&site).copied().unwrap_or(false)
+    }
+
+    /// Number of sites carrying a bit.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.likely.len()
+    }
+
+    /// Whether no site has a bit.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.likely.is_empty()
+    }
+}
+
+impl BranchPredictor for ForwardSemantic {
+    fn name(&self) -> &'static str {
+        "FS"
+    }
+
+    fn predict(&mut self, ev: &BranchEvent) -> Prediction {
+        match ev.kind {
+            BranchKind::Cond => {
+                if self.is_likely(ev.branch) {
+                    Prediction { taken: true, target: TargetInfo::Encoded, hit: None }
+                } else {
+                    Prediction::not_taken()
+                }
+            }
+            // Extremely-biased likely branch with an encoded target:
+            // always right for direct, never for indirect.
+            BranchKind::UncondDirect | BranchKind::UncondIndirect => {
+                Prediction { taken: true, target: TargetInfo::Encoded, hit: None }
+            }
+        }
+    }
+
+    fn update(&mut self, _ev: &BranchEvent, _pred: &Prediction) {}
+
+    // flush(): default no-op — context switches cannot hurt a
+    // compiler-encoded scheme.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::test_util::{cond, cond_to, indirect, jmp};
+    use crate::predictor::Evaluator;
+    use branchlab_ir::{BlockId, FuncId};
+    use branchlab_trace::ExecHooks;
+
+    #[test]
+    fn always_taken_scores_direction_only() {
+        let mut e = Evaluator::new(AlwaysTaken);
+        e.branch(&cond(0, true));
+        e.branch(&cond(0, false));
+        e.branch(&indirect(0, 9));
+        assert_eq!(e.stats.correct, 2);
+    }
+
+    #[test]
+    fn always_not_taken_mirrors() {
+        let mut e = Evaluator::new(AlwaysNotTaken);
+        e.branch(&cond(0, true));
+        e.branch(&cond(0, false));
+        assert_eq!(e.stats.correct, 1);
+    }
+
+    #[test]
+    fn btfn_predicts_backward_taken() {
+        let mut e = Evaluator::new(BackwardTakenForwardNot);
+        e.branch(&cond_to(100, true, 50)); // backward taken → correct
+        e.branch(&cond_to(100, false, 50)); // backward not taken → wrong
+        e.branch(&cond_to(100, false, 150)); // forward not taken → correct
+        e.branch(&cond_to(100, true, 150)); // forward taken → wrong
+        assert_eq!(e.stats.correct, 2);
+    }
+
+    fn site(b: u32) -> BranchId {
+        BranchId { func: FuncId(0), block: BlockId(b) }
+    }
+
+    #[test]
+    fn forward_semantic_follows_profile_majority() {
+        let mut prof = SiteStats::new();
+        for taken in [true, true, false] {
+            prof.branch(&cond(7, taken)); // site block=7, majority taken
+        }
+        for taken in [false, false, true] {
+            prof.branch(&cond(9, taken)); // majority not-taken
+        }
+        let fs = ForwardSemantic::from_profile(&prof);
+        assert!(fs.is_likely(site(7)));
+        assert!(!fs.is_likely(site(9)));
+        assert!(!fs.is_likely(site(999))); // unprofiled → not-taken
+        assert_eq!(fs.len(), 2);
+    }
+
+    #[test]
+    fn forward_semantic_exact_split_is_not_likely() {
+        let mut prof = SiteStats::new();
+        prof.branch(&cond(7, true));
+        prof.branch(&cond(7, false));
+        let fs = ForwardSemantic::from_profile(&prof);
+        assert!(!fs.is_likely(site(7)), "50/50 must default to not-taken");
+    }
+
+    #[test]
+    fn forward_semantic_accuracy_equals_majority_rate_on_self_profile() {
+        // 70/30 biased site: FS accuracy on the same trace must be 70%.
+        let events: Vec<_> = (0..100).map(|i| cond(7, i % 10 < 7)).collect();
+        let mut prof = SiteStats::new();
+        for ev in &events {
+            prof.branch(ev);
+        }
+        let mut e = Evaluator::new(ForwardSemantic::from_profile(&prof));
+        for ev in &events {
+            e.branch(ev);
+        }
+        assert_eq!(e.stats.correct, 70);
+    }
+
+    #[test]
+    fn forward_semantic_handles_unconditional_classes() {
+        let mut e = Evaluator::new(ForwardSemantic::default());
+        e.branch(&jmp(0, 9)); // direct: encoded target → correct
+        e.branch(&indirect(0, 9)); // indirect: unknowable → wrong
+        assert_eq!(e.stats.correct, 1);
+    }
+
+    #[test]
+    fn forward_semantic_flush_is_noop() {
+        let mut prof = SiteStats::new();
+        prof.branch(&cond(7, true));
+        prof.branch(&cond(7, true));
+        let mut fs = ForwardSemantic::from_profile(&prof);
+        fs.flush();
+        assert!(fs.is_likely(site(7)), "flush must not erase compiled bits");
+    }
+}

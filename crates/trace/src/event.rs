@@ -1,0 +1,127 @@
+//! Dynamic branch events and the trace-sink trait.
+//!
+//! These types are produced by `branchlab-interp` and consumed by the
+//! predictors, the profiler, and the pipeline simulator. They live here
+//! (rather than in the interpreter crate) so consumers can be built and
+//! tested against synthetic event streams without an interpreter.
+
+use branchlab_ir::{Addr, BranchId, Cond, FuncId};
+
+/// Classification of a dynamic branch, matching the paper's taxonomy.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum BranchKind {
+    /// Conditional compare-and-branch.
+    Cond,
+    /// Unconditional branch with a known (compile-time) target.
+    UncondDirect,
+    /// Unconditional branch with an unknown (run-time) target —
+    /// jump-table dispatch.
+    UncondIndirect,
+}
+
+/// One executed control transfer.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BranchEvent {
+    /// Address of the branch instruction.
+    pub pc: Addr,
+    /// Branch class.
+    pub kind: BranchKind,
+    /// Whether the branch was taken (always true for unconditional).
+    pub taken: bool,
+    /// The actual target the branch went to when taken; for a not-taken
+    /// conditional this still holds the would-be target.
+    pub target: Addr,
+    /// The fall-through address (`pc + 1 + slots`).
+    pub fallthrough: Addr,
+    /// Layout-stable identity of the branch site.
+    pub branch: BranchId,
+    /// The compiler's likely bit (Forward Semantic), false otherwise.
+    pub likely: bool,
+    /// The comparison folded into a conditional branch (`None` for
+    /// unconditional branches) — what an opcode-based static predictor
+    /// keys on.
+    pub cond: Option<Cond>,
+}
+
+impl BranchEvent {
+    /// The address control actually moved to.
+    #[must_use]
+    pub fn next_pc(&self) -> Addr {
+        if self.taken {
+            self.target
+        } else {
+            self.fallthrough
+        }
+    }
+}
+
+/// Observer of a dynamic execution. All methods default to no-ops; `()`
+/// implements the trait for observation-free runs.
+pub trait ExecHooks {
+    /// Called for every executed branch (conditional or unconditional,
+    /// excluding calls/returns).
+    fn branch(&mut self, ev: &BranchEvent) {
+        let _ = ev;
+    }
+    /// Called for every executed call instruction.
+    fn call(&mut self, from: Addr, callee: FuncId) {
+        let _ = (from, callee);
+    }
+    /// Called for every executed return instruction; `to` is the address
+    /// control returns to (what a return-address stack must produce).
+    fn ret(&mut self, from: Addr, to: Addr) {
+        let _ = (from, to);
+    }
+}
+
+impl ExecHooks for () {}
+
+/// Forward both hook streams to two hooks (compose predictors + stats in
+/// a single pass over a long execution; nest tuples for more).
+impl<A: ExecHooks, B: ExecHooks> ExecHooks for (&mut A, &mut B) {
+    fn branch(&mut self, ev: &BranchEvent) {
+        self.0.branch(ev);
+        self.1.branch(ev);
+    }
+    fn call(&mut self, from: Addr, callee: FuncId) {
+        self.0.call(from, callee);
+        self.1.call(from, callee);
+    }
+    fn ret(&mut self, from: Addr, to: Addr) {
+        self.0.ret(from, to);
+        self.1.ret(from, to);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use branchlab_ir::BlockId;
+
+    fn ev(taken: bool) -> BranchEvent {
+        BranchEvent {
+            pc: Addr(10),
+            kind: BranchKind::Cond,
+            taken,
+            target: Addr(50),
+            fallthrough: Addr(11),
+            branch: BranchId { func: FuncId(0), block: BlockId(1) },
+            likely: false,
+            cond: Some(Cond::Eq),
+        }
+    }
+
+    #[test]
+    fn next_pc_follows_outcome() {
+        assert_eq!(ev(true).next_pc(), Addr(50));
+        assert_eq!(ev(false).next_pc(), Addr(11));
+    }
+
+    #[test]
+    fn unit_hooks_compile_and_do_nothing() {
+        let mut h = ();
+        h.branch(&ev(true));
+        h.call(Addr(0), FuncId(0));
+        h.ret(Addr(0), Addr(1));
+    }
+}

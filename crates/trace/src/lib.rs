@@ -1,0 +1,23 @@
+//! # branchlab-trace
+//!
+//! Dynamic branch-trace events and statistics collectors for the
+//! `branchlab` reproduction of Hwu/Conte/Chang (ISCA 1989).
+//!
+//! * [`BranchEvent`]/[`BranchKind`]: one executed control transfer, in
+//!   the paper's taxonomy (conditional, unconditional-known-target,
+//!   unconditional-unknown-target).
+//! * [`ExecHooks`]: the sink trait the interpreter drives; predictors and
+//!   collectors implement it, and `(&mut a, &mut b)` composes two sinks
+//!   for single-pass experiments.
+//! * [`BranchMix`]: Table 2 percentages.
+//! * [`SiteStats`]: per-site taken/total counts — the raw material for
+//!   profile-guided (Forward Semantic) prediction.
+//! * [`TraceRecorder`]: bounded event recording for tests.
+
+#![warn(missing_docs)]
+
+mod event;
+mod stats;
+
+pub use event::{BranchEvent, BranchKind, ExecHooks};
+pub use stats::{BranchMix, SiteCounts, SiteStats, TraceRecorder};

@@ -1,0 +1,462 @@
+//! # branchlab-workloads
+//!
+//! The benchmark suite of the reproduction: MiniC re-implementations of
+//! the core algorithms of the ten Unix programs measured by
+//! Hwu, Conte & Chang (ISCA 1989, Table 1) — cccp, cmp, compress, grep,
+//! lex, make, tar, tee, wc, yacc — plus eqn and espresso (Table 5 only),
+//! together with seeded input generators matching each benchmark's
+//! "Input description" (C sources for cccp, similar/dissimilar text
+//! files for cmp, exercised options for grep, …).
+//!
+//! The real 1989 binaries and traces are unavailable; what the paper's
+//! experiments actually consume is each program's *dynamic branch
+//! behaviour*, which is a property of the algorithms (LZW, DFA scanning,
+//! regex matching, shift-reduce parsing, …) — see DESIGN.md §2.
+//!
+//! ```
+//! use branchlab_workloads::{benchmark, Scale};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let wc = benchmark("wc").expect("wc is in the suite");
+//! let module = wc.compile()?;
+//! let runs = wc.runs(Scale::Test, 42);
+//! assert_eq!(runs.len(), wc.paper_runs.min(4));
+//! # let _ = module;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod inputs;
+mod programs;
+
+pub use inputs::Scale;
+
+use branchlab_ir::Module;
+use branchlab_minic::CompileError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One benchmark of the suite.
+#[derive(Copy, Clone, Debug)]
+pub struct Benchmark {
+    /// Benchmark name as in the paper's tables.
+    pub name: &'static str,
+    /// MiniC source (without the shared prelude).
+    pub source: &'static str,
+    /// Paper Table 1 "Input description".
+    pub input_description: &'static str,
+    /// Paper Table 1 "Runs" (number of profiling inputs).
+    pub paper_runs: usize,
+    /// Whether the benchmark appears in Tables 1–4 (the ten Unix
+    /// programs) or only in Table 5 (eqn, espresso).
+    pub in_main_tables: bool,
+}
+
+impl Benchmark {
+    /// Compile the benchmark (prelude + source) to an IR module.
+    ///
+    /// # Errors
+    /// Returns [`CompileError`] — never for the shipped sources (a test
+    /// compiles every benchmark).
+    pub fn compile(&self) -> Result<Module, CompileError> {
+        let mut src = String::from(programs::PRELUDE);
+        src.push_str(self.source);
+        branchlab_minic::compile(&src)
+    }
+
+    /// Number of non-blank source lines (the paper's *Lines* column
+    /// analogue).
+    #[must_use]
+    pub fn source_lines(&self) -> usize {
+        self.source.lines().filter(|l| !l.trim().is_empty()).count()
+    }
+
+    /// Generate this benchmark's input runs at a given scale. Each run
+    /// is a set of input streams. Deterministic in `(self, scale, seed)`.
+    ///
+    /// At `Scale::Test` the run count is capped at 4; otherwise it
+    /// matches the paper's Runs column.
+    #[must_use]
+    pub fn runs(&self, scale: Scale, seed: u64) -> Vec<Vec<Vec<u8>>> {
+        let n_runs = match scale {
+            Scale::Test => self.paper_runs.min(4),
+            Scale::Small | Scale::Paper => self.paper_runs,
+        };
+        let units = scale.units();
+        (0..n_runs)
+            .map(|r| {
+                let mut rng = StdRng::seed_from_u64(
+                    seed ^ (r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ hash_name(self.name),
+                );
+                self.gen_run(&mut rng, units, r)
+            })
+            .collect()
+    }
+
+    fn gen_run(&self, rng: &mut StdRng, units: usize, run_idx: usize) -> Vec<Vec<u8>> {
+        match self.name {
+            "wc" | "tee" => vec![inputs::text(rng, units)],
+            "cmp" => {
+                // The paper: "similar/dissimilar text files".
+                let (a, b) = inputs::cmp_pair(rng, units, run_idx % 2 == 0);
+                vec![a, b]
+            }
+            "compress" => vec![inputs::c_source(rng, units)],
+            "grep" => {
+                // "exercised various options": vary the pattern shape.
+                vec![inputs::text(rng, units), inputs::grep_pattern(rng)]
+            }
+            "lex" => {
+                // "lexers (C, Lisp, awk, pic)": big token streams.
+                vec![inputs::c_source(rng, units * 2)]
+            }
+            "make" => vec![inputs::makefile(rng, (units / 4).clamp(4, 500))],
+            "tar" => vec![inputs::archive(rng, (units / 8).clamp(2, 400))],
+            "cccp" => vec![inputs::c_source(rng, units)],
+            "yacc" => vec![inputs::expressions(rng, units)],
+            "eqn" => vec![inputs::expressions(rng, units)],
+            "espresso" => {
+                let vars = rng.gen_range(6..=12);
+                vec![inputs::cubes(rng, vars, (units / 4).clamp(8, 400))]
+            }
+            other => unreachable!("unknown benchmark {other}"),
+        }
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+/// The full suite: the ten Table 1 benchmarks plus eqn and espresso.
+pub const SUITE: &[Benchmark] = &[
+    Benchmark {
+        name: "cccp",
+        source: programs::CCCP,
+        input_description: "C progs (generated)",
+        paper_runs: 20,
+        in_main_tables: true,
+    },
+    Benchmark {
+        name: "cmp",
+        source: programs::CMP,
+        input_description: "similar/dissimilar text files",
+        paper_runs: 16,
+        in_main_tables: true,
+    },
+    Benchmark {
+        name: "compress",
+        source: programs::COMPRESS,
+        input_description: "same as cccp",
+        paper_runs: 20,
+        in_main_tables: true,
+    },
+    Benchmark {
+        name: "grep",
+        source: programs::GREP,
+        input_description: "exercised various patterns",
+        paper_runs: 20,
+        in_main_tables: true,
+    },
+    Benchmark {
+        name: "lex",
+        source: programs::LEX,
+        input_description: "C-like token streams",
+        paper_runs: 4,
+        in_main_tables: true,
+    },
+    Benchmark {
+        name: "make",
+        source: programs::MAKE,
+        input_description: "makefiles (generated DAGs)",
+        paper_runs: 20,
+        in_main_tables: true,
+    },
+    Benchmark {
+        name: "tar",
+        source: programs::TAR,
+        input_description: "save/extract files",
+        paper_runs: 14,
+        in_main_tables: true,
+    },
+    Benchmark {
+        name: "tee",
+        source: programs::TEE,
+        input_description: "text files",
+        paper_runs: 18,
+        in_main_tables: true,
+    },
+    Benchmark {
+        name: "wc",
+        source: programs::WC,
+        input_description: "same input class as cccp",
+        paper_runs: 20,
+        in_main_tables: true,
+    },
+    Benchmark {
+        name: "yacc",
+        source: programs::YACC,
+        input_description: "expression grammars",
+        paper_runs: 8,
+        in_main_tables: true,
+    },
+    Benchmark {
+        name: "eqn",
+        source: programs::EQN,
+        input_description: "equations (generated)",
+        paper_runs: 6,
+        in_main_tables: false,
+    },
+    Benchmark {
+        name: "espresso",
+        source: programs::ESPRESSO,
+        input_description: "boolean cube sets",
+        paper_runs: 6,
+        in_main_tables: false,
+    },
+];
+
+/// Look up a benchmark by name.
+#[must_use]
+pub fn benchmark(name: &str) -> Option<&'static Benchmark> {
+    SUITE.iter().find(|b| b.name == name)
+}
+
+/// The ten benchmarks of Tables 1–4.
+pub fn main_suite() -> impl Iterator<Item = &'static Benchmark> {
+    SUITE.iter().filter(|b| b.in_main_tables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use branchlab_interp::{run, ExecConfig, Outcome};
+    use branchlab_ir::lower;
+
+    fn exec(b: &Benchmark, streams: &[&[u8]]) -> Outcome {
+        let m = b.compile().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let p = lower(&m).unwrap();
+        let cfg = ExecConfig { max_insts: 200_000_000, ..ExecConfig::default() };
+        run(&p, &cfg, streams, &mut ()).unwrap_or_else(|e| panic!("{}: {e}", b.name))
+    }
+
+    #[test]
+    fn every_benchmark_compiles() {
+        for b in SUITE {
+            b.compile().unwrap_or_else(|e| panic!("{} failed to compile: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn every_benchmark_runs_on_generated_input() {
+        for b in SUITE {
+            for (ri, streams) in b.runs(Scale::Test, 1).iter().enumerate() {
+                let refs: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
+                let out = exec(b, &refs);
+                assert!(out.stats.branches > 0, "{} run {ri} executed no branches", b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        for b in SUITE {
+            assert_eq!(b.runs(Scale::Test, 7), b.runs(Scale::Test, 7), "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn wc_matches_reference_counts() {
+        let input = b"hello world\nthe quick  brown\n\nfox\n";
+        let out = exec(benchmark("wc").unwrap(), &[input]);
+        let text = String::from_utf8(out.outputs[1].clone()).unwrap();
+        // 4 lines, 6 words, 34 chars.
+        assert_eq!(text, "4 6 34\n");
+    }
+
+    #[test]
+    fn cmp_equal_and_differing() {
+        let b = benchmark("cmp").unwrap();
+        assert_eq!(exec(b, &[b"same text", b"same text"]).exit_value, 0);
+        let out = exec(b, &[b"same text", b"samX text"]);
+        assert_eq!(out.exit_value, 1);
+        let msg = String::from_utf8(out.outputs[1].clone()).unwrap();
+        assert!(msg.contains("byte 3"), "{msg}");
+    }
+
+    #[test]
+    fn tee_duplicates_to_three_streams() {
+        let out = exec(benchmark("tee").unwrap(), &[b"ab\ncd\n"]);
+        for s in 1..=3 {
+            assert_eq!(out.outputs[s], b"ab\ncd\n");
+        }
+        assert_eq!(out.exit_value, 2);
+    }
+
+    #[test]
+    fn grep_literal_and_metacharacters() {
+        let b = benchmark("grep").unwrap();
+        let text = b"the quick fox\nlazy dog\nquack\n";
+        // Literal.
+        let out = exec(b, &[text, b"quick"]);
+        assert_eq!(out.outputs[1], b"the quick fox\n");
+        // Anchor.
+        let out = exec(b, &[text, b"^lazy"]);
+        assert_eq!(out.outputs[1], b"lazy dog\n");
+        // Dot.
+        let out = exec(b, &[text, b"qu.ck"]);
+        assert_eq!(
+            String::from_utf8(out.outputs[1].clone()).unwrap(),
+            "the quick fox\nquack\n"
+        );
+        // Star: zero or more 'u' then 'a'.
+        let out = exec(b, &[text, b"qu*a"]);
+        assert_eq!(out.outputs[1], b"quack\n");
+        // No match.
+        let out = exec(b, &[text, b"zebra"]);
+        assert!(out.outputs[1].is_empty());
+    }
+
+    /// Reference LZW matching the MiniC implementation's output format.
+    fn lzw_reference(data: &[u8]) -> Vec<u8> {
+        use std::collections::HashMap;
+        let mut dict: HashMap<(i64, u8), i64> = HashMap::new();
+        let mut next = 256i64;
+        let mut out = Vec::new();
+        let mut iter = data.iter();
+        let Some(&first) = iter.next() else { return out };
+        let mut prefix = i64::from(first);
+        for &c in iter {
+            if let Some(&code) = dict.get(&(prefix, c)) {
+                prefix = code;
+            } else {
+                out.push((prefix & 255) as u8);
+                out.push(((prefix >> 8) & 255) as u8);
+                if next < 4096 {
+                    dict.insert((prefix, c), next);
+                    next += 1;
+                }
+                prefix = i64::from(c);
+            }
+        }
+        out.push((prefix & 255) as u8);
+        out.push(((prefix >> 8) & 255) as u8);
+        out
+    }
+
+    #[test]
+    fn compress_matches_reference_lzw() {
+        let data = b"abababababcabcabcabcabcaaaaabbbbbb the the the";
+        let out = exec(benchmark("compress").unwrap(), &[data]);
+        assert_eq!(out.outputs[1], lzw_reference(data));
+    }
+
+    #[test]
+    fn tar_verifies_checksums() {
+        // name "ab", size 3, payload "xyz", good checksum.
+        let sum = (u32::from(b'x') + u32::from(b'y') + u32::from(b'z')) & 255;
+        let mut arch = vec![2, b'a', b'b', 3, 0, b'x', b'y', b'z', sum as u8];
+        // Second file with a corrupt checksum.
+        arch.extend_from_slice(&[2, b'c', b'd', 1, 0, b'q', 0x77]);
+        arch.push(0);
+        let out = exec(benchmark("tar").unwrap(), &[&arch]);
+        let listing = String::from_utf8(out.outputs[1].clone()).unwrap();
+        assert!(listing.contains("ab ok 3"), "{listing}");
+        assert!(listing.contains("cd BAD 1"), "{listing}");
+        assert_eq!(out.outputs[2], b"xyzq");
+        assert_eq!(out.exit_value, 2001); // 2 files, 1 bad
+    }
+
+    #[test]
+    fn cccp_defines_and_substitutes() {
+        let src = b"#define N 42\nint a = N;\n#undef N\nint b = N;\n";
+        let out = exec(benchmark("cccp").unwrap(), &[src]);
+        let text = String::from_utf8(out.outputs[1].clone()).unwrap();
+        assert_eq!(text, "int a = 42;\nint b = N;\n");
+    }
+
+    #[test]
+    fn cccp_ifdef_skips() {
+        let src = b"#define YES 1\n#ifdef YES\nkept\n#endif\n#ifdef NO\ndropped\n#endif\ntail\n";
+        let out = exec(benchmark("cccp").unwrap(), &[src]);
+        let text = String::from_utf8(out.outputs[1].clone()).unwrap();
+        assert!(text.contains("kept"), "{text}");
+        assert!(!text.contains("dropped"), "{text}");
+        assert!(text.contains("tail"), "{text}");
+    }
+
+    #[test]
+    fn lex_counts_tokens() {
+        let src = b"int x1 = 42; /* hi */ \"str\"\n";
+        let out = exec(benchmark("lex").unwrap(), &[src]);
+        let text = String::from_utf8(out.outputs[1].clone()).unwrap();
+        assert!(text.contains("ident 2"), "{text}"); // int, x1
+        assert!(text.contains("num 1"), "{text}"); // 42
+        assert!(text.contains("comment 1"), "{text}");
+        assert!(text.contains("string 1"), "{text}");
+        assert!(text.contains("line 1"), "{text}");
+    }
+
+    #[test]
+    fn make_rebuilds_stale_targets() {
+        // t1 depends on t0; t0 is newer than t1 → rebuild t1 only.
+        let mf = b"t0:\nt1: t0\n#stamps\nt0 10\nt1 5\n";
+        let out = exec(benchmark("make").unwrap(), &[mf]);
+        let text = String::from_utf8(out.outputs[1].clone()).unwrap();
+        assert!(text.contains("build t1"), "{text}");
+        assert!(!text.contains("build t0"), "{text}");
+        assert_eq!(out.exit_value, 1);
+    }
+
+    #[test]
+    fn make_fresh_targets_not_rebuilt() {
+        let mf = b"t0:\nt1: t0\n#stamps\nt0 5\nt1 10\n";
+        let out = exec(benchmark("make").unwrap(), &[mf]);
+        assert_eq!(out.exit_value, 0);
+    }
+
+    #[test]
+    fn yacc_evaluates_expressions() {
+        let out = exec(benchmark("yacc").unwrap(), &[b"1+2*3\n(1+2)*3\n10/2-3\n"]);
+        let text = String::from_utf8(out.outputs[1].clone()).unwrap();
+        assert_eq!(text, "7\n9\n2\n");
+        assert_eq!(out.exit_value, 3);
+    }
+
+    #[test]
+    fn eqn_translates_operators() {
+        let out = exec(benchmark("eqn").unwrap(), &[b"1+2/3\n(4*5)\n"]);
+        let text = String::from_utf8(out.outputs[1].clone()).unwrap();
+        assert!(text.contains("plus"), "{text}");
+        assert!(text.contains("over"), "{text}");
+        assert!(text.contains("times"), "{text}");
+        assert!(text.contains("left ("), "{text}");
+        assert_eq!(out.exit_value, 2);
+    }
+
+    #[test]
+    fn espresso_merges_distance_one_cubes() {
+        // 000 and 001 merge into 00-; 111 is covered by 11-.
+        let out = exec(benchmark("espresso").unwrap(), &[b"000\n001\n11-\n111\n"]);
+        let text = String::from_utf8(out.outputs[1].clone()).unwrap();
+        assert!(text.contains("00-"), "{text}");
+        assert!(text.contains("11-"), "{text}");
+        assert_eq!(out.exit_value, 2); // two surviving cubes
+    }
+
+    #[test]
+    fn suite_has_ten_main_benchmarks() {
+        assert_eq!(main_suite().count(), 10);
+        assert_eq!(SUITE.len(), 12);
+        for name in ["cccp", "cmp", "compress", "grep", "lex", "make", "tar", "tee", "wc", "yacc"]
+        {
+            assert!(benchmark(name).unwrap().in_main_tables, "{name}");
+        }
+        assert!(!benchmark("eqn").unwrap().in_main_tables);
+        assert!(!benchmark("espresso").unwrap().in_main_tables);
+    }
+}

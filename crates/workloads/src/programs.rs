@@ -1,0 +1,809 @@
+//! MiniC sources for the benchmark suite: re-implementations of the
+//! core algorithms of the ten Unix programs the paper measures
+//! (Table 1), plus `eqn` and `espresso` which appear in Table 5.
+//!
+//! Every source is concatenated with [`PRELUDE`] (decimal/string output
+//! helpers) before compilation.
+
+/// Shared output helpers linked into every benchmark.
+pub const PRELUDE: &str = r#"
+int print_num(int fd, int n) {
+    if (n < 0) { putc(fd, '-'); n = 0 - n; }
+    if (n >= 10) { print_num(fd, n / 10); }
+    putc(fd, '0' + n % 10);
+    return 0;
+}
+int print_str(int fd, int s) {
+    int i = 0;
+    while (s[i] != 0) { putc(fd, s[i]); i++; }
+    return i;
+}
+"#;
+
+/// `wc` — line/word/character count over stream 0.
+pub const WC: &str = r#"
+int main() {
+    int c; int lines = 0; int words = 0; int chars = 0; int inword = 0;
+    while ((c = getc(0)) != -1) {
+        chars++;
+        if (c == '\n') { lines++; }
+        if (c == ' ' || c == '\n' || c == '\t') {
+            inword = 0;
+        } else if (inword == 0) {
+            inword = 1;
+            words++;
+        }
+    }
+    print_num(1, lines); putc(1, ' ');
+    print_num(1, words); putc(1, ' ');
+    print_num(1, chars); putc(1, '\n');
+    return lines + words + chars;
+}
+"#;
+
+/// `cmp` — compare streams 0 and 1; report first difference.
+pub const CMP: &str = r#"
+int main() {
+    int a; int b; int pos = 0; int line = 1;
+    while (1) {
+        a = getc(0);
+        b = getc(1);
+        if (a != b) {
+            print_str(1, "differ: byte ");
+            print_num(1, pos);
+            print_str(1, " line ");
+            print_num(1, line);
+            putc(1, '\n');
+            return 1;
+        }
+        if (a == -1) { return 0; }
+        pos++;
+        if (a == '\n') { line++; }
+    }
+    return 0;
+}
+"#;
+
+/// `tee` — copy stream 0 to output streams 1, 2 and 3.
+pub const TEE: &str = r#"
+int main() {
+    int c; int n = 0; int lines = 0;
+    while ((c = getc(0)) != -1) {
+        putc(1, c);
+        putc(2, c);
+        putc(3, c);
+        n++;
+        if (c == '\n') { lines++; }
+    }
+    return lines;
+}
+"#;
+
+/// `grep` — regex match (literal, `.`, `*`, `^`) of the pattern on
+/// stream 1 against each line of stream 0; matching lines go to
+/// output 1.
+pub const GREP: &str = r#"
+int pat[256];
+int line[1024];
+
+int match_here(int p, int l) {
+    if (pat[p] == 0) { return 1; }
+    if (pat[p + 1] == '*') {
+        // match_star inlined as a loop over l
+        int cc = pat[p];
+        while (1) {
+            if (match_here(p + 2, l)) { return 1; }
+            if (line[l] == 0) { return 0; }
+            if (cc != '.' && line[l] != cc) { return 0; }
+            l++;
+        }
+    }
+    if (line[l] == 0) { return 0; }
+    if (pat[p] == '.' || pat[p] == line[l]) { return match_here(p + 1, l + 1); }
+    return 0;
+}
+
+int match_line() {
+    int l = 0;
+    if (pat[0] == '^') { return match_here(1, 0); }
+    while (1) {
+        if (match_here(0, l)) { return 1; }
+        if (line[l] == 0) { return 0; }
+        l++;
+    }
+    return 0;
+}
+
+int main() {
+    int c; int i = 0; int matches = 0; int scanned = 0;
+    while ((c = getc(1)) != -1 && i < 255) { pat[i] = c; i++; }
+    pat[i] = 0;
+    while (1) {
+        i = 0;
+        while ((c = getc(0)) != -1 && c != '\n' && i < 1023) { line[i] = c; i++; }
+        line[i] = 0;
+        if (i > 0 || c == '\n') {
+            scanned++;
+            if (match_line()) {
+                matches++;
+                int j = 0;
+                while (line[j] != 0) { putc(1, line[j]); j++; }
+                putc(1, '\n');
+            }
+        }
+        if (c == -1) {
+            print_num(2, matches); putc(2, '/'); print_num(2, scanned); putc(2, '\n');
+            return matches;
+        }
+    }
+    return 0;
+}
+"#;
+
+/// `compress` — LZW compression (12-bit codes, hash-table dictionary)
+/// of stream 0 onto output 1 as little-endian code pairs.
+pub const COMPRESS: &str = r#"
+int hash_code[32768];
+int hash_prefix[32768];
+int hash_char[32768];
+
+int main() {
+    int next_code = 256;
+    int prefix; int c; int h; int found; int emitted = 0;
+    prefix = getc(0);
+    if (prefix == -1) { return 0; }
+    while ((c = getc(0)) != -1) {
+        h = ((c << 7) ^ prefix * 31) & 32767;
+        found = -1;
+        while (hash_code[h] != 0) {
+            if (hash_prefix[h] == prefix && hash_char[h] == c) {
+                found = hash_code[h] - 1;
+                break;
+            }
+            h = (h + 0x1555) & 32767;
+        }
+        if (found >= 0) {
+            prefix = found;
+        } else {
+            putc(1, prefix & 255);
+            putc(1, (prefix >> 8) & 255);
+            emitted++;
+            if (next_code < 4096) {
+                hash_code[h] = next_code + 1;
+                hash_prefix[h] = prefix;
+                hash_char[h] = c;
+                next_code++;
+            }
+            prefix = c;
+        }
+    }
+    putc(1, prefix & 255);
+    putc(1, (prefix >> 8) & 255);
+    emitted++;
+    print_num(2, emitted); putc(2, '\n');
+    return emitted;
+}
+"#;
+
+/// `tar` — walk an archive on stream 0: verify per-file checksums,
+/// extract payloads to output 2, and write a listing to output 1.
+pub const TAR: &str = r#"
+int name[64];
+
+int main() {
+    int nlen; int i; int c; int size; int sum; int stored;
+    int files = 0; int bytes = 0; int bad = 0;
+    while (1) {
+        nlen = getc(0);
+        if (nlen <= 0) { break; }
+        for (i = 0; i < nlen; i++) {
+            c = getc(0);
+            if (c == -1) { return -1; }
+            if (i < 63) { name[i] = c; }
+        }
+        name[nlen] = 0;
+        size = getc(0);
+        c = getc(0);
+        if (c == -1) { return -1; }
+        size = size + (c << 8);
+        sum = 0;
+        for (i = 0; i < size; i++) {
+            c = getc(0);
+            if (c == -1) { return -1; }
+            sum = (sum + c) & 255;
+            putc(2, c);
+            bytes++;
+        }
+        stored = getc(0);
+        files++;
+        i = 0;
+        while (name[i] != 0) { putc(1, name[i]); i++; }
+        if (stored == sum) {
+            print_str(1, " ok ");
+        } else {
+            print_str(1, " BAD ");
+            bad++;
+        }
+        print_num(1, size);
+        putc(1, '\n');
+    }
+    print_num(1, files); putc(1, ' '); print_num(1, bytes); putc(1, ' ');
+    print_num(1, bad); putc(1, '\n');
+    return files * 1000 + bad;
+}
+"#;
+
+/// `cccp` — a macro preprocessor: `#define`/`#undef`/`#ifdef`/`#else`/
+/// `#endif` plus identifier substitution, with switch-dispatched
+/// directive handling (the source of cccp's unknown-target branches in
+/// the paper's Table 2).
+pub const CCCP: &str = r#"
+int macn[4096];
+int macv[256];
+int nmac;
+int tok[16];
+int line_class[8];
+
+int is_ident(int c) {
+    if (c >= 'a' && c <= 'z') { return 1; }
+    if (c >= 'A' && c <= 'Z') { return 1; }
+    if (c >= '0' && c <= '9') { return 1; }
+    if (c == '_') { return 1; }
+    return 0;
+}
+
+int tok_eq_mac(int m) {
+    int i = 0;
+    while (i < 16) {
+        if (macn[m * 16 + i] != tok[i]) { return 0; }
+        if (tok[i] == 0) { return 1; }
+        i++;
+    }
+    return 1;
+}
+
+int find_mac() {
+    int m;
+    for (m = 0; m < nmac; m++) {
+        if (tok_eq_mac(m)) { return m; }
+    }
+    return -1;
+}
+
+// Reads an identifier starting at c into tok; returns the first
+// character after it.
+int read_word(int c) {
+    int i = 0;
+    while (i < 16) { tok[i] = 0; i++; }
+    i = 0;
+    while (is_ident(c)) {
+        if (i < 15) { tok[i] = c; i++; }
+        c = getc(0);
+    }
+    return c;
+}
+
+int main() {
+    int c; int i; int m; int v;
+    int at_start = 1; int skipping = 0;
+    int lines = 0; int subs = 0; int directives = 0;
+    c = getc(0);
+    while (c != -1) {
+        if (at_start) {
+            // Dense dispatch on the leading character's class — lowered
+            // to an indirect jump table (cccp's unknown-target branches
+            // in the paper's Table 2).
+            switch (c & 7) {
+                case 0: line_class[0]++; break;
+                case 1: line_class[1]++; break;
+                case 2: line_class[2]++; break;
+                case 3: line_class[3]++; break;
+                case 4: line_class[4]++; break;
+                case 5: line_class[5]++; break;
+                case 6: line_class[6]++; break;
+                case 7: line_class[7]++; break;
+            }
+        }
+        if (at_start && c == '#') {
+            directives++;
+            c = read_word(getc(0));
+            switch (tok[0]) {
+                case 'd': // define
+                    while (c == ' ') { c = getc(0); }
+                    c = read_word(c);
+                    m = find_mac();
+                    if (m < 0 && nmac < 256) {
+                        m = nmac;
+                        nmac++;
+                        for (i = 0; i < 16; i++) { macn[m * 16 + i] = tok[i]; }
+                    }
+                    while (c == ' ') { c = getc(0); }
+                    v = 0;
+                    while (c >= '0' && c <= '9') { v = v * 10 + c - '0'; c = getc(0); }
+                    if (m >= 0) { macv[m] = v; }
+                    break;
+                case 'u': // undef
+                    while (c == ' ') { c = getc(0); }
+                    c = read_word(c);
+                    m = find_mac();
+                    if (m >= 0) {
+                        nmac--;
+                        for (i = 0; i < 16; i++) { macn[m * 16 + i] = macn[nmac * 16 + i]; }
+                        macv[m] = macv[nmac];
+                    }
+                    break;
+                case 'i': // ifdef
+                    while (c == ' ') { c = getc(0); }
+                    c = read_word(c);
+                    if (find_mac() < 0) { skipping = 1; }
+                    break;
+                case 'e': // else / endif
+                    if (tok[1] == 'n') { skipping = 0; }
+                    else { skipping = 1 - skipping; }
+                    break;
+            }
+            while (c != '\n' && c != -1) { c = getc(0); }
+            if (c == '\n') { lines++; at_start = 1; c = getc(0); }
+        } else if (skipping) {
+            while (c != '\n' && c != -1) { c = getc(0); }
+            if (c == '\n') { lines++; at_start = 1; c = getc(0); }
+        } else if (is_ident(c) && (c < '0' || c > '9')) {
+            c = read_word(c);
+            m = find_mac();
+            if (m >= 0) {
+                print_num(1, macv[m]);
+                subs++;
+            } else {
+                i = 0;
+                while (tok[i] != 0) { putc(1, tok[i]); i++; }
+            }
+            at_start = 0;
+        } else {
+            putc(1, c);
+            if (c == '\n') { lines++; at_start = 1; } else { at_start = 0; }
+            c = getc(0);
+        }
+    }
+    print_num(2, lines); putc(2, ' ');
+    print_num(2, subs); putc(2, ' ');
+    print_num(2, directives); putc(2, '\n');
+    return subs;
+}
+"#;
+
+/// `lex` — a table-driven DFA scanner over C-like input, counting
+/// tokens by class. The transition/emit/redo tables are the kind of
+/// machine-generated tables a real lex produces.
+pub const LEX: &str = r#"
+int cls[128];
+// states: 0 start, 1 ident, 2 number, 3 slash, 4 comment, 5 comstar, 6 string
+// classes: 0 letter, 1 digit, 2 space, 3 newline, 4 '/', 5 '*', 6 '"', 7 other
+int trans[56] = {
+    1, 2, 0, 0, 3, 0, 6, 0,
+    1, 1, 0, 0, 0, 0, 0, 0,
+    2, 2, 0, 0, 0, 0, 0, 0,
+    0, 0, 0, 0, 0, 4, 0, 0,
+    4, 4, 4, 4, 4, 5, 4, 4,
+    4, 4, 4, 4, 0, 5, 4, 4,
+    6, 6, 6, 0, 6, 6, 0, 6,
+};
+// token emitted on this transition: 0 none, 1 ident, 2 num, 3 punct,
+// 4 comment, 5 string, 6 newline
+int emit[56] = {
+    0, 0, 0, 6, 0, 3, 0, 3,
+    0, 0, 1, 1, 1, 1, 1, 1,
+    0, 0, 2, 2, 2, 2, 2, 2,
+    3, 3, 3, 3, 3, 0, 3, 3,
+    0, 0, 0, 0, 0, 0, 0, 0,
+    0, 0, 0, 0, 4, 0, 0, 0,
+    0, 0, 0, 5, 0, 0, 5, 0,
+};
+// reprocess the character after emitting (token ended at previous char)
+int redo[56] = {
+    0, 0, 0, 0, 0, 0, 0, 0,
+    0, 0, 1, 1, 1, 1, 1, 1,
+    0, 0, 1, 1, 1, 1, 1, 1,
+    1, 1, 1, 1, 1, 0, 1, 1,
+    0, 0, 0, 0, 0, 0, 0, 0,
+    0, 0, 0, 0, 0, 0, 0, 0,
+    0, 0, 0, 0, 0, 0, 0, 0,
+};
+int counts[6];
+
+int main() {
+    int i; int c; int cl; int s = 0; int idx; int e;
+    for (i = 0; i < 128; i++) { cls[i] = 7; }
+    for (i = 'a'; i <= 'z'; i++) { cls[i] = 0; }
+    for (i = 'A'; i <= 'Z'; i++) { cls[i] = 0; }
+    cls['_'] = 0;
+    for (i = '0'; i <= '9'; i++) { cls[i] = 1; }
+    cls[' '] = 2; cls[9] = 2; cls[13] = 2;
+    cls['\n'] = 3;
+    cls['/'] = 4; cls['*'] = 5; cls['"'] = 6;
+
+    while ((c = getc(0)) != -1) {
+        if (c > 127 || c < 0) { c = 127; }
+        cl = cls[c];
+        while (1) {
+            idx = s * 8 + cl;
+            e = emit[idx];
+            if (e > 0) { counts[e - 1]++; }
+            s = trans[idx];
+            if (redo[idx] == 0) { break; }
+        }
+    }
+    // flush a token in progress at EOF
+    if (s == 1) { counts[0]++; }
+    if (s == 2) { counts[1]++; }
+    for (i = 0; i < 6; i++) {
+        switch (i) {
+            case 0: print_str(1, "ident "); break;
+            case 1: print_str(1, "num "); break;
+            case 2: print_str(1, "punct "); break;
+            case 3: print_str(1, "comment "); break;
+            case 4: print_str(1, "string "); break;
+            case 5: print_str(1, "line "); break;
+        }
+        print_num(1, counts[i]);
+        putc(1, '\n');
+    }
+    return counts[0] + counts[1] + counts[2];
+}
+"#;
+
+/// `make` — dependency-graph evaluation: parse a makefile-like
+/// description plus timestamps, then recursively decide which targets
+/// need rebuilding.
+pub const MAKE: &str = r##"
+int dep_node[4096];
+int dep_next[4096];
+int dep_head[512];
+int stamp[512];
+int built[512];
+int newstamp[512];
+int ntargets;
+int ndeps;
+int rebuilds;
+
+int build(int t) {
+    if (built[t]) { return newstamp[t]; }
+    built[t] = 1;
+    int need = 0;
+    int maxd = 0;
+    int e = dep_head[t];
+    while (e >= 0) {
+        int ds = build(dep_node[e]);
+        if (ds > stamp[t]) { need = 1; }
+        if (ds > maxd) { maxd = ds; }
+        e = dep_next[e];
+    }
+    if (need) {
+        newstamp[t] = maxd + 1;
+        rebuilds++;
+        print_str(1, "build t");
+        print_num(1, t);
+        putc(1, '\n');
+    } else {
+        newstamp[t] = stamp[t];
+    }
+    return newstamp[t];
+}
+
+int main() {
+    int c; int t; int d; int v; int i;
+    for (i = 0; i < 512; i++) { dep_head[i] = -1; }
+    c = getc(0);
+    // Rules: "t<N>: t<M> t<K>...\n" until a '#' line.
+    while (c == 't') {
+        c = getc(0);
+        t = 0;
+        while (c >= '0' && c <= '9') { t = t * 10 + c - '0'; c = getc(0); }
+        if (t >= 512) { return -1; }
+        if (t >= ntargets) { ntargets = t + 1; }
+        if (c == ':') { c = getc(0); }
+        while (c == ' ') {
+            c = getc(0); // 't'
+            c = getc(0);
+            d = 0;
+            while (c >= '0' && c <= '9') { d = d * 10 + c - '0'; c = getc(0); }
+            if (ndeps < 4096 && d < 512) {
+                dep_node[ndeps] = d;
+                dep_next[ndeps] = dep_head[t];
+                dep_head[t] = ndeps;
+                ndeps++;
+            }
+        }
+        if (c == '\n') { c = getc(0); }
+    }
+    // "#stamps" header line.
+    while (c != '\n' && c != -1) { c = getc(0); }
+    if (c == '\n') { c = getc(0); }
+    // Stamps: "t<N> <V>\n".
+    while (c == 't') {
+        c = getc(0);
+        t = 0;
+        while (c >= '0' && c <= '9') { t = t * 10 + c - '0'; c = getc(0); }
+        while (c == ' ') { c = getc(0); }
+        v = 0;
+        while (c >= '0' && c <= '9') { v = v * 10 + c - '0'; c = getc(0); }
+        if (t < 512) { stamp[t] = v; }
+        if (c == '\n') { c = getc(0); }
+    }
+    for (t = 0; t < ntargets; t++) { build(t); }
+    print_num(1, rebuilds); putc(1, '\n');
+    return rebuilds;
+}
+"##;
+
+/// `yacc` — a table/precedence-driven shift-reduce expression parser
+/// (the engine a yacc-generated parser runs), evaluating one expression
+/// per line.
+pub const YACC: &str = r#"
+int vals[128];
+int ops[128];
+
+int prec(int op) {
+    switch (op) {
+        case '+': return 1;
+        case '-': return 1;
+        case '*': return 2;
+        case '/': return 2;
+        case '(': return 0;
+    }
+    return -1;
+}
+
+int apply(int op, int a, int b) {
+    switch (op) {
+        case '+': return a + b;
+        case '-': return a - b;
+        case '*': return a * b;
+        case '/': if (b == 0) { return 0; } return a / b;
+    }
+    return 0;
+}
+
+int main() {
+    int c; int vsp = 0; int osp = 0; int n;
+    int exprs = 0; int errors = 0; int b; int a;
+    c = getc(0);
+    while (1) {
+        if (c >= '0' && c <= '9') {
+            n = 0;
+            while (c >= '0' && c <= '9') { n = n * 10 + c - '0'; c = getc(0); }
+            if (vsp < 128) { vals[vsp] = n; vsp++; }
+        } else if (c == '+' || c == '-' || c == '*' || c == '/') {
+            while (osp > 0 && prec(ops[osp - 1]) >= prec(c)) {
+                osp--;
+                if (vsp >= 2) {
+                    b = vals[vsp - 1]; a = vals[vsp - 2];
+                    vsp--;
+                    vals[vsp - 1] = apply(ops[osp], a, b);
+                } else { errors++; }
+            }
+            if (osp < 128) { ops[osp] = c; osp++; }
+            c = getc(0);
+        } else if (c == '(') {
+            if (osp < 128) { ops[osp] = c; osp++; }
+            c = getc(0);
+        } else if (c == ')') {
+            while (osp > 0 && ops[osp - 1] != '(') {
+                osp--;
+                if (vsp >= 2) {
+                    b = vals[vsp - 1]; a = vals[vsp - 2];
+                    vsp--;
+                    vals[vsp - 1] = apply(ops[osp], a, b);
+                } else { errors++; }
+            }
+            if (osp > 0) { osp--; } else { errors++; }
+            c = getc(0);
+        } else if (c == '\n' || c == -1) {
+            while (osp > 0) {
+                osp--;
+                if (ops[osp] != '(' && vsp >= 2) {
+                    b = vals[vsp - 1]; a = vals[vsp - 2];
+                    vsp--;
+                    vals[vsp - 1] = apply(ops[osp], a, b);
+                }
+            }
+            if (vsp >= 1) {
+                print_num(1, vals[vsp - 1]);
+                putc(1, '\n');
+                exprs++;
+            }
+            vsp = 0;
+            osp = 0;
+            if (c == -1) { break; }
+            c = getc(0);
+        } else {
+            c = getc(0); // skip spaces/garbage
+        }
+    }
+    print_num(2, exprs); putc(2, ' '); print_num(2, errors); putc(2, '\n');
+    return exprs;
+}
+"#;
+
+/// `eqn` — an equation formatter: translate infix expressions to
+/// troff-eqn-like markup (`over`, `times`, `left ( … right )`) with a
+/// recursive-descent walk.
+pub const EQN: &str = r#"
+int cur;
+
+int advance() {
+    cur = getc(0);
+    return cur;
+}
+
+int emit_word(int s) {
+    putc(1, ' ');
+    print_str(1, s);
+    putc(1, ' ');
+    return 0;
+}
+
+// factor := number | '(' expr ')'
+int parse_factor() {
+    int depth = 0;
+    while (cur == ' ') { advance(); }
+    if (cur == '(') {
+        emit_word("left (");
+        advance();
+        depth = parse_expr() + 1;
+        if (cur == ')') { advance(); }
+        emit_word("right )");
+        return depth;
+    }
+    while (cur >= '0' && cur <= '9') {
+        putc(1, cur);
+        advance();
+    }
+    return 0;
+}
+
+// term := factor (('*'|'/') factor)*
+int parse_term() {
+    int d = parse_factor();
+    int d2;
+    while (1) {
+        while (cur == ' ') { advance(); }
+        if (cur == '*') {
+            emit_word("times");
+            advance();
+            d2 = parse_factor();
+            if (d2 > d) { d = d2; }
+        } else if (cur == '/') {
+            emit_word("over");
+            advance();
+            d2 = parse_factor();
+            if (d2 > d) { d = d2; }
+        } else {
+            return d;
+        }
+    }
+    return d;
+}
+
+// expr := term (('+'|'-') term)*
+int parse_expr() {
+    int d = parse_term();
+    int d2;
+    while (1) {
+        while (cur == ' ') { advance(); }
+        if (cur == '+') {
+            emit_word("plus");
+            advance();
+            d2 = parse_term();
+            if (d2 > d) { d = d2; }
+        } else if (cur == '-') {
+            emit_word("minus");
+            advance();
+            d2 = parse_term();
+            if (d2 > d) { d = d2; }
+        } else {
+            return d;
+        }
+    }
+    return d;
+}
+
+int main() {
+    int eqns = 0; int maxdepth = 0; int d;
+    advance();
+    while (cur != -1) {
+        d = parse_expr();
+        if (d > maxdepth) { maxdepth = d; }
+        putc(1, '\n');
+        eqns++;
+        while (cur != '\n' && cur != -1) { advance(); }
+        if (cur == '\n') { advance(); }
+    }
+    print_num(2, eqns); putc(2, ' '); print_num(2, maxdepth); putc(2, '\n');
+    return eqns;
+}
+"#;
+
+/// `espresso` — two-level boolean minimization (distance-1 cube merging
+/// and containment deletion to a fixpoint, Quine–McCluskey style).
+pub const ESPRESSO: &str = r#"
+int cube[8192];
+int alive[512];
+int nvars;
+int ncubes;
+
+int covers(int i, int j) {
+    int v;
+    for (v = 0; v < nvars; v++) {
+        int a = cube[i * 16 + v];
+        int b = cube[j * 16 + v];
+        if (a != '-' && a != b) { return 0; }
+    }
+    return 1;
+}
+
+int main() {
+    int c; int v; int i; int j; int changed; int passes = 0;
+    // Parse cubes: lines over 0/1/-.
+    v = 0;
+    while ((c = getc(0)) != -1) {
+        if (c == '\n') {
+            if (v > 0) {
+                if (nvars == 0) { nvars = v; }
+                if (v == nvars && ncubes < 512) { alive[ncubes] = 1; ncubes++; }
+            }
+            v = 0;
+        } else if (v < 16) {
+            if (ncubes < 512) { cube[ncubes * 16 + v] = c; }
+            v++;
+        }
+    }
+    // Merge to fixpoint.
+    changed = 1;
+    while (changed) {
+        changed = 0;
+        passes++;
+        for (i = 0; i < ncubes; i++) {
+            if (!alive[i]) { continue; }
+            for (j = i + 1; j < ncubes; j++) {
+                if (!alive[j]) { continue; }
+                // distance-1 merge
+                int diff = -1;
+                int ok = 1;
+                for (v = 0; v < nvars; v++) {
+                    int a = cube[i * 16 + v];
+                    int b = cube[j * 16 + v];
+                    if (a != b) {
+                        if (a == '-' || b == '-') { ok = 0; break; }
+                        if (diff >= 0) { ok = 0; break; }
+                        diff = v;
+                    }
+                }
+                if (ok && diff >= 0) {
+                    cube[i * 16 + diff] = '-';
+                    alive[j] = 0;
+                    changed = 1;
+                } else if (covers(i, j)) {
+                    alive[j] = 0;
+                    changed = 1;
+                } else if (covers(j, i)) {
+                    alive[i] = 0;
+                    changed = 1;
+                    break;
+                }
+            }
+        }
+    }
+    // Output surviving cubes.
+    int out = 0;
+    for (i = 0; i < ncubes; i++) {
+        if (alive[i]) {
+            for (v = 0; v < nvars; v++) { putc(1, cube[i * 16 + v]); }
+            putc(1, '\n');
+            out++;
+        }
+    }
+    print_num(2, ncubes); putc(2, ' '); print_num(2, out); putc(2, ' ');
+    print_num(2, passes); putc(2, '\n');
+    return out;
+}
+"#;

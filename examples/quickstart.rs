@@ -1,0 +1,78 @@
+//! Quickstart: compile a program with the bundled MiniC compiler,
+//! profile it, apply the Forward Semantic transformation, and compare
+//! the three branch schemes of Hwu/Conte/Chang (ISCA 1989) on it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use branchlab::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A little histogram program with data-dependent branches.
+    let source = r"
+        int counts[26];
+        int main() {
+            int c; int letters = 0; int other = 0;
+            while ((c = getc(0)) != -1) {
+                if (c >= 'a' && c <= 'z') {
+                    counts[c - 'a']++;
+                    letters++;
+                } else {
+                    other++;
+                }
+            }
+            return letters * 1000 + other;
+        }
+    ";
+    let module = compile(source)?;
+
+    // Profile over a representative input (the paper's probe build).
+    let train: Vec<u8> = b"the quick brown fox jumps over the lazy dog 1234!"
+        .iter()
+        .cycle()
+        .take(20_000)
+        .copied()
+        .collect();
+    let profile = profile_module(&module, &[vec![train.clone()]])?;
+
+    // Build both binaries: conventional layout and Forward Semantic
+    // (trace layout + likely bits + k+ℓ = 2 forward slots).
+    let conventional = lower(&module)?;
+    let forward = fs_program(&module, &profile, FsConfig::with_slots(2))?;
+    println!(
+        "static code size: conventional {} insts, FS {} insts ({} forward slots)",
+        conventional.len(),
+        forward.len(),
+        forward.slot_count()
+    );
+
+    // Evaluate each scheme on a *different* input than the training run.
+    let test: Vec<u8> = b"pack my box with five dozen liquor jugs 987?"
+        .iter()
+        .cycle()
+        .take(20_000)
+        .copied()
+        .collect();
+
+    let mut sbtb = Evaluator::new(Sbtb::paper());
+    let mut cbtb = Evaluator::new(Cbtb::paper());
+    run(&conventional, &ExecConfig::default(), &[&test], &mut (&mut sbtb, &mut cbtb))?;
+
+    let mut fs = Evaluator::new(LikelyBit);
+    let fs_out = run(&forward, &ExecConfig::default(), &[&test], &mut fs)?;
+    let conv_out = run_simple(&conventional, &[&test])?;
+    assert_eq!(conv_out.exit_value, fs_out.exit_value, "FS transform must preserve semantics");
+
+    // The paper's cost model on its Table 4 machine (k + ℓ̄ = 2, m̄ = 1).
+    let flush = FlushModel { l_bar: 1.0, m_bar: 1.0 };
+    println!("\nscheme  accuracy  cycles/branch (k+l=2, m=1)");
+    for (name, stats) in [("SBTB", &sbtb.stats), ("CBTB", &cbtb.stats), ("FS  ", &fs.stats)] {
+        println!(
+            "{name}    {:6.2}%   {:.3}",
+            stats.accuracy() * 100.0,
+            branch_cost(stats.accuracy(), 1, &flush),
+        );
+    }
+    Ok(())
+}

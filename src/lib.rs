@@ -1,0 +1,5 @@
+//! `branchlab-repro`: umbrella package hosting the workspace-level
+//! integration tests (`tests/`) and runnable examples (`examples/`).
+//! The library surface simply re-exports the [`branchlab`] facade.
+
+pub use branchlab::*;

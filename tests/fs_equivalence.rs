@@ -1,0 +1,92 @@
+//! The Forward Semantic transformation must be observationally
+//! equivalent to the conventional build for every benchmark of the
+//! suite, at several forward-slot depths, on both profiled and
+//! unprofiled inputs.
+
+use branchlab::fsem::{fs_program, FsConfig};
+use branchlab::interp::{run, ExecConfig};
+use branchlab::ir::lower;
+use branchlab::profile::profile_module;
+use branchlab::workloads::{Scale, SUITE};
+
+fn exec_cfg() -> ExecConfig {
+    ExecConfig { max_insts: 200_000_000, ..ExecConfig::default() }
+}
+
+#[test]
+fn every_benchmark_is_equivalent_under_fs_transform() {
+    for bench in SUITE {
+        let module = bench.compile().unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let runs = bench.runs(Scale::Test, 11);
+        let profile = profile_module(&module, &runs).unwrap();
+        let conventional = lower(&module).unwrap();
+
+        for slots in [1u16, 4] {
+            let forward = fs_program(&module, &profile, FsConfig::with_slots(slots)).unwrap();
+            for (ri, streams) in runs.iter().enumerate() {
+                let refs: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
+                let a = run(&conventional, &exec_cfg(), &refs, &mut ()).unwrap();
+                let b = run(&forward, &exec_cfg(), &refs, &mut ()).unwrap();
+                assert_eq!(
+                    a.exit_value, b.exit_value,
+                    "{} run {ri} slots {slots}: exit value diverged",
+                    bench.name
+                );
+                assert_eq!(
+                    a.outputs, b.outputs,
+                    "{} run {ri} slots {slots}: outputs diverged",
+                    bench.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fs_transform_generalizes_to_unprofiled_inputs() {
+    // Profile with one seed, execute with another: the transformation
+    // must not bake input data into the code.
+    for name in ["grep", "yacc", "cccp"] {
+        let bench = branchlab::workloads::benchmark(name).unwrap();
+        let module = bench.compile().unwrap();
+        let train = bench.runs(Scale::Test, 1);
+        let test = bench.runs(Scale::Test, 2);
+        assert_ne!(train, test, "{name}: seeds must generate distinct inputs");
+        let profile = profile_module(&module, &train).unwrap();
+        let conventional = lower(&module).unwrap();
+        let forward = fs_program(&module, &profile, FsConfig::with_slots(3)).unwrap();
+        for streams in &test {
+            let refs: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
+            let a = run(&conventional, &exec_cfg(), &refs, &mut ()).unwrap();
+            let b = run(&forward, &exec_cfg(), &refs, &mut ()).unwrap();
+            assert_eq!(a.exit_value, b.exit_value, "{name}");
+            assert_eq!(a.outputs, b.outputs, "{name}");
+        }
+    }
+}
+
+#[test]
+fn forward_slots_grow_code_but_never_change_dynamic_instruction_count() {
+    // Slots are never executed: the dynamic instruction count of the FS
+    // binary is independent of slot depth.
+    let bench = branchlab::workloads::benchmark("wc").unwrap();
+    let module = bench.compile().unwrap();
+    let runs = bench.runs(Scale::Test, 5);
+    let profile = profile_module(&module, &runs).unwrap();
+    let refs: Vec<&[u8]> = runs[0].iter().map(Vec::as_slice).collect();
+
+    let mut dyn_insts = Vec::new();
+    let mut static_sizes = Vec::new();
+    for slots in [0u16, 1, 2, 8] {
+        let prog = fs_program(&module, &profile, FsConfig { slots, slot_jumps: slots > 0 })
+            .unwrap();
+        static_sizes.push(prog.len());
+        dyn_insts.push(run(&prog, &exec_cfg(), &refs, &mut ()).unwrap().stats.insts);
+    }
+    assert!(static_sizes.windows(2).all(|w| w[0] <= w[1]), "{static_sizes:?}");
+    assert!(static_sizes[3] > static_sizes[0], "slots must grow code");
+    assert!(
+        dyn_insts.windows(2).all(|w| w[0] == w[1]),
+        "slot depth changed dynamic behaviour: {dyn_insts:?}"
+    );
+}

@@ -1,0 +1,221 @@
+//! Property-based end-to-end tests: randomly generated MiniC programs
+//! must compile, validate, run deterministically, and behave identically
+//! under the Forward Semantic transformation at any slot depth.
+
+use proptest::prelude::*;
+
+use branchlab::fsem::{fs_program, FsConfig};
+use branchlab::interp::{run, ExecConfig};
+use branchlab::ir::{lower, validate_module};
+use branchlab::profile::profile_module;
+
+/// A tiny expression AST rendered to MiniC source. Only bounded
+/// constructs are generated, so every program terminates.
+#[derive(Clone, Debug)]
+enum Expr {
+    Const(i8),
+    Var(usize),
+    Getc,
+    Bin(&'static str, Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+}
+
+#[derive(Clone, Debug)]
+enum Stmt {
+    Assign(usize, Expr),
+    Putc(Expr),
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `for (tN = 0; tN < bound; tN++) { body }` with a fresh variable.
+    Loop(u8, Vec<Stmt>),
+    Switch(Expr, Vec<(i8, Vec<Stmt>)>),
+}
+
+const NVARS: usize = 4;
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<i8>().prop_map(Expr::Const),
+        (0..NVARS).prop_map(Expr::Var),
+        Just(Expr::Getc),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just("+"),
+                    Just("-"),
+                    Just("*"),
+                    Just("/"),
+                    Just("%"),
+                    Just("<"),
+                    Just("=="),
+                    Just("&"),
+                    Just("^"),
+                    Just("&&"),
+                    Just("||"),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b))),
+            inner.prop_map(|e| Expr::Not(Box::new(e))),
+        ]
+    })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        ((0..NVARS), expr_strategy()).prop_map(|(v, e)| Stmt::Assign(v, e)),
+        expr_strategy().prop_map(Stmt::Putc),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        let body = prop::collection::vec(inner.clone(), 0..3);
+        prop_oneof![
+            (expr_strategy(), body.clone(), body.clone())
+                .prop_map(|(c, t, e)| Stmt::If(c, t, e)),
+            ((1u8..6), body.clone()).prop_map(|(n, b)| Stmt::Loop(n, b)),
+            (
+                expr_strategy(),
+                prop::collection::vec((any::<i8>(), body), 1..4)
+            )
+                .prop_map(|(s, mut arms)| {
+                    arms.sort_by_key(|(v, _)| *v);
+                    arms.dedup_by_key(|(v, _)| *v);
+                    Stmt::Switch(s, arms)
+                }),
+        ]
+    })
+}
+
+fn render_expr(e: &Expr, out: &mut String) {
+    match e {
+        Expr::Const(c) => out.push_str(&c.to_string()),
+        Expr::Var(v) => out.push_str(&format!("v{v}")),
+        Expr::Getc => out.push_str("getc(0)"),
+        Expr::Bin(op, a, b) => {
+            out.push('(');
+            render_expr(a, out);
+            out.push_str(&format!(" {op} "));
+            render_expr(b, out);
+            out.push(')');
+        }
+        Expr::Not(e) => {
+            out.push_str("!(");
+            render_expr(e, out);
+            out.push(')');
+        }
+    }
+}
+
+fn render_stmts(stmts: &[Stmt], out: &mut String, fresh: &mut usize) {
+    for s in stmts {
+        match s {
+            Stmt::Assign(v, e) => {
+                out.push_str(&format!("v{v} = "));
+                render_expr(e, out);
+                out.push_str(";\n");
+            }
+            Stmt::Putc(e) => {
+                out.push_str("putc(1, ");
+                render_expr(e, out);
+                out.push_str(");\n");
+            }
+            Stmt::If(c, t, e) => {
+                out.push_str("if (");
+                render_expr(c, out);
+                out.push_str(") {\n");
+                render_stmts(t, out, fresh);
+                out.push_str("} else {\n");
+                render_stmts(e, out, fresh);
+                out.push_str("}\n");
+            }
+            Stmt::Loop(n, body) => {
+                let i = *fresh;
+                *fresh += 1;
+                out.push_str(&format!("int t{i};\nfor (t{i} = 0; t{i} < {n}; t{i}++) {{\n"));
+                render_stmts(body, out, fresh);
+                out.push_str("}\n");
+            }
+            Stmt::Switch(scrut, arms) => {
+                out.push_str("switch (");
+                render_expr(scrut, out);
+                out.push_str(") {\n");
+                for (v, body) in arms {
+                    out.push_str(&format!("case {v}:\n"));
+                    render_stmts(body, out, fresh);
+                    out.push_str("break;\n");
+                }
+                out.push_str("default: v0 = v0 + 1;\n}\n");
+            }
+        }
+    }
+}
+
+fn render_program(stmts: &[Stmt]) -> String {
+    let mut src = String::from("int main() {\n");
+    for v in 0..NVARS {
+        src.push_str(&format!("int v{v} = {};\n", v * 3));
+    }
+    let mut fresh = 0;
+    render_stmts(stmts, &mut src, &mut fresh);
+    src.push_str("return (v0 ^ v1) + (v2 ^ v3);\n}\n");
+    src
+}
+
+fn exec_cfg() -> ExecConfig {
+    ExecConfig { max_insts: 5_000_000, ..ExecConfig::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn generated_programs_compile_and_validate(
+        stmts in prop::collection::vec(stmt_strategy(), 0..6)
+    ) {
+        let src = render_program(&stmts);
+        let module = branchlab::minic::compile(&src)
+            .unwrap_or_else(|e| panic!("generated program failed to compile: {e}\n{src}"));
+        prop_assert!(validate_module(&module).is_ok());
+        prop_assert!(lower(&module).is_ok());
+    }
+
+    #[test]
+    fn interpreter_is_deterministic(
+        stmts in prop::collection::vec(stmt_strategy(), 0..6),
+        input in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let module = branchlab::minic::compile(&render_program(&stmts)).unwrap();
+        let program = lower(&module).unwrap();
+        let a = run(&program, &exec_cfg(), &[&input], &mut ()).unwrap();
+        let b = run(&program, &exec_cfg(), &[&input], &mut ()).unwrap();
+        prop_assert_eq!(a.exit_value, b.exit_value);
+        prop_assert_eq!(a.outputs, b.outputs);
+        prop_assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn fs_transform_preserves_semantics_of_arbitrary_programs(
+        stmts in prop::collection::vec(stmt_strategy(), 0..6),
+        input in prop::collection::vec(any::<u8>(), 0..64),
+        other in prop::collection::vec(any::<u8>(), 0..64),
+        slots in 0u16..6,
+    ) {
+        let module = branchlab::minic::compile(&render_program(&stmts)).unwrap();
+        let conventional = lower(&module).unwrap();
+        // Profile on `input`, evaluate on both `input` and `other`.
+        let profile = profile_module(&module, &[vec![input.clone()]]).unwrap();
+        let forward = fs_program(
+            &module,
+            &profile,
+            FsConfig { slots, slot_jumps: slots > 0 },
+        )
+        .unwrap();
+        for data in [&input, &other] {
+            let a = run(&conventional, &exec_cfg(), &[data], &mut ()).unwrap();
+            let b = run(&forward, &exec_cfg(), &[data], &mut ()).unwrap();
+            prop_assert_eq!(a.exit_value, b.exit_value);
+            prop_assert_eq!(&a.outputs, &b.outputs);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Cross-validation of the paper's closed-form cost model against the
+//! cycle-level simulator, on real benchmark traces, for all schemes and
+//! several pipeline shapes.
+
+use branchlab::interp::{run, ExecConfig};
+use branchlab::ir::lower;
+use branchlab::pipeline::{CycleSim, PipelineConfig};
+use branchlab::predict::{AlwaysNotTaken, BranchPredictor, Cbtb, LikelyBit, Sbtb};
+use branchlab::workloads::{benchmark, Scale};
+
+fn validate<P: BranchPredictor>(name: &str, config: PipelineConfig, predictor: P) {
+    let bench = benchmark(name).unwrap();
+    let program = lower(&bench.compile().unwrap()).unwrap();
+    let runs = bench.runs(Scale::Test, 5);
+    let mut sim = CycleSim::new(config, predictor);
+    let mut insts = 0;
+    for streams in &runs {
+        let refs: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
+        insts += run(&program, &ExecConfig::default(), &refs, &mut sim).unwrap().stats.insts;
+    }
+    let measured = sim.measured_cost();
+    let analytic = sim.analytic_cost();
+    assert!(
+        (measured - analytic).abs() < 1e-9,
+        "{name} {config:?}: cycle sim {measured} vs cost model {analytic}"
+    );
+    assert!(sim.cpi(insts) >= 1.0);
+}
+
+#[test]
+fn cost_model_matches_cycle_simulation_for_all_schemes() {
+    for config in [
+        PipelineConfig::moderate(),
+        PipelineConfig::deep(),
+        PipelineConfig { k: 8, l: 4, m: 6 },
+    ] {
+        validate("wc", config, Sbtb::paper());
+        validate("wc", config, Cbtb::paper());
+        validate("compress", config, Sbtb::paper());
+        validate("grep", config, AlwaysNotTaken);
+    }
+}
+
+#[test]
+fn fs_binary_cycle_simulation_matches_model() {
+    use branchlab::fsem::{fs_program, FsConfig};
+    use branchlab::profile::profile_module;
+
+    let bench = benchmark("wc").unwrap();
+    let module = bench.compile().unwrap();
+    let runs = bench.runs(Scale::Test, 5);
+    let profile = profile_module(&module, &runs).unwrap();
+    let program = fs_program(&module, &profile, FsConfig::with_slots(2)).unwrap();
+
+    let mut sim = CycleSim::new(PipelineConfig::deep(), LikelyBit);
+    for streams in &runs {
+        let refs: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
+        run(&program, &ExecConfig::default(), &refs, &mut sim).unwrap();
+    }
+    assert!((sim.measured_cost() - sim.analytic_cost()).abs() < 1e-9);
+    // A deep pipeline with ~90% accuracy must cost 1.2–3 cycles/branch.
+    let c = sim.measured_cost();
+    assert!((1.0..3.5).contains(&c), "cycles/branch {c}");
+}
+
+#[test]
+fn better_predictors_run_programs_faster() {
+    let bench = benchmark("compress").unwrap();
+    let program = lower(&bench.compile().unwrap()).unwrap();
+    let streams = bench.runs(Scale::Test, 5);
+    let refs: Vec<&[u8]> = streams[0].iter().map(Vec::as_slice).collect();
+    let cfg = PipelineConfig::deep();
+
+    let mut cycles = Vec::new();
+    for pred in [
+        Box::new(AlwaysNotTaken) as Box<dyn BranchPredictor>,
+        Box::new(Sbtb::paper()),
+        Box::new(Cbtb::paper()),
+    ] {
+        let mut sim = CycleSim::new(cfg, pred);
+        let insts =
+            run(&program, &ExecConfig::default(), &refs, &mut sim).unwrap().stats.insts;
+        cycles.push(sim.total_cycles(insts));
+    }
+    assert!(cycles[1] < cycles[0], "SBTB {} vs not-taken {}", cycles[1], cycles[0]);
+    assert!(cycles[2] < cycles[0], "CBTB {} vs not-taken {}", cycles[2], cycles[0]);
+}
