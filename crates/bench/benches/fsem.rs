@@ -1,33 +1,29 @@
 //! Forward Semantic compile-time cost: profiling, trace selection, and
 //! slot-filling lowering per benchmark module.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
 use branchlab::fsem::{build_fs_plan, fs_program, FsConfig};
 use branchlab::ir::lower_with_plan;
 use branchlab::profile::profile_module;
 use branchlab::workloads::{benchmark, Scale};
+use branchlab_bench::timing::bench;
 
-fn bench_fsem(c: &mut Criterion) {
+fn main() {
     let b = benchmark("cccp").expect("suite benchmark");
     let module = b.compile().expect("compiles");
     let runs = b.runs(Scale::Test, 3);
     let profile = profile_module(&module, &runs).expect("profiles");
 
-    c.bench_function("fsem/profile-cccp", |bencher| {
-        bencher.iter(|| profile_module(&module, &runs).expect("profiles"))
+    bench("fsem/profile-cccp", 2, 10, || {
+        profile_module(&module, &runs).expect("profiles")
     });
-    c.bench_function("fsem/plan-cccp", |bencher| {
-        bencher.iter(|| build_fs_plan(&module, &profile, FsConfig::with_slots(4)))
+    bench("fsem/plan-cccp", 2, 10, || {
+        build_fs_plan(&module, &profile, FsConfig::with_slots(4))
     });
-    c.bench_function("fsem/lower-with-slots-cccp", |bencher| {
-        let plan = build_fs_plan(&module, &profile, FsConfig::with_slots(4));
-        bencher.iter(|| lower_with_plan(&module, &plan).expect("lowers"))
+    let plan = build_fs_plan(&module, &profile, FsConfig::with_slots(4));
+    bench("fsem/lower-with-slots-cccp", 2, 10, || {
+        lower_with_plan(&module, &plan).expect("lowers")
     });
-    c.bench_function("fsem/end-to-end-cccp", |bencher| {
-        bencher.iter(|| fs_program(&module, &profile, FsConfig::with_slots(4)).expect("lowers"))
+    bench("fsem/end-to-end-cccp", 2, 10, || {
+        fs_program(&module, &profile, FsConfig::with_slots(4)).expect("lowers")
     });
 }
-
-criterion_group!(benches, bench_fsem);
-criterion_main!(benches);

@@ -1,14 +1,12 @@
 //! Interpreter throughput: dynamic instructions per second over
 //! representative benchmark binaries.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-
 use branchlab::interp::{run, ExecConfig};
 use branchlab::ir::lower;
 use branchlab::workloads::{benchmark, Scale};
+use branchlab_bench::timing::bench;
 
-fn bench_interp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("interp");
+fn main() {
     for name in ["wc", "compress", "yacc"] {
         let b = benchmark(name).expect("suite benchmark");
         let program = lower(&b.compile().expect("compiles")).expect("lowers");
@@ -18,15 +16,13 @@ fn bench_interp(c: &mut Criterion) {
             .expect("runs")
             .stats
             .insts;
-        group.throughput(Throughput::Elements(insts));
-        group.bench_function(name, |bencher| {
-            bencher.iter(|| {
-                run(&program, &ExecConfig::default(), &streams, &mut ()).expect("runs")
-            });
+        let t = bench(&format!("interp/{name}"), 3, 15, || {
+            run(&program, &ExecConfig::default(), &streams, &mut ()).expect("runs")
         });
+        let mips = insts as f64 / t.median().as_secs_f64() / 1e6;
+        println!(
+            "{:<40} {mips:>11.1} M insts/s",
+            format!("interp/{name} throughput")
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_interp);
-criterion_main!(benches);

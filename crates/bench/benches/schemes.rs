@@ -1,16 +1,20 @@
 //! Predictor throughput: branch events per second through the SBTB,
 //! CBTB, Forward Semantic bits, and static baselines, on a recorded
 //! trace — the per-lookup cost that would bound BTB hardware models.
-
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+//!
+//! Also measures the instrumented (SiteProbe) vs uninstrumented (NoopSink)
+//! BTB paths to back the <2% telemetry-overhead requirement.
 
 use branchlab::interp::{run, ExecConfig};
 use branchlab::ir::lower;
 use branchlab::predict::{
-    AlwaysTaken, BackwardTakenForwardNot, BranchPredictor, Cbtb, Evaluator, LikelyBit, Sbtb,
+    AlwaysTaken, BackwardTakenForwardNot, BranchPredictor, Cbtb, CbtbConfig, Evaluator, LikelyBit,
+    Sbtb, SbtbConfig,
 };
+use branchlab::telemetry::SiteProbe;
 use branchlab::trace::{BranchEvent, ExecHooks, TraceRecorder};
 use branchlab::workloads::{benchmark, Scale};
+use branchlab_bench::timing::bench;
 
 fn recorded_trace() -> Vec<BranchEvent> {
     let b = benchmark("compress").expect("suite benchmark");
@@ -30,17 +34,34 @@ fn drive<P: BranchPredictor>(events: &[BranchEvent], p: P) -> u64 {
     e.stats.correct
 }
 
-fn bench_predictors(c: &mut Criterion) {
+fn main() {
     let events = recorded_trace();
-    let mut group = c.benchmark_group("predictors");
-    group.throughput(Throughput::Elements(events.len() as u64));
-    group.bench_function("sbtb-256", |b| b.iter(|| drive(&events, Sbtb::paper())));
-    group.bench_function("cbtb-256", |b| b.iter(|| drive(&events, Cbtb::paper())));
-    group.bench_function("fs-likely-bit", |b| b.iter(|| drive(&events, LikelyBit)));
-    group.bench_function("always-taken", |b| b.iter(|| drive(&events, AlwaysTaken)));
-    group.bench_function("btfn", |b| b.iter(|| drive(&events, BackwardTakenForwardNot)));
-    group.finish();
+    println!("trace: {} branch events", events.len());
+    bench("predictors/sbtb-256", 3, 15, || {
+        drive(&events, Sbtb::paper())
+    });
+    bench("predictors/cbtb-256", 3, 15, || {
+        drive(&events, Cbtb::paper())
+    });
+    bench("predictors/sbtb-256-probed", 3, 15, || {
+        drive(
+            &events,
+            Sbtb::with_sink(SbtbConfig::paper(), SiteProbe::enabled()),
+        )
+    });
+    bench("predictors/cbtb-256-probed", 3, 15, || {
+        drive(
+            &events,
+            Cbtb::with_sink(CbtbConfig::paper(), SiteProbe::enabled()),
+        )
+    });
+    bench("predictors/fs-likely-bit", 3, 15, || {
+        drive(&events, LikelyBit)
+    });
+    bench("predictors/always-taken", 3, 15, || {
+        drive(&events, AlwaysTaken)
+    });
+    bench("predictors/btfn", 3, 15, || {
+        drive(&events, BackwardTakenForwardNot)
+    });
 }
-
-criterion_group!(benches, bench_predictors);
-criterion_main!(benches);

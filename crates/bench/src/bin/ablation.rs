@@ -13,8 +13,10 @@ fn main() {
         show(&ablation::sweep_btb_size(b, cfg, &[16, 64, 256, 1024]).expect("size sweep"));
         show(&ablation::sweep_associativity(b, cfg, 256, &[1, 2, 4, 8, 256]).expect("assoc"));
         show(&ablation::sweep_counters(b, cfg, &[(1, 1), (2, 2), (3, 4), (4, 8)]).expect("ctr"));
-        show(&ablation::context_switch_study(b, cfg, &[100, 1_000, 10_000, u64::MAX / 2])
-            .expect("ctx"));
+        show(
+            &ablation::context_switch_study(b, cfg, &[100, 1_000, 10_000, u64::MAX / 2])
+                .expect("ctx"),
+        );
         show(&ablation::static_baselines(b, cfg).expect("baselines"));
         show(&ablation::ras_study(b, cfg, &[4, 16, 64]).expect("ras"));
         show(&ablation::delay_slot_study(b, cfg, 2).expect("delay slots"));

@@ -1,11 +1,11 @@
 //! Regenerate the paper's Figure 3 (branch cost vs l+m for k = 1, 2).
 use branchlab::experiments::figures::{ascii_plot, figure3, SchemeAccuracies};
 fn main() {
-    let options = branchlab_bench::Options::from_args();
-    let suite = branchlab_bench::suite(&options);
-    let acc = SchemeAccuracies::from_suite(&suite);
-    for (panel, k) in figure3(&acc).iter().zip([1u32, 2]) {
-        print!("{}", options.render(panel));
-        println!("{}", ascii_plot(&acc, k, 14));
-    }
+    branchlab_bench::artifact_main("fig3", |options, suite| {
+        let acc = SchemeAccuracies::from_suite(suite);
+        for (panel, k) in figure3(&acc).iter().zip([1u32, 2]) {
+            print!("{}", options.render(panel));
+            println!("{}", ascii_plot(&acc, k, 14));
+        }
+    });
 }

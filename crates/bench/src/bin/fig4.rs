@@ -1,11 +1,11 @@
 //! Regenerate the paper's Figure 4 (branch cost vs l+m for k = 4, 8).
 use branchlab::experiments::figures::{ascii_plot, figure4, SchemeAccuracies};
 fn main() {
-    let options = branchlab_bench::Options::from_args();
-    let suite = branchlab_bench::suite(&options);
-    let acc = SchemeAccuracies::from_suite(&suite);
-    for (panel, k) in figure4(&acc).iter().zip([4u32, 8]) {
-        print!("{}", options.render(panel));
-        println!("{}", ascii_plot(&acc, k, 14));
-    }
+    branchlab_bench::artifact_main("fig4", |options, suite| {
+        let acc = SchemeAccuracies::from_suite(suite);
+        for (panel, k) in figure4(&acc).iter().zip([4u32, 8]) {
+            print!("{}", options.render(panel));
+            println!("{}", ascii_plot(&acc, k, 14));
+        }
+    });
 }

@@ -1,6 +1,9 @@
 //! Regenerate the paper's Table 1.
 fn main() {
-    let options = branchlab_bench::Options::from_args();
-    let suite = branchlab_bench::suite(&options);
-    print!("{}", options.render(&branchlab::experiments::tables::table1(&suite)));
+    branchlab_bench::artifact_main("table1", |options, suite| {
+        print!(
+            "{}",
+            options.render(&branchlab::experiments::tables::table1(suite))
+        );
+    });
 }

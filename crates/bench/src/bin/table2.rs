@@ -1,6 +1,9 @@
 //! Regenerate the paper's Table 2.
 fn main() {
-    let options = branchlab_bench::Options::from_args();
-    let suite = branchlab_bench::suite(&options);
-    print!("{}", options.render(&branchlab::experiments::tables::table2(&suite)));
+    branchlab_bench::artifact_main("table2", |options, suite| {
+        print!(
+            "{}",
+            options.render(&branchlab::experiments::tables::table2(suite))
+        );
+    });
 }

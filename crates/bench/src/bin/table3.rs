@@ -1,6 +1,9 @@
 //! Regenerate the paper's Table 3.
 fn main() {
-    let options = branchlab_bench::Options::from_args();
-    let suite = branchlab_bench::suite(&options);
-    print!("{}", options.render(&branchlab::experiments::tables::table3(&suite)));
+    branchlab_bench::artifact_main("table3", |options, suite| {
+        print!(
+            "{}",
+            options.render(&branchlab::experiments::tables::table3(suite))
+        );
+    });
 }

@@ -1,12 +1,15 @@
 //! Regenerate the paper's Table 4 plus the §3 scalability observation.
 fn main() {
-    let options = branchlab_bench::Options::from_args();
-    let suite = branchlab_bench::suite(&options);
-    print!("{}", options.render(&branchlab::experiments::tables::table4(&suite)));
-    let (s, c, f) = branchlab::experiments::tables::cost_growth(&suite);
-    println!();
-    println!(
-        "Average branch-cost increase from k+l=2 to k+l=3: SBTB {s:.1}%, CBTB {c:.1}%, FS {f:.1}%"
-    );
-    println!("(paper: SBTB 7.7%, CBTB 6.9%, FS 5.3% — FS scales best)");
+    branchlab_bench::artifact_main("table4", |options, suite| {
+        print!(
+            "{}",
+            options.render(&branchlab::experiments::tables::table4(suite))
+        );
+        let (s, c, f) = branchlab::experiments::tables::cost_growth(suite);
+        println!();
+        println!(
+            "Average branch-cost increase from k+l=2 to k+l=3: SBTB {s:.1}%, CBTB {c:.1}%, FS {f:.1}%"
+        );
+        println!("(paper: SBTB 7.7%, CBTB 6.9%, FS 5.3% — FS scales best)");
+    });
 }

@@ -1,6 +1,9 @@
 //! Regenerate the paper's Table 5.
 fn main() {
-    let options = branchlab_bench::Options::from_args();
-    let suite = branchlab_bench::suite(&options);
-    print!("{}", options.render(&branchlab::experiments::tables::table5(&suite)));
+    branchlab_bench::artifact_main("table5", |options, suite| {
+        print!(
+            "{}",
+            options.render(&branchlab::experiments::tables::table5(suite))
+        );
+    });
 }

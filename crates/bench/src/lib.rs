@@ -3,19 +3,33 @@
 //! The benchmark harness: one binary per paper artifact —
 //! `table1` … `table5`, `fig3`, `fig4`, an `ablation` binary for the
 //! extension studies, and a `report` binary that regenerates everything
-//! in one run (used to produce EXPERIMENTS.md). Criterion benches cover
-//! the interpreter, the predictors, and the Forward Semantic transform.
+//! in one run (used to produce EXPERIMENTS.md). Std-only timing benches
+//! (under `benches/`) cover the interpreter, the predictors, and the
+//! Forward Semantic transform.
 //!
 //! Every binary accepts:
 //!
 //! * `--scale test|small|paper` (default `small`)
 //! * `--seed N` (default 1989)
 //! * `--markdown` / `--csv` output formats (default fixed-width text)
+//! * `--telemetry-out DIR` — write a run manifest (`manifest.json`)
+//!   plus metrics snapshots (`metrics.jsonl`, `metrics.prom`) with
+//!   per-benchmark phase timings and per-site predictor counters
 
 #![warn(missing_docs)]
 
-use branchlab::experiments::{run_suite, ExperimentConfig, SuiteResult, Table};
+use std::path::PathBuf;
+
+use branchlab::experiments::{run_suite, BenchResult, ExperimentConfig, SuiteResult, Table};
+use branchlab::predict::PredStats;
+use branchlab::telemetry::manifest::BenchmarkRecord;
+use branchlab::telemetry::{JsonValue, MetricsRegistry, RunManifest};
 use branchlab::workloads::Scale;
+
+pub mod timing;
+
+/// Sites listed in the manifest's per-predictor top-mispredicted table.
+pub const MANIFEST_TOP_K_SITES: usize = 10;
 
 /// Output format selected on the command line.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -35,7 +49,12 @@ pub struct Options {
     pub config: ExperimentConfig,
     /// Output format.
     pub format: Format,
+    /// Directory for the run manifest and metrics snapshots; also turns
+    /// on per-site predictor telemetry.
+    pub telemetry_out: Option<PathBuf>,
 }
+
+const USAGE: &str = "usage: [--scale test|small|paper] [--seed N] [--markdown|--csv] [--no-verify] [--telemetry-out DIR]";
 
 impl Options {
     /// Parse `std::env::args`.
@@ -44,9 +63,20 @@ impl Options {
     /// Panics with a usage message on unknown arguments.
     #[must_use]
     pub fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse an explicit argument list (everything after the binary
+    /// name).
+    ///
+    /// # Panics
+    /// Panics with a usage message on unknown arguments.
+    #[must_use]
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
         let mut config = ExperimentConfig::default();
         let mut format = Format::Text;
-        let mut args = std::env::args().skip(1);
+        let mut telemetry_out = None;
+        let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--scale" => {
@@ -67,12 +97,19 @@ impl Options {
                 "--markdown" => format = Format::Markdown,
                 "--csv" => format = Format::Csv,
                 "--no-verify" => config.verify_equivalence = false,
-                other => panic!(
-                    "unknown argument `{other}`\nusage: [--scale test|small|paper] [--seed N] [--markdown|--csv] [--no-verify]"
-                ),
+                "--telemetry-out" => {
+                    let dir = args.next().expect("--telemetry-out needs a directory");
+                    config.collect_site_telemetry = true;
+                    telemetry_out = Some(PathBuf::from(dir));
+                }
+                other => panic!("unknown argument `{other}`\n{USAGE}"),
             }
         }
-        Options { config, format }
+        Options {
+            config,
+            format,
+            telemetry_out,
+        }
     }
 
     /// Render a table in the selected format.
@@ -108,22 +145,160 @@ pub fn suite(options: &Options) -> SuiteResult {
     suite
 }
 
+/// The shared main of every table/figure binary: parse the command
+/// line, run the suite, hand it to `emit` for rendering, and — when
+/// `--telemetry-out` was given — write the run manifest and metrics
+/// snapshots.
+///
+/// # Panics
+/// Panics on pipeline failure or unwritable telemetry directory (these
+/// binaries are terminal tools).
+pub fn artifact_main(tool: &str, emit: impl FnOnce(&Options, &SuiteResult)) {
+    let options = Options::from_args();
+    let suite = suite(&options);
+    emit(&options, &suite);
+    if let Some(dir) = &options.telemetry_out {
+        let path = write_telemetry(tool, &options, &suite, dir)
+            .unwrap_or_else(|e| panic!("writing telemetry to {} failed: {e}", dir.display()));
+        eprintln!("telemetry manifest written to {}", path.display());
+    }
+}
+
+/// Prediction scoring as a JSON object for the manifest.
+fn pred_json(stats: &PredStats) -> JsonValue {
+    JsonValue::obj(vec![
+        ("events", stats.events.into()),
+        ("correct", stats.correct.into()),
+        ("accuracy", stats.accuracy().into()),
+        ("btb_lookups", stats.btb_lookups.into()),
+        ("btb_misses", stats.btb_misses.into()),
+        ("miss_ratio", stats.miss_ratio().into()),
+    ])
+}
+
+/// Scoring plus per-site counters for one BTB scheme.
+fn btb_json(stats: &PredStats, sites: &branchlab::telemetry::SiteProbe) -> JsonValue {
+    JsonValue::obj(vec![
+        ("stats", pred_json(stats)),
+        ("sites", sites.to_json_value(MANIFEST_TOP_K_SITES)),
+    ])
+}
+
+/// One benchmark's manifest record: phase spans plus per-predictor
+/// summaries.
+fn bench_record(b: &BenchResult) -> BenchmarkRecord {
+    BenchmarkRecord {
+        name: b.name.to_string(),
+        phases: b.phases.clone(),
+        predictors: vec![
+            ("sbtb".into(), btb_json(&b.sbtb, &b.sbtb_sites)),
+            ("cbtb".into(), btb_json(&b.cbtb, &b.cbtb_sites)),
+            ("fs".into(), pred_json(&b.fs)),
+            ("always_taken".into(), pred_json(&b.always_taken)),
+            ("always_not_taken".into(), pred_json(&b.always_not_taken)),
+            ("btfn".into(), pred_json(&b.btfn)),
+        ],
+    }
+}
+
+/// Write `manifest.json`, `metrics.jsonl`, and `metrics.prom` for a
+/// suite run under `dir`. Returns the manifest path.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_telemetry(
+    tool: &str,
+    options: &Options,
+    suite: &SuiteResult,
+    dir: &std::path::Path,
+) -> std::io::Result<PathBuf> {
+    let mut manifest = RunManifest::new(tool);
+    let cfg = &options.config;
+    manifest.set_config("scale", format!("{:?}", cfg.scale).to_lowercase().as_str());
+    manifest.set_config("seed", cfg.seed);
+    manifest.set_config("fs_slots", u64::from(cfg.fs_slots));
+    manifest.set_config("cbtb_strict", cfg.cbtb_strict);
+    manifest.set_config("verify_equivalence", cfg.verify_equivalence);
+
+    let registry = MetricsRegistry::new();
+    for b in &suite.benches {
+        manifest.push_benchmark(bench_record(b));
+        b.stats.export(&registry, &format!("bench.{}.exec", b.name));
+        for (scheme, stats) in [("sbtb", &b.sbtb), ("cbtb", &b.cbtb), ("fs", &b.fs)] {
+            let prefix = format!("bench.{}.{scheme}", b.name);
+            registry
+                .counter(&format!("{prefix}.events"))
+                .add(stats.events);
+            registry
+                .counter(&format!("{prefix}.correct"))
+                .add(stats.correct);
+            registry
+                .counter(&format!("{prefix}.mispredicts"))
+                .add(stats.events - stats.correct);
+        }
+        for phase in &b.phases {
+            registry
+                .counter(&format!("bench.{}.phase.{}.wall_us", b.name, phase.name))
+                .add(phase.wall.as_micros().min(u128::from(u64::MAX)) as u64);
+        }
+    }
+    manifest.write_to(dir, Some(&registry.snapshot()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn default_options_are_small_scale() {
-        let o = Options { config: ExperimentConfig::default(), format: Format::Text };
+        let o = Options::parse(Vec::new());
         assert_eq!(o.config.seed, 1989);
         assert!(matches!(o.config.scale, Scale::Small));
+        assert!(o.telemetry_out.is_none());
+        assert!(!o.config.collect_site_telemetry);
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let o = Options::parse(
+            [
+                "--scale",
+                "test",
+                "--seed",
+                "7",
+                "--csv",
+                "--no-verify",
+                "--telemetry-out",
+                "/tmp/t",
+            ]
+            .map(String::from),
+        );
+        assert!(matches!(o.config.scale, Scale::Test));
+        assert_eq!(o.config.seed, 7);
+        assert_eq!(o.format, Format::Csv);
+        assert!(!o.config.verify_equivalence);
+        assert_eq!(
+            o.telemetry_out.as_deref(),
+            Some(std::path::Path::new("/tmp/t"))
+        );
+        assert!(
+            o.config.collect_site_telemetry,
+            "--telemetry-out enables site probes"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn unknown_flag_rejected() {
+        let _ = Options::parse(["--bogus".to_string()]);
     }
 
     #[test]
     fn render_selects_format() {
         let mut t = Table::new("t", &["a"]);
         t.row(vec!["1".into()]);
-        let mut o = Options { config: ExperimentConfig::default(), format: Format::Csv };
+        let mut o = Options::parse(Vec::new());
+        o.format = Format::Csv;
         assert!(o.render(&t).starts_with("a\n"));
         o.format = Format::Markdown;
         assert!(o.render(&t).contains("| a |"));

@@ -1,0 +1,110 @@
+//! A minimal std-only timing harness for the `benches/` binaries.
+//!
+//! Each bench is a plain `fn main()` (the `[[bench]]` entries set
+//! `harness = false`): call [`bench`] per case and it prints one line
+//! with the median, min, and max wall-clock over the measured
+//! iterations. Use [`std::hint::black_box`] inside the closure to keep
+//! the optimizer honest.
+
+use std::time::{Duration, Instant};
+
+/// Measured wall-clock distribution for one bench case.
+#[derive(Clone, Debug)]
+pub struct Timing {
+    /// Case label.
+    pub name: String,
+    /// Per-iteration durations, sorted ascending.
+    pub samples: Vec<Duration>,
+}
+
+impl Timing {
+    /// Median per-iteration wall clock.
+    #[must_use]
+    pub fn median(&self) -> Duration {
+        self.samples[self.samples.len() / 2]
+    }
+
+    /// Fastest iteration.
+    #[must_use]
+    pub fn min(&self) -> Duration {
+        self.samples[0]
+    }
+
+    /// Slowest iteration.
+    #[must_use]
+    pub fn max(&self) -> Duration {
+        self.samples[self.samples.len() - 1]
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", d.as_secs_f64() * 1e3)
+    } else if ns >= 1_000 {
+        format!("{:.3}µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Time `f` over `warmup` unmeasured plus `iters` measured runs,
+/// print a `name  median  (min … max, N iters)` line, and return the
+/// samples.
+///
+/// # Panics
+/// Panics if `iters` is zero.
+pub fn bench<R>(name: &str, warmup: usize, iters: usize, mut f: impl FnMut() -> R) -> Timing {
+    assert!(iters > 0, "iters must be positive");
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        samples.push(start.elapsed());
+    }
+    samples.sort_unstable();
+    let timing = Timing {
+        name: name.to_string(),
+        samples,
+    };
+    println!(
+        "{:<40} {:>12} ({} … {}, {} iters)",
+        timing.name,
+        fmt_duration(timing.median()),
+        fmt_duration(timing.min()),
+        fmt_duration(timing.max()),
+        iters
+    );
+    timing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_collects_sorted_samples() {
+        let mut n = 0u64;
+        let t = bench("spin", 1, 5, || {
+            n += 1;
+            std::hint::black_box(n)
+        });
+        assert_eq!(t.samples.len(), 5);
+        assert!(t.samples.windows(2).all(|w| w[0] <= w[1]));
+        assert!(t.min() <= t.median() && t.median() <= t.max());
+        assert_eq!(n, 6, "warmup + measured iterations all ran");
+    }
+
+    #[test]
+    fn durations_format_with_unit_scaling() {
+        assert_eq!(fmt_duration(Duration::from_nanos(120)), "120ns");
+        assert_eq!(fmt_duration(Duration::from_micros(2)), "2.000µs");
+        assert_eq!(fmt_duration(Duration::from_millis(3)), "3.000ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000s");
+    }
+}

@@ -3,7 +3,10 @@ use branchlab_profile::profile_module_with;
 use branchlab_workloads::{benchmark, Scale};
 
 fn main() {
-    let cfg = ExperimentConfig { scale: Scale::Small, ..ExperimentConfig::default() };
+    let cfg = ExperimentConfig {
+        scale: Scale::Small,
+        ..ExperimentConfig::default()
+    };
     let b = benchmark("compress").unwrap();
     let module = b.compile().unwrap();
     let runs = b.runs(cfg.scale, cfg.seed);
@@ -16,14 +19,33 @@ fn main() {
         maj += c.majority();
         tot += c.total;
         if c.total > 100_000 {
-            println!("site {site}: taken {}/{} ({:.1}% maj)", c.taken, c.total,
-                c.majority() as f64 / c.total as f64 * 100.0);
+            println!(
+                "site {site}: taken {}/{} ({:.1}% maj)",
+                c.taken,
+                c.total,
+                c.majority() as f64 / c.total as f64 * 100.0
+            );
         }
     }
-    println!("conditional majority bound: {:.2}%", maj as f64 / tot as f64 * 100.0);
+    println!(
+        "conditional majority bound: {:.2}%",
+        maj as f64 / tot as f64 * 100.0
+    );
     let r = run_benchmark(b, &cfg).unwrap();
-    println!("FS   overall {:.2}%  cond {:.2}%", r.fs.accuracy()*100.0, r.fs.cond_accuracy()*100.0);
-    println!("CBTB overall {:.2}%  cond {:.2}%", r.cbtb.accuracy()*100.0, r.cbtb.cond_accuracy()*100.0);
-    println!("SBTB overall {:.2}%  cond {:.2}%", r.sbtb.accuracy()*100.0, r.sbtb.cond_accuracy()*100.0);
+    println!(
+        "FS   overall {:.2}%  cond {:.2}%",
+        r.fs.accuracy() * 100.0,
+        r.fs.cond_accuracy() * 100.0
+    );
+    println!(
+        "CBTB overall {:.2}%  cond {:.2}%",
+        r.cbtb.accuracy() * 100.0,
+        r.cbtb.cond_accuracy() * 100.0
+    );
+    println!(
+        "SBTB overall {:.2}%  cond {:.2}%",
+        r.sbtb.accuracy() * 100.0,
+        r.sbtb.cond_accuracy() * 100.0
+    );
     println!("events: FS {} CBTB {}", r.fs.events, r.cbtb.events);
 }

@@ -28,7 +28,10 @@ pub fn sweep_btb_size(
 ) -> Result<Table, ExperimentError> {
     let mut preds: Vec<Box<dyn BranchPredictor>> = Vec::new();
     for &s in sizes {
-        preds.push(Box::new(Sbtb::new(SbtbConfig { entries: s, ways: s })));
+        preds.push(Box::new(Sbtb::new(SbtbConfig {
+            entries: s,
+            ways: s,
+        })));
         preds.push(Box::new(Cbtb::new(CbtbConfig {
             entries: s,
             ways: s,
@@ -76,11 +79,18 @@ pub fn sweep_associativity(
     }
     let stats = eval_predictors(bench, config, preds)?;
     let mut t = Table::new(
-        format!("CBTB associativity sweep ({}, {entries} entries)", bench.name),
+        format!(
+            "CBTB associativity sweep ({}, {entries} entries)",
+            bench.name
+        ),
         &["Ways", "rho_CBTB", "A_CBTB"],
     );
     for (i, &w) in ways_list.iter().enumerate() {
-        t.row(vec![w.to_string(), rho(stats[i].miss_ratio()), pct(stats[i].accuracy())]);
+        t.row(vec![
+            w.to_string(),
+            rho(stats[i].miss_ratio()),
+            pct(stats[i].accuracy()),
+        ]);
     }
     Ok(t)
 }
@@ -111,7 +121,11 @@ pub fn sweep_counters(
         &["Bits", "Threshold", "A_CBTB"],
     );
     for (i, &(bits, thr)) in variants.iter().enumerate() {
-        t.row(vec![bits.to_string(), thr.to_string(), pct(stats[i].accuracy())]);
+        t.row(vec![
+            bits.to_string(),
+            thr.to_string(),
+            pct(stats[i].accuracy()),
+        ]);
     }
     Ok(t)
 }
@@ -182,14 +196,21 @@ pub fn static_baselines(
         ],
     )?;
     let mut t = Table::new(
-        format!("Static baselines ({}) — conditional-branch accuracy", bench.name),
+        format!(
+            "Static baselines ({}) — conditional-branch accuracy",
+            bench.name
+        ),
         &["Scheme", "A (cond)", "A (all)"],
     );
     for (name, s) in ["always-taken", "always-not-taken", "btfn", "opcode-bias"]
         .iter()
         .zip(&stats)
     {
-        t.row(vec![(*name).to_string(), pct(s.cond_accuracy()), pct(s.accuracy())]);
+        t.row(vec![
+            (*name).to_string(),
+            pct(s.cond_accuracy()),
+            pct(s.accuracy()),
+        ]);
     }
     Ok(t)
 }
@@ -273,10 +294,7 @@ pub fn delay_slot_study(
 ///
 /// # Errors
 /// Returns [`ExperimentError`] on pipeline failure.
-pub fn beyond_1989(
-    bench: &Benchmark,
-    config: &ExperimentConfig,
-) -> Result<Table, ExperimentError> {
+pub fn beyond_1989(bench: &Benchmark, config: &ExperimentConfig) -> Result<Table, ExperimentError> {
     let stats = eval_predictors(
         bench,
         config,
@@ -287,11 +305,21 @@ pub fn beyond_1989(
         ],
     )?;
     let mut t = Table::new(
-        format!("Beyond 1989: two-level adaptive prediction ({})", bench.name),
+        format!(
+            "Beyond 1989: two-level adaptive prediction ({})",
+            bench.name
+        ),
         &["Scheme", "A (cond)", "A (all)"],
     );
-    for (name, s) in ["CBTB (paper)", "gshare 12/8", "local 12/6"].iter().zip(&stats) {
-        t.row(vec![(*name).to_string(), pct(s.cond_accuracy()), pct(s.accuracy())]);
+    for (name, s) in ["CBTB (paper)", "gshare 12/8", "local 12/6"]
+        .iter()
+        .zip(&stats)
+    {
+        t.row(vec![
+            (*name).to_string(),
+            pct(s.cond_accuracy()),
+            pct(s.accuracy()),
+        ]);
     }
     Ok(t)
 }
@@ -331,20 +359,16 @@ mod tests {
 
     #[test]
     fn counter_sweep_includes_paper_point() {
-        let t = sweep_counters(benchmark("wc").unwrap(), &cfg(), &[(1, 1), (2, 2), (3, 4)])
-            .unwrap();
+        let t =
+            sweep_counters(benchmark("wc").unwrap(), &cfg(), &[(1, 1), (2, 2), (3, 4)]).unwrap();
         assert_eq!(t.rows.len(), 3);
         assert_eq!(t.rows[1][0], "2");
     }
 
     #[test]
     fn context_switches_hurt_hardware_not_software() {
-        let t = context_switch_study(
-            benchmark("grep").unwrap(),
-            &cfg(),
-            &[50, 1_000_000_000],
-        )
-        .unwrap();
+        let t =
+            context_switch_study(benchmark("grep").unwrap(), &cfg(), &[50, 1_000_000_000]).unwrap();
         let parse = |s: &str| s.trim_end_matches('%').parse::<f64>().unwrap();
         // FS identical across intervals; SBTB strictly worse when
         // flushed every 50 branches.

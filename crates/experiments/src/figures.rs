@@ -33,7 +33,11 @@ impl SchemeAccuracies {
     /// curves next to measured ones.
     #[must_use]
     pub fn paper() -> Self {
-        SchemeAccuracies { sbtb: 0.915, cbtb: 0.924, fs: 0.935 }
+        SchemeAccuracies {
+            sbtb: 0.915,
+            cbtb: 0.924,
+            fs: 0.935,
+        }
     }
 }
 

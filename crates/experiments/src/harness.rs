@@ -1,6 +1,12 @@
 //! The end-to-end experiment pipeline: compile → profile → transform →
 //! evaluate all three schemes (plus static baselines) over every
 //! benchmark, in a single interpreter pass per run per layout.
+//!
+//! Every stage of [`run_benchmark`] runs inside a telemetry span, so
+//! each [`BenchResult`] carries a per-phase wall-clock (and work-count)
+//! breakdown; with [`ExperimentConfig::collect_site_telemetry`] set,
+//! the SBTB/CBTB additionally tally per-branch-site hit/miss/evict/
+//! alias/mispredict counters through a [`SiteProbe`].
 
 use branchlab_fsem::{code_expansion, fs_program, ExpansionPoint, FsConfig};
 use branchlab_interp::{run, ExecConfig, ExecError, ExecStats};
@@ -11,8 +17,20 @@ use branchlab_predict::{
     LikelyBit, PredStats, Sbtb,
 };
 use branchlab_profile::{profile_module_with, Profile, ProfileError};
+use branchlab_telemetry::{PhaseSpan, SiteProbe, Timeline};
 use branchlab_trace::{BranchEvent, BranchMix, ExecHooks};
 use branchlab_workloads::{Benchmark, Scale, SUITE};
+
+/// The phases every [`BenchResult`] reports, in pipeline order.
+pub const PHASES: [&str; 7] = [
+    "compile",
+    "profile",
+    "lower",
+    "fs_build",
+    "natural_eval",
+    "fs_eval",
+    "expansion",
+];
 
 /// Experiment-wide knobs.
 #[derive(Clone, Debug)]
@@ -33,6 +51,10 @@ pub struct ExperimentConfig {
     /// Use the paper's literal "predicted taken when C > T" counter rule
     /// (see DESIGN.md); `false` selects the Smith-style `C ≥ T` reading.
     pub cbtb_strict: bool,
+    /// Collect per-branch-site BTB telemetry (hits, misses, evictions,
+    /// aliases, mispredicts). Off by default: the accounting HashMap
+    /// costs a few percent of evaluation throughput.
+    pub collect_site_telemetry: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -44,6 +66,7 @@ impl Default for ExperimentConfig {
             max_insts_per_run: 2_000_000_000,
             verify_equivalence: true,
             cbtb_strict: true,
+            collect_site_telemetry: false,
         }
     }
 }
@@ -52,11 +75,25 @@ impl ExperimentConfig {
     /// A fast configuration for tests.
     #[must_use]
     pub fn test() -> Self {
-        ExperimentConfig { scale: Scale::Test, ..ExperimentConfig::default() }
+        ExperimentConfig {
+            scale: Scale::Test,
+            ..ExperimentConfig::default()
+        }
     }
 
     fn exec_config(&self) -> ExecConfig {
-        ExecConfig { max_insts: self.max_insts_per_run, ..ExecConfig::default() }
+        ExecConfig {
+            max_insts: self.max_insts_per_run,
+            ..ExecConfig::default()
+        }
+    }
+
+    fn site_probe(&self) -> SiteProbe {
+        if self.collect_site_telemetry {
+            SiteProbe::enabled()
+        } else {
+            SiteProbe::disabled()
+        }
     }
 }
 
@@ -88,6 +125,23 @@ pub struct BenchResult {
     pub btfn: PredStats,
     /// Code expansion at k + ℓ ∈ {1, 2, 4, 8} (Table 5).
     pub expansion: Vec<ExpansionPoint>,
+    /// Wall-clock/work breakdown of the pipeline stages, one span per
+    /// entry of [`PHASES`] (plus interpreter sub-spans in run order).
+    pub phases: Vec<PhaseSpan>,
+    /// Per-branch-site SBTB telemetry (empty unless
+    /// [`ExperimentConfig::collect_site_telemetry`] was set).
+    pub sbtb_sites: SiteProbe,
+    /// Per-branch-site CBTB telemetry (empty unless
+    /// [`ExperimentConfig::collect_site_telemetry`] was set).
+    pub cbtb_sites: SiteProbe,
+}
+
+impl BenchResult {
+    /// The recorded wall-clock duration of `phase`, if present.
+    #[must_use]
+    pub fn phase(&self, name: &str) -> Option<&PhaseSpan> {
+        self.phases.iter().find(|p| p.name == name)
+    }
 }
 
 /// Errors from the experiment pipeline.
@@ -118,7 +172,10 @@ impl std::fmt::Display for ExperimentError {
             ExperimentError::Profile(e) => write!(f, "profiling failed: {e}"),
             ExperimentError::Exec(e) => write!(f, "evaluation run failed: {e}"),
             ExperimentError::EquivalenceViolation { bench, run } => {
-                write!(f, "FS binary diverged from conventional binary: {bench} run {run}")
+                write!(
+                    f,
+                    "FS binary diverged from conventional binary: {bench} run {run}"
+                )
             }
         }
     }
@@ -150,8 +207,8 @@ impl From<ExecError> for ExperimentError {
 /// All evaluators fed by one pass over the conventional binary.
 struct NaturalSinks {
     mix: BranchMix,
-    sbtb: Evaluator<Sbtb>,
-    cbtb: Evaluator<Cbtb>,
+    sbtb: Evaluator<Sbtb<SiteProbe>>,
+    cbtb: Evaluator<Cbtb<SiteProbe>>,
     at: Evaluator<AlwaysTaken>,
     ant: Evaluator<AlwaysNotTaken>,
     btfn: Evaluator<BackwardTakenForwardNot>,
@@ -187,55 +244,89 @@ pub fn run_benchmark(
     bench: &'static Benchmark,
     config: &ExperimentConfig,
 ) -> Result<BenchResult, ExperimentError> {
-    let module = bench.compile()?;
+    let timeline = Timeline::new();
+
+    let module = {
+        let _span = timeline.span("compile");
+        bench.compile()?
+    };
     let runs = bench.runs(config.scale, config.seed);
     let exec_cfg = config.exec_config();
 
     // 1. Profiling pass (instrumented layout, the paper's probe build).
-    let profile: Profile = profile_module_with(&module, &runs, &exec_cfg)?;
+    let profile: Profile = {
+        let _span = timeline.span("profile");
+        profile_module_with(&module, &runs, &exec_cfg)?
+    };
 
     // 2. The two binaries under study.
-    let natural: Program = lower(&module)?;
-    let fs_bin: Program = fs_program(&module, &profile, FsConfig::with_slots(config.fs_slots))?;
+    let natural: Program = {
+        let _span = timeline.span("lower");
+        lower(&module)?
+    };
+    let fs_bin: Program = {
+        let _span = timeline.span("fs_build");
+        fs_program(&module, &profile, FsConfig::with_slots(config.fs_slots))?
+    };
 
     // 3. One pass per run over the conventional binary feeds every
     //    hardware/static evaluator at once.
     let mut sinks = NaturalSinks {
         mix: BranchMix::new(),
-        sbtb: Evaluator::new(Sbtb::paper()),
-        cbtb: Evaluator::new(Cbtb::new(branchlab_predict::CbtbConfig {
-            strict_greater: config.cbtb_strict,
-            ..branchlab_predict::CbtbConfig::paper()
-        })),
+        sbtb: Evaluator::new(Sbtb::with_sink(
+            branchlab_predict::SbtbConfig::paper(),
+            config.site_probe(),
+        )),
+        cbtb: Evaluator::new(Cbtb::with_sink(
+            branchlab_predict::CbtbConfig {
+                strict_greater: config.cbtb_strict,
+                ..branchlab_predict::CbtbConfig::paper()
+            },
+            config.site_probe(),
+        )),
         at: Evaluator::new(AlwaysTaken),
         ant: Evaluator::new(AlwaysNotTaken),
         btfn: Evaluator::new(BackwardTakenForwardNot),
     };
     let mut stats = ExecStats::default();
     let mut natural_outcomes = Vec::new();
-    for streams in &runs {
-        sinks.start_run();
-        let refs: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
-        let out = run(&natural, &exec_cfg, &refs, &mut sinks)?;
-        stats.merge(&out.stats);
-        natural_outcomes.push((out.exit_value, out.outputs));
+    {
+        let mut span = timeline.span("natural_eval");
+        for streams in &runs {
+            sinks.start_run();
+            let refs: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
+            let out = run(&natural, &exec_cfg, &refs, &mut sinks)?;
+            stats.merge(&out.stats);
+            natural_outcomes.push((out.exit_value, out.outputs));
+        }
+        span.add_work(stats.insts);
     }
 
     // 4. The FS binary runs with its likely bits steering prediction.
     let mut fs_eval = Evaluator::new(LikelyBit);
-    for (ri, streams) in runs.iter().enumerate() {
-        let refs: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
-        let out = run(&fs_bin, &exec_cfg, &refs, &mut fs_eval)?;
-        if config.verify_equivalence {
-            let (exit, outputs) = &natural_outcomes[ri];
-            if out.exit_value != *exit || out.outputs != *outputs {
-                return Err(ExperimentError::EquivalenceViolation { bench: bench.name, run: ri });
+    {
+        let mut span = timeline.span("fs_eval");
+        for (ri, streams) in runs.iter().enumerate() {
+            let refs: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
+            let out = run(&fs_bin, &exec_cfg, &refs, &mut fs_eval)?;
+            span.add_work(out.stats.insts);
+            if config.verify_equivalence {
+                let (exit, outputs) = &natural_outcomes[ri];
+                if out.exit_value != *exit || out.outputs != *outputs {
+                    return Err(ExperimentError::EquivalenceViolation {
+                        bench: bench.name,
+                        run: ri,
+                    });
+                }
             }
         }
     }
 
     // 5. Static code expansion (Table 5 depths).
-    let expansion = code_expansion(&module, &profile, &[1, 2, 4, 8])?;
+    let expansion = {
+        let _span = timeline.span("expansion");
+        code_expansion(&module, &profile, &[1, 2, 4, 8])?
+    };
 
     Ok(BenchResult {
         name: bench.name,
@@ -250,6 +341,9 @@ pub fn run_benchmark(
         always_not_taken: sinks.ant.stats,
         btfn: sinks.btfn.stats,
         expansion,
+        phases: timeline.finish(),
+        sbtb_sites: sinks.sbtb.predictor.sink().clone(),
+        cbtb_sites: sinks.cbtb.predictor.sink().clone(),
     })
 }
 
@@ -263,9 +357,9 @@ pub struct SuiteResult {
 impl SuiteResult {
     /// Results restricted to the ten Table 1–4 benchmarks.
     pub fn main_benches(&self) -> impl Iterator<Item = &BenchResult> {
-        self.benches.iter().filter(|b| {
-            branchlab_workloads::benchmark(b.name).is_some_and(|bm| bm.in_main_tables)
-        })
+        self.benches
+            .iter()
+            .filter(|b| branchlab_workloads::benchmark(b.name).is_some_and(|bm| bm.in_main_tables))
     }
 
     /// Mean and sample standard deviation of a per-benchmark metric over
@@ -296,15 +390,16 @@ pub fn mean_std(xs: &[f64]) -> (f64, f64) {
 /// # Errors
 /// Returns the first benchmark failure.
 pub fn run_suite(config: &ExperimentConfig) -> Result<SuiteResult, ExperimentError> {
-    let results: Vec<Result<BenchResult, ExperimentError>> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = SUITE
-                .iter()
-                .map(|bench| scope.spawn(move |_| run_benchmark(bench, config)))
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("bench thread panicked")).collect()
-        })
-        .expect("scope panicked");
+    let results: Vec<Result<BenchResult, ExperimentError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = SUITE
+            .iter()
+            .map(|bench| scope.spawn(move || run_benchmark(bench, config)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("bench thread panicked"))
+            .collect()
+    });
     let mut benches = Vec::with_capacity(results.len());
     for r in results {
         benches.push(r?);
@@ -337,7 +432,9 @@ pub fn eval_predictors(
     let module = bench.compile()?;
     let program = lower(&module)?;
     let exec_cfg = config.exec_config();
-    let mut many = Many { evals: predictors.into_iter().map(Evaluator::new).collect() };
+    let mut many = Many {
+        evals: predictors.into_iter().map(Evaluator::new).collect(),
+    };
     for streams in bench.runs(config.scale, config.seed) {
         let refs: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
         run(&program, &exec_cfg, &refs, &mut many)?;
@@ -361,6 +458,48 @@ mod tests {
         // SBTB misses far more often than CBTB (taken-only residence).
         assert!(r.sbtb.miss_ratio() > r.cbtb.miss_ratio());
         assert_eq!(r.expansion.len(), 4);
+    }
+
+    #[test]
+    fn every_result_carries_all_phase_spans() {
+        let r = run_benchmark(benchmark("wc").unwrap(), &ExperimentConfig::test()).unwrap();
+        for phase in PHASES {
+            let span = r
+                .phase(phase)
+                .unwrap_or_else(|| panic!("missing phase {phase}"));
+            assert_eq!(span.name, phase);
+        }
+        // The evaluation spans carry instruction counts as work.
+        assert_eq!(r.phase("natural_eval").unwrap().work, r.stats.insts);
+        assert!(r.phase("fs_eval").unwrap().work > 0);
+        // Site telemetry is off by default.
+        assert!(r.sbtb_sites.sites().is_empty());
+        assert!(r.cbtb_sites.sites().is_empty());
+    }
+
+    #[test]
+    fn site_telemetry_attributes_mispredicts_to_sites() {
+        let config = ExperimentConfig {
+            collect_site_telemetry: true,
+            ..ExperimentConfig::test()
+        };
+        let r = run_benchmark(benchmark("wc").unwrap(), &config).unwrap();
+        use branchlab_telemetry::ProbeKind;
+        // The probe's view must agree with the evaluator's scoring.
+        assert_eq!(
+            r.sbtb_sites.total(ProbeKind::Mispredict),
+            r.sbtb.events - r.sbtb.correct
+        );
+        assert_eq!(
+            r.cbtb_sites.total(ProbeKind::Mispredict),
+            r.cbtb.events - r.cbtb.correct
+        );
+        assert_eq!(
+            r.sbtb_sites.total(ProbeKind::Hit),
+            r.sbtb.events - r.sbtb.btb_misses
+        );
+        assert_eq!(r.sbtb_sites.total(ProbeKind::Miss), r.sbtb.btb_misses);
+        assert!(!r.sbtb_sites.top_mispredicted(5).is_empty());
     }
 
     #[test]

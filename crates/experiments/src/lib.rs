@@ -7,9 +7,9 @@
 //!   Semantic transform → evaluate SBTB/CBTB/FS (plus static baselines)
 //!   over the 12-benchmark suite, verifying that the transformed binary
 //!   is observationally equivalent to the conventional one.
-//! * [`tables`]: Tables 1–5.
-//! * [`figures`]: Figures 3–4 (cost-vs-pipelining curves + ASCII plots).
-//! * [`ablation`]: geometry/counter/context-switch/static-baseline
+//! * [`tables`] — Tables 1–5.
+//! * [`figures`] — Figures 3–4 (cost-vs-pipelining curves + ASCII plots).
+//! * [`ablation`] — geometry/counter/context-switch/static-baseline
 //!   sweeps that extend the paper's discussion quantitatively.
 //!
 //! The `branchlab-bench` crate exposes one binary per table/figure; see
@@ -25,6 +25,6 @@ pub mod tables;
 
 pub use harness::{
     eval_predictors, mean_std, run_benchmark, run_suite, BenchResult, ExperimentConfig,
-    ExperimentError, SuiteResult,
+    ExperimentError, SuiteResult, PHASES,
 };
 pub use render::{f2, mcount, pct, rho, Align, Table};

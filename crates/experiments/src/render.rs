@@ -116,7 +116,11 @@ impl Table {
                 c.clone()
             }
         };
-        let _ = writeln!(out, "{}", self.headers.iter().map(esc).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(esc).collect::<Vec<_>>().join(",")
+        );
         for row in &self.rows {
             let _ = writeln!(out, "{}", row.iter().map(esc).collect::<Vec<_>>().join(","));
         }

@@ -5,6 +5,9 @@ use branchlab_pipeline::{branch_cost, FlushModel};
 use crate::harness::{mean_std, BenchResult, SuiteResult};
 use crate::render::{f2, mcount, pct, rho, Table};
 
+/// A per-benchmark statistic selector used by the summary rows.
+type Stat = fn(&BenchResult) -> f64;
+
 /// Table 1: benchmark characteristics.
 #[must_use]
 pub fn table1(suite: &SuiteResult) -> Table {
@@ -61,7 +64,14 @@ pub fn table2(suite: &SuiteResult) -> Table {
 pub fn table3(suite: &SuiteResult) -> Table {
     let mut t = Table::new(
         "Table 3: Branch prediction performance",
-        &["Benchmark", "rho_SBTB", "A_SBTB", "rho_CBTB", "A_CBTB", "A_FS"],
+        &[
+            "Benchmark",
+            "rho_SBTB",
+            "A_SBTB",
+            "rho_CBTB",
+            "A_CBTB",
+            "A_FS",
+        ],
     );
     for b in suite.main_benches() {
         t.row(vec![
@@ -73,7 +83,7 @@ pub fn table3(suite: &SuiteResult) -> Table {
             pct(b.fs.accuracy()),
         ]);
     }
-    let stats: Vec<(&str, fn(&BenchResult) -> f64)> = vec![
+    let stats: Vec<(&str, Stat)> = vec![
         ("rho_SBTB", |b| b.sbtb.miss_ratio()),
         ("A_SBTB", |b| b.sbtb.accuracy()),
         ("rho_CBTB", |b| b.cbtb.miss_ratio()),
@@ -97,7 +107,14 @@ pub fn table3(suite: &SuiteResult) -> Table {
 /// `k + ℓ̄ = kl`, `m̄ = 1` — the paper's Table 4 setting.
 fn t4_cost(accuracy: f64, kl: u32) -> f64 {
     // k + ℓ̄ + m̄ = kl + 1; split arbitrarily as k = kl, ℓ̄ = 0, m̄ = 1.
-    branch_cost(accuracy, kl, &FlushModel { l_bar: 0.0, m_bar: 1.0 })
+    branch_cost(
+        accuracy,
+        kl,
+        &FlushModel {
+            l_bar: 0.0,
+            m_bar: 1.0,
+        },
+    )
 }
 
 /// Table 4: branch cost at k + ℓ̄ = 2 and 3 (m̄ = 1), plus the average
@@ -128,7 +145,7 @@ pub fn table4(suite: &SuiteResult) -> Table {
             f2(t4_cost(b.fs.accuracy(), 3)),
         ]);
     }
-    let cols: Vec<(fn(&BenchResult) -> f64, u32)> = vec![
+    let cols: Vec<(Stat, u32)> = vec![
         (|b| b.sbtb.accuracy(), 2),
         (|b| b.cbtb.accuracy(), 2),
         (|b| b.fs.accuracy(), 2),
@@ -191,8 +208,10 @@ pub fn table5(suite: &SuiteResult) -> Table {
     for (label, stat) in [("Average", 0), ("Std. dev.", 1)] {
         let mut row = vec![label.to_string()];
         for d in 0..4 {
-            let xs: Vec<f64> =
-                sorted.iter().map(|b| b.expansion[d].increase_pct()).collect();
+            let xs: Vec<f64> = sorted
+                .iter()
+                .map(|b| b.expansion[d].increase_pct())
+                .collect();
             let (m, s) = mean_std(&xs);
             row.push(pct1(if stat == 0 { m } else { s }));
         }

@@ -47,7 +47,10 @@ impl FillRates {
     /// Fraction of static branch sites with slot `i` (1-based) filled.
     #[must_use]
     pub fn static_rate(&self, slot: usize) -> f64 {
-        rate(self.static_filled.get(slot - 1).copied().unwrap_or(0), self.static_branches)
+        rate(
+            self.static_filled.get(slot - 1).copied().unwrap_or(0),
+            self.static_branches,
+        )
     }
 
     /// Fraction of dynamic branches with slot `i` (1-based) filled.
@@ -210,11 +213,16 @@ pub fn fill_rates(module: &Module, profile: &Profile, max_slots: usize) -> FillR
     };
     for f in &module.funcs {
         for block in &f.blocks {
-            let Term::Br { a, b, .. } = block.term else { continue };
+            let Term::Br { a, b, .. } = block.term else {
+                continue;
+            };
             let filled = fillable_slots(&block.ops, a, b, max_slots);
             let weight = profile
                 .sites
-                .get(BranchId { func: f.id, block: block.id })
+                .get(BranchId {
+                    func: f.id,
+                    block: block.id,
+                })
                 .map_or(0, |c| c.total);
             r.static_branches += 1;
             r.dynamic_branches += weight;
@@ -278,8 +286,16 @@ mod tests {
 
     #[test]
     fn loads_do_not_move_past_stores() {
-        let st = Op::St { src: Reg(1).into(), base: 5i64.into(), offset: 0 };
-        let ld = Op::Ld { dst: Reg(2), base: 6i64.into(), offset: 0 };
+        let st = Op::St {
+            src: Reg(1).into(),
+            base: 5i64.into(),
+            offset: 0,
+        };
+        let ld = Op::Ld {
+            dst: Reg(2),
+            base: 6i64.into(),
+            offset: 0,
+        };
         // ld; st; branch — st movable (no load skipped), then ld movable.
         assert_eq!(
             fillable_slots(&[ld.clone(), st.clone()], Reg(0).into(), 0i64.into(), 2),
@@ -289,7 +305,11 @@ mod tests {
         // right before the branch *defines* r0, so moving the store
         // past it would read the wrong value. With the store skipped,
         // the load may not cross it either.
-        let st0 = Op::St { src: Reg(0).into(), base: 5i64.into(), offset: 0 };
+        let st0 = Op::St {
+            src: Reg(0).into(),
+            base: 5i64.into(),
+            offset: 0,
+        };
         let cond_def = alu(0, 0); // defines r0 read by branch → stays
         let ops = vec![ld, st0, cond_def];
         assert_eq!(fillable_slots(&ops, Reg(0).into(), 0i64.into(), 3), 0);
@@ -297,13 +317,21 @@ mod tests {
 
     #[test]
     fn stores_and_io_are_movable_but_calls_are_not() {
-        let st = Op::St { src: Reg(1).into(), base: 0i64.into(), offset: 0 };
-        let out = Op::Out { src: Reg(1).into(), stream: 1i64.into() };
-        assert_eq!(
-            fillable_slots(&[st, out], Reg(0).into(), 0i64.into(), 2),
-            2
-        );
-        let call = Op::Call { func: branchlab_ir::FuncId(0), args: vec![], dst: None };
+        let st = Op::St {
+            src: Reg(1).into(),
+            base: 0i64.into(),
+            offset: 0,
+        };
+        let out = Op::Out {
+            src: Reg(1).into(),
+            stream: 1i64.into(),
+        };
+        assert_eq!(fillable_slots(&[st, out], Reg(0).into(), 0i64.into(), 2), 2);
+        let call = Op::Call {
+            func: branchlab_ir::FuncId(0),
+            args: vec![],
+            dst: None,
+        };
         assert_eq!(fillable_slots(&[call], Reg(0).into(), 0i64.into(), 2), 0);
     }
 
@@ -343,7 +371,10 @@ mod tests {
         }
         let s1 = agg.dynamic_rate(1);
         let s2 = agg.dynamic_rate(2);
-        assert!(s1 >= s2, "slot 1 ({s1}) must fill at least as often as slot 2 ({s2})");
+        assert!(
+            s1 >= s2,
+            "slot 1 ({s1}) must fill at least as often as slot 2 ({s2})"
+        );
         // Compare-and-branch code fills from above far less often than
         // McFarling's ≈70% — the finding that motivates target-path
         // (squashing/Forward Semantic) filling.

@@ -103,8 +103,20 @@ pub fn figure2_plan(module: &Module) -> LayoutPlan {
     let mut plan = LayoutPlan::natural(module);
     plan.slots = 2;
     plan.slot_jumps = false;
-    plan.set_likely(BranchId { func: FuncId(0), block: BlockId(0) }, true); // likely
-    plan.set_likely(BranchId { func: FuncId(0), block: BlockId(2) }, false); // unlikely
+    plan.set_likely(
+        BranchId {
+            func: FuncId(0),
+            block: BlockId(0),
+        },
+        true,
+    ); // likely
+    plan.set_likely(
+        BranchId {
+            func: FuncId(0),
+            block: BlockId(2),
+        },
+        false,
+    ); // unlikely
     plan
 }
 
@@ -136,7 +148,12 @@ mod tests {
         assert_eq!(prog.len(), 12, "{:#?}", prog.code);
         assert!(matches!(prog.code[0], Inst::Alu { .. })); // I1
         match &prog.code[1] {
-            Inst::Br { likely, slots, target, .. } => {
+            Inst::Br {
+                likely,
+                slots,
+                target,
+                ..
+            } => {
                 assert!(*likely);
                 assert_eq!(*slots, 2);
                 // Target = relocated start of the branch's target path
@@ -152,8 +169,15 @@ mod tests {
         assert!(prog.meta[2].is_slot && prog.meta[3].is_slot);
         match (&prog.code[2], &prog.code[6]) {
             (
-                Inst::Br { target: slot_target, likely: slot_likely, .. },
-                Inst::Br { target: real_target, .. },
+                Inst::Br {
+                    target: slot_target,
+                    likely: slot_likely,
+                    ..
+                },
+                Inst::Br {
+                    target: real_target,
+                    ..
+                },
             ) => {
                 assert_eq!(
                     slot_target, real_target,
@@ -165,7 +189,7 @@ mod tests {
             other => panic!("expected branch copies at 2 and 6, got {other:?}"),
         }
         assert!(matches!(prog.code[3], Inst::Alu { .. })); // copy of I6
-        // Fall-through path I3, I4 follows the slots.
+                                                           // Fall-through path I3, I4 follows the slots.
         assert!(matches!(prog.code[4], Inst::Alu { .. }));
         assert!(matches!(prog.code[5], Inst::Alu { .. }));
         // And the unlikely branch received no slots of its own.

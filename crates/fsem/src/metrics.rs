@@ -44,8 +44,7 @@ impl ExpansionPoint {
         if self.natural_size == 0 {
             0.0
         } else {
-            (self.base_size as f64 - self.natural_size as f64) / self.natural_size as f64
-                * 100.0
+            (self.base_size as f64 - self.natural_size as f64) / self.natural_size as f64 * 100.0
         }
     }
 }
@@ -60,8 +59,15 @@ pub fn code_expansion(
     slot_depths: &[u16],
 ) -> Result<Vec<ExpansionPoint>, LowerError> {
     let natural_size = lower(module)?.len();
-    let base_size =
-        fs_program(module, profile, FsConfig { slots: 0, slot_jumps: false })?.len();
+    let base_size = fs_program(
+        module,
+        profile,
+        FsConfig {
+            slots: 0,
+            slot_jumps: false,
+        },
+    )?
+    .len();
     slot_depths
         .iter()
         .map(|&slots| {
@@ -103,7 +109,11 @@ mod tests {
 
     #[test]
     fn expansion_grows_with_slot_depth() {
-        let pts = measure(LOOPY, &[vec![b"the quick brown fox".to_vec()]], &[1, 2, 4, 8]);
+        let pts = measure(
+            LOOPY,
+            &[vec![b"the quick brown fox".to_vec()]],
+            &[1, 2, 4, 8],
+        );
         assert_eq!(pts.len(), 4);
         for w in pts.windows(2) {
             assert!(
@@ -119,7 +129,10 @@ mod tests {
         let pts = measure(LOOPY, &[vec![b"a b c d e f g h".to_vec()]], &[1, 2, 4, 8]);
         // slot_insts = (#slotted branches) × slots → exactly linear in
         // slots as long as the same branches are predicted taken.
-        let per_slot: Vec<f64> = pts.iter().map(|p| p.slot_insts as f64 / f64::from(p.slots)).collect();
+        let per_slot: Vec<f64> = pts
+            .iter()
+            .map(|p| p.slot_insts as f64 / f64::from(p.slots))
+            .collect();
         for w in per_slot.windows(2) {
             assert!((w[0] - w[1]).abs() < 1e-9, "{per_slot:?}");
         }
@@ -129,7 +142,11 @@ mod tests {
     fn paper_magnitude_band() {
         // Table 5 averages ≈3.2% at k+ℓ=1 up to ≈33% at k+ℓ=8. Our MiniC
         // workloads should land in the same order of magnitude (0.5%–60%).
-        let pts = measure(LOOPY, &[vec![b"words in a row for counting".to_vec()]], &[1, 8]);
+        let pts = measure(
+            LOOPY,
+            &[vec![b"words in a row for counting".to_vec()]],
+            &[1, 8],
+        );
         let p1 = pts[0].increase_pct();
         let p8 = pts[1].increase_pct();
         assert!(p1 > 0.0 && p1 < 25.0, "k+l=1 expansion {p1}%");

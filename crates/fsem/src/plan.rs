@@ -22,13 +22,19 @@ impl FsConfig {
     /// The paper's Table 4 machine: `k + ℓ = 2`.
     #[must_use]
     pub fn paper_shallow() -> Self {
-        FsConfig { slots: 2, slot_jumps: true }
+        FsConfig {
+            slots: 2,
+            slot_jumps: true,
+        }
     }
 
     /// A configuration with `k + ℓ = slots`.
     #[must_use]
     pub fn with_slots(slots: u16) -> Self {
-        FsConfig { slots, slot_jumps: true }
+        FsConfig {
+            slots,
+            slot_jumps: true,
+        }
     }
 }
 
@@ -102,7 +108,9 @@ mod tests {
     ";
 
     fn spacey_input() -> Vec<u8> {
-        (0..400).map(|i| if i % 10 == 0 { b'x' } else { b' ' }).collect()
+        (0..400)
+            .map(|i| if i % 10 == 0 { b'x' } else { b' ' })
+            .collect()
     }
 
     #[test]
@@ -129,18 +137,25 @@ mod tests {
         // A do-while back edge is a conditional branch whose likely
         // successor (the loop head) is already placed in its own trace,
         // so it is predicted taken and receives forward slots.
-        let m = compile(
-            "int main() { int i = 0; do { i++; } while (i < 1000); return i; }",
-        )
-        .unwrap();
+        let m =
+            compile("int main() { int i = 0; do { i++; } while (i < 1000); return i; }").unwrap();
         let prof = profile_module(&m, &[vec![]]).unwrap();
         let fs = fs_program(&m, &prof, FsConfig::with_slots(2)).unwrap();
         assert!(fs.slot_count() > 0, "expected forward slots");
-        let has_likely_slots = fs
-            .code
-            .iter()
-            .any(|i| matches!(i, Inst::Br { likely: true, slots: 2, .. }));
-        assert!(has_likely_slots, "expected a likely-taken branch with slots");
+        let has_likely_slots = fs.code.iter().any(|i| {
+            matches!(
+                i,
+                Inst::Br {
+                    likely: true,
+                    slots: 2,
+                    ..
+                }
+            )
+        });
+        assert!(
+            has_likely_slots,
+            "expected a likely-taken branch with slots"
+        );
     }
 
     #[test]
@@ -165,7 +180,15 @@ mod tests {
     fn zero_slots_fs_is_pure_relayout() {
         let m = compile(SPACE_COUNTER).unwrap();
         let prof = profile_module(&m, &[vec![spacey_input()]]).unwrap();
-        let fs = fs_program(&m, &prof, FsConfig { slots: 0, slot_jumps: false }).unwrap();
+        let fs = fs_program(
+            &m,
+            &prof,
+            FsConfig {
+                slots: 0,
+                slot_jumps: false,
+            },
+        )
+        .unwrap();
         assert_eq!(fs.slot_count(), 0);
         let input = spacey_input();
         let a = run_simple(&lower(&m).unwrap(), &[&input]).unwrap();

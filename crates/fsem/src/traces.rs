@@ -138,8 +138,8 @@ pub fn select_function_traces(
     }
 
     // Unexecuted blocks: singleton traces, in id order.
-    for i in 0..n {
-        if !in_trace[i] {
+    for (i, covered) in in_trace.iter().enumerate().take(n) {
+        if !covered {
             traces.push(vec![BlockId(i as u32)]);
         }
     }
@@ -216,7 +216,9 @@ mod tests {
     fn biased_if_keeps_hot_path_in_trace() {
         // The ' ' case is hot (90%); the else side should be in a
         // different trace than the hot chain.
-        let input: Vec<u8> = (0..200).map(|i| if i % 10 == 0 { b'x' } else { b' ' }).collect();
+        let input: Vec<u8> = (0..200)
+            .map(|i| if i % 10 == 0 { b'x' } else { b' ' })
+            .collect();
         let (m, ts) = traces_for(
             r"
             int hot;

@@ -100,6 +100,23 @@ impl ExecStats {
         self.uncond_indirect += other.uncond_indirect;
         self.calls += other.calls;
     }
+
+    /// Add these counts to `prefix.*` counters in a metrics registry.
+    /// The interpreter's hot loop is never instrumented directly; runs
+    /// export their totals here after the fact.
+    pub fn export(&self, registry: &branchlab_telemetry::MetricsRegistry, prefix: &str) {
+        for (name, value) in [
+            ("insts", self.insts),
+            ("branches", self.branches),
+            ("cond_branches", self.cond_branches),
+            ("taken_cond", self.taken_cond),
+            ("uncond_direct", self.uncond_direct),
+            ("uncond_indirect", self.uncond_indirect),
+            ("calls", self.calls),
+        ] {
+            registry.counter(&format!("{prefix}.{name}")).add(value);
+        }
+    }
 }
 
 /// Result of a completed execution.
@@ -179,7 +196,10 @@ pub fn run<H: ExecHooks>(
 ) -> Result<Outcome, ExecError> {
     let globals = program.globals_words as usize;
     if globals > config.memory_words {
-        return Err(ExecError::MemoryTooSmall { need: globals, have: config.memory_words });
+        return Err(ExecError::MemoryTooSmall {
+            need: globals,
+            have: config.memory_words,
+        });
     }
     let mut mem = vec![0i64; config.memory_words];
     mem[..program.globals_init.len()].copy_from_slice(&program.globals_init);
@@ -292,7 +312,14 @@ pub fn run<H: ExecHooks>(
                 outputs[s].push(v as u8);
                 pc += 1;
             }
-            Inst::Br { cond, a, b, target, slots, likely } => {
+            Inst::Br {
+                cond,
+                a,
+                b,
+                target,
+                slots,
+                likely,
+            } => {
                 let (a, b) = (val!(*a), val!(*b));
                 let taken = cond.eval(a, b);
                 let fallthrough = Addr(pc + 1 + u32::from(*slots));
@@ -397,7 +424,11 @@ pub fn run<H: ExecHooks>(
         }
     };
 
-    Ok(Outcome { exit_value, outputs, stats })
+    Ok(Outcome {
+        exit_value,
+        outputs,
+        stats,
+    })
 }
 
 /// Convenience: execute with default limits and no hooks.
@@ -569,7 +600,10 @@ mod tests {
         impl ExecHooks for Check {
             fn branch(&mut self, ev: &BranchEvent) {
                 self.n += 1;
-                assert_eq!(ev.next_pc(), if ev.taken { ev.target } else { ev.fallthrough });
+                assert_eq!(
+                    ev.next_pc(),
+                    if ev.taken { ev.target } else { ev.fallthrough }
+                );
                 if ev.kind != BranchKind::Cond {
                     assert!(ev.taken);
                 }
@@ -594,10 +628,7 @@ mod tests {
                 self.0 += 1;
             }
         }
-        let m = compile(
-            "int main() { int i; for (i = 0; i < 3; i++) { } return 0; }",
-        )
-        .unwrap();
+        let m = compile("int main() { int i; for (i = 0; i < 3; i++) { } return 0; }").unwrap();
         let p = lower(&m).unwrap();
         let mut a = Count::default();
         let mut b = Count::default();
@@ -610,7 +641,10 @@ mod tests {
     fn out_of_fuel_stops_infinite_loop() {
         let m = compile("int main() { while (1) { } return 0; }").unwrap();
         let p = lower(&m).unwrap();
-        let cfg = ExecConfig { max_insts: 1000, ..ExecConfig::default() };
+        let cfg = ExecConfig {
+            max_insts: 1000,
+            ..ExecConfig::default()
+        };
         assert!(matches!(
             run(&p, &cfg, &[], &mut ()),
             Err(ExecError::OutOfFuel { .. })
@@ -632,7 +666,10 @@ mod tests {
         let src = "int f(int n) { return f(n + 1); } int main() { return f(0); }";
         let m = compile(src).unwrap();
         let p = lower(&m).unwrap();
-        let cfg = ExecConfig { max_call_depth: 64, ..ExecConfig::default() };
+        let cfg = ExecConfig {
+            max_call_depth: 64,
+            ..ExecConfig::default()
+        };
         assert!(matches!(
             run(&p, &cfg, &[], &mut ()),
             Err(ExecError::CallDepthExceeded { .. })

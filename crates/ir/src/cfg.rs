@@ -48,7 +48,10 @@ impl Module {
     pub fn cond_branches(&self) -> impl Iterator<Item = BranchId> + '_ {
         self.funcs.iter().flat_map(|f| {
             f.blocks.iter().filter_map(move |b| match b.term {
-                Term::Br { .. } => Some(BranchId { func: f.id, block: b.id }),
+                Term::Br { .. } => Some(BranchId {
+                    func: f.id,
+                    block: b.id,
+                }),
                 _ => None,
             })
         })
@@ -118,15 +121,33 @@ pub struct Block {
 #[allow(missing_docs)] // variant fields are described in variant docs
 pub enum Op {
     /// `dst = a <op> b`
-    Alu { op: AluOp, dst: Reg, a: Operand, b: Operand },
+    Alu {
+        op: AluOp,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+    },
     /// `dst = (a <cond> b) ? 1 : 0`
-    Cmp { cond: Cond, dst: Reg, a: Operand, b: Operand },
+    Cmp {
+        cond: Cond,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+    },
     /// `dst = src`
     Mov { dst: Reg, src: Operand },
     /// `dst = memory[base + offset]`
-    Ld { dst: Reg, base: Operand, offset: i64 },
+    Ld {
+        dst: Reg,
+        base: Operand,
+        offset: i64,
+    },
     /// `memory[base + offset] = src`
-    St { src: Operand, base: Operand, offset: i64 },
+    St {
+        src: Operand,
+        base: Operand,
+        offset: i64,
+    },
     /// `dst = frame_pointer + offset` — address of a local array slot.
     FrameAddr { dst: Reg, offset: i64 },
     /// `dst = next byte of input stream` (−1 at end); the stream
@@ -136,7 +157,11 @@ pub enum Op {
     Out { src: Operand, stream: Operand },
     /// Call `func` with arguments; the return value (if the callee returns
     /// one and `dst` is set) lands in `dst`.
-    Call { func: FuncId, args: Vec<Reg>, dst: Option<Reg> },
+    Call {
+        func: FuncId,
+        args: Vec<Reg>,
+        dst: Option<Reg>,
+    },
     /// No operation.
     Nop,
 }
@@ -146,13 +171,23 @@ pub enum Op {
 #[allow(missing_docs)] // variant fields are described in variant docs
 pub enum Term {
     /// Conditional branch: if `a <cond> b` go to `then_`, else `else_`.
-    Br { cond: Cond, a: Operand, b: Operand, then_: BlockId, else_: BlockId },
+    Br {
+        cond: Cond,
+        a: Operand,
+        b: Operand,
+        then_: BlockId,
+        else_: BlockId,
+    },
     /// Unconditional direct jump (known target).
     Jmp(BlockId),
     /// Indexed indirect jump (the paper's *unknown target* unconditional
     /// branch): go to `targets[sel]`, or `default` when `sel` is out of
     /// range. MiniC `switch` lowers to this.
-    Switch { sel: Reg, targets: Vec<BlockId>, default: BlockId },
+    Switch {
+        sel: Reg,
+        targets: Vec<BlockId>,
+        default: BlockId,
+    },
     /// Return to the caller with an optional value.
     Ret(Option<Operand>),
     /// Stop the machine (only valid in the entry function).
@@ -167,7 +202,9 @@ impl Term {
         match self {
             Term::Br { then_, else_, .. } => vec![*then_, *else_],
             Term::Jmp(t) => vec![*t],
-            Term::Switch { targets, default, .. } => {
+            Term::Switch {
+                targets, default, ..
+            } => {
                 let mut v = targets.clone();
                 v.push(*default);
                 v.dedup();
@@ -203,7 +240,11 @@ impl FunctionBuilder {
     /// Start building a function. Parameters occupy `r0..num_params`.
     #[must_use]
     pub fn new(name: impl Into<String>, id: FuncId, num_params: u16) -> Self {
-        let entry = Block { id: BlockId(0), ops: Vec::new(), term: Term::Halt };
+        let entry = Block {
+            id: BlockId(0),
+            ops: Vec::new(),
+            term: Term::Halt,
+        };
         FunctionBuilder {
             name: name.into(),
             id,
@@ -236,7 +277,11 @@ impl FunctionBuilder {
     /// Create a new, empty block (does not switch to it).
     pub fn new_block(&mut self) -> BlockId {
         let id = BlockId(u32::try_from(self.blocks.len()).expect("too many blocks"));
-        self.blocks.push(Block { id, ops: Vec::new(), term: Term::Halt });
+        self.blocks.push(Block {
+            id,
+            ops: Vec::new(),
+            term: Term::Halt,
+        });
         self.sealed.push(false);
         id
     }
@@ -267,7 +312,11 @@ impl FunctionBuilder {
     /// # Panics
     /// Panics if the current block is already terminated.
     pub fn push(&mut self, op: Op) {
-        assert!(!self.current_sealed(), "push after terminator in {}", self.current);
+        assert!(
+            !self.current_sealed(),
+            "push after terminator in {}",
+            self.current
+        );
         self.blocks[self.current.0 as usize].ops.push(op);
     }
 
@@ -276,7 +325,11 @@ impl FunctionBuilder {
     /// # Panics
     /// Panics if it is already terminated.
     pub fn terminate(&mut self, term: Term) {
-        assert!(!self.current_sealed(), "double terminator in {}", self.current);
+        assert!(
+            !self.current_sealed(),
+            "double terminator in {}",
+            self.current
+        );
         self.blocks[self.current.0 as usize].term = term;
         self.sealed[self.current.0 as usize] = true;
     }
@@ -325,7 +378,12 @@ mod tests {
         let r = fb.new_reg();
         let then_b = fb.new_block();
         let else_b = fb.new_block();
-        fb.push(Op::Alu { op: AluOp::Add, dst: r, a: Reg(0).into(), b: 1i64.into() });
+        fb.push(Op::Alu {
+            op: AluOp::Add,
+            dst: r,
+            a: Reg(0).into(),
+            b: 1i64.into(),
+        });
         fb.terminate(Term::Br {
             cond: Cond::Lt,
             a: r.into(),
@@ -405,9 +463,20 @@ mod tests {
     #[test]
     fn module_cond_branches_enumerates_brs() {
         let f = tiny_function();
-        let m = Module { funcs: vec![f], globals_words: 0, globals_init: Vec::new(), entry: FuncId(0) };
+        let m = Module {
+            funcs: vec![f],
+            globals_words: 0,
+            globals_init: Vec::new(),
+            entry: FuncId(0),
+        };
         let sites: Vec<_> = m.cond_branches().collect();
-        assert_eq!(sites, vec![BranchId { func: FuncId(0), block: BlockId(0) }]);
+        assert_eq!(
+            sites,
+            vec![BranchId {
+                func: FuncId(0),
+                block: BlockId(0)
+            }]
+        );
     }
 
     #[test]

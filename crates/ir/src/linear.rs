@@ -10,15 +10,33 @@ use crate::types::{Addr, AluOp, BlockId, BranchId, Cond, FuncId, Operand, Reg};
 #[allow(missing_docs)] // variant fields are described in variant docs
 pub enum Inst {
     /// `dst = a <op> b`
-    Alu { op: AluOp, dst: Reg, a: Operand, b: Operand },
+    Alu {
+        op: AluOp,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+    },
     /// `dst = (a <cond> b) ? 1 : 0`
-    Cmp { cond: Cond, dst: Reg, a: Operand, b: Operand },
+    Cmp {
+        cond: Cond,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+    },
     /// `dst = src`
     Mov { dst: Reg, src: Operand },
     /// `dst = memory[base + offset]`
-    Ld { dst: Reg, base: Operand, offset: i64 },
+    Ld {
+        dst: Reg,
+        base: Operand,
+        offset: i64,
+    },
     /// `memory[base + offset] = src`
-    St { src: Operand, base: Operand, offset: i64 },
+    St {
+        src: Operand,
+        base: Operand,
+        offset: i64,
+    },
     /// `dst = frame_pointer + offset`
     FrameAddr { dst: Reg, offset: i64 },
     /// `dst = next input byte` (−1 at end of stream).
@@ -29,7 +47,14 @@ pub enum Inst {
     /// `target`; otherwise it falls through to `pc + 1 + slots`
     /// (forward slots sit between the branch and its fall-through path).
     /// `likely` is the Forward Semantic's compiler prediction bit.
-    Br { cond: Cond, a: Operand, b: Operand, target: Addr, slots: u16, likely: bool },
+    Br {
+        cond: Cond,
+        a: Operand,
+        b: Operand,
+        target: Addr,
+        slots: u16,
+        likely: bool,
+    },
     /// Unconditional direct jump (known target).
     Jmp { target: Addr, slots: u16 },
     /// Indexed indirect jump through `table` — the *unknown target*
@@ -37,7 +62,11 @@ pub enum Inst {
     JmpTable { sel: Operand, table: u32 },
     /// Call a function by index; arguments are copied into the callee's
     /// `r0..`, the return value (if any) lands in `dst`.
-    Call { func: FuncId, args: Box<[Reg]>, dst: Option<Reg> },
+    Call {
+        func: FuncId,
+        args: Box<[Reg]>,
+        dst: Option<Reg>,
+    },
     /// Return to the caller.
     Ret { val: Option<Operand> },
     /// No operation (also used as forward-slot padding).
@@ -51,7 +80,10 @@ impl Inst {
     /// unconditional jump, excluding calls/returns)?
     #[must_use]
     pub fn is_branch(&self) -> bool {
-        matches!(self, Inst::Br { .. } | Inst::Jmp { .. } | Inst::JmpTable { .. })
+        matches!(
+            self,
+            Inst::Br { .. } | Inst::Jmp { .. } | Inst::JmpTable { .. }
+        )
     }
 
     /// Is this a conditional branch?
@@ -79,7 +111,10 @@ impl InstMeta {
     /// when the instruction is a block terminator branch).
     #[must_use]
     pub fn branch_id(&self) -> BranchId {
-        BranchId { func: self.func, block: self.block }
+        BranchId {
+            func: self.func,
+            block: self.block,
+        }
     }
 }
 
@@ -237,18 +272,44 @@ mod tests {
         };
         assert!(br.is_branch());
         assert!(br.is_cond_branch());
-        assert!(Inst::Jmp { target: Addr(0), slots: 0 }.is_branch());
-        assert!(!Inst::Jmp { target: Addr(0), slots: 0 }.is_cond_branch());
-        assert!(Inst::JmpTable { sel: Operand::Imm(0), table: 0 }.is_branch());
+        assert!(Inst::Jmp {
+            target: Addr(0),
+            slots: 0
+        }
+        .is_branch());
+        assert!(!Inst::Jmp {
+            target: Addr(0),
+            slots: 0
+        }
+        .is_cond_branch());
+        assert!(Inst::JmpTable {
+            sel: Operand::Imm(0),
+            table: 0
+        }
+        .is_branch());
         assert!(!Inst::Nop.is_branch());
         assert!(!Inst::Ret { val: None }.is_branch());
-        let call = Inst::Call { func: FuncId(0), args: Box::new([]), dst: None };
+        let call = Inst::Call {
+            func: FuncId(0),
+            args: Box::new([]),
+            dst: None,
+        };
         assert!(!call.is_branch());
     }
 
     #[test]
     fn meta_branch_id() {
-        let m = InstMeta { func: FuncId(2), block: BlockId(3), is_slot: false };
-        assert_eq!(m.branch_id(), BranchId { func: FuncId(2), block: BlockId(3) });
+        let m = InstMeta {
+            func: FuncId(2),
+            block: BlockId(3),
+            is_slot: false,
+        };
+        assert_eq!(
+            m.branch_id(),
+            BranchId {
+                func: FuncId(2),
+                block: BlockId(3)
+            }
+        );
     }
 }

@@ -58,7 +58,11 @@ impl LayoutPlan {
             slots: 0,
             slot_jumps: false,
             elide_jumps: true,
-            hot: module.funcs.iter().map(|f| vec![true; f.blocks.len()]).collect(),
+            hot: module
+                .funcs
+                .iter()
+                .map(|f| vec![true; f.blocks.len()])
+                .collect(),
         }
     }
 
@@ -66,7 +70,10 @@ impl LayoutPlan {
     /// that every control-flow edge is observable as a branch event.
     #[must_use]
     pub fn instrumented(module: &Module) -> Self {
-        LayoutPlan { elide_jumps: false, ..Self::natural(module) }
+        LayoutPlan {
+            elide_jumps: false,
+            ..Self::natural(module)
+        }
     }
 
     /// Set the likely bit for one branch site.
@@ -149,16 +156,22 @@ pub fn lower_with_plan(module: &Module, plan: &LayoutPlan) -> Result<Program, Lo
         let func_start = Addr(code.len() as u32);
         let mut addrs = vec![Addr(0); f.blocks.len()];
         // Map each block to its successor in the layout (same function).
-        let next_in_layout: HashMap<BlockId, BlockId> = order
-            .windows(2)
-            .map(|w| (w[0], w[1]))
-            .collect();
+        let next_in_layout: HashMap<BlockId, BlockId> =
+            order.windows(2).map(|w| (w[0], w[1])).collect();
 
         for &bid in order {
             let block = f.block(bid);
             addrs[bid.0 as usize] = Addr(code.len() as u32);
-            let m = InstMeta { func: f.id, block: bid, is_slot: false };
-            let slot_m = InstMeta { func: f.id, block: bid, is_slot: true };
+            let m = InstMeta {
+                func: f.id,
+                block: bid,
+                is_slot: false,
+            };
+            let slot_m = InstMeta {
+                func: f.id,
+                block: bid,
+                is_slot: true,
+            };
 
             for op in &block.ops {
                 code.push(lower_op(op));
@@ -167,7 +180,13 @@ pub fn lower_with_plan(module: &Module, plan: &LayoutPlan) -> Result<Program, Lo
 
             let next = next_in_layout.get(&bid).copied();
             match &block.term {
-                Term::Br { cond, a, b, then_, else_ } => {
+                Term::Br {
+                    cond,
+                    a,
+                    b,
+                    then_,
+                    else_,
+                } => {
                     let tl = plan.then_likely[fi][bid.0 as usize];
                     let (emit_cond, emit_target, likely) = if Some(*else_) == next {
                         (*cond, *then_, tl == Some(true))
@@ -177,7 +196,11 @@ pub fn lower_with_plan(module: &Module, plan: &LayoutPlan) -> Result<Program, Lo
                         (*cond, *then_, tl == Some(true))
                     };
                     let slots = if likely { plan.slots } else { 0 };
-                    fixups.push(Fixup { inst: code.len(), func: f.id, target: emit_target });
+                    fixups.push(Fixup {
+                        inst: code.len(),
+                        func: f.id,
+                        target: emit_target,
+                    });
                     code.push(Inst::Br {
                         cond: emit_cond,
                         a: *a,
@@ -195,9 +218,20 @@ pub fn lower_with_plan(module: &Module, plan: &LayoutPlan) -> Result<Program, Lo
                     // needs an explicit jump after the fall-through point.
                     if Some(*else_) != next && Some(*then_) != next {
                         let hot = plan.hot[fi][bid.0 as usize];
-                        let jslots = if plan.slot_jumps && hot { plan.slots } else { 0 };
-                        fixups.push(Fixup { inst: code.len(), func: f.id, target: *else_ });
-                        code.push(Inst::Jmp { target: Addr(0), slots: jslots });
+                        let jslots = if plan.slot_jumps && hot {
+                            plan.slots
+                        } else {
+                            0
+                        };
+                        fixups.push(Fixup {
+                            inst: code.len(),
+                            func: f.id,
+                            target: *else_,
+                        });
+                        code.push(Inst::Jmp {
+                            target: Addr(0),
+                            slots: jslots,
+                        });
                         meta.push(m);
                         for _ in 0..jslots {
                             code.push(Inst::Nop);
@@ -208,9 +242,20 @@ pub fn lower_with_plan(module: &Module, plan: &LayoutPlan) -> Result<Program, Lo
                 Term::Jmp(t) => {
                     if Some(*t) != next || !plan.elide_jumps {
                         let hot = plan.hot[fi][bid.0 as usize];
-                        let jslots = if plan.slot_jumps && hot { plan.slots } else { 0 };
-                        fixups.push(Fixup { inst: code.len(), func: f.id, target: *t });
-                        code.push(Inst::Jmp { target: Addr(0), slots: jslots });
+                        let jslots = if plan.slot_jumps && hot {
+                            plan.slots
+                        } else {
+                            0
+                        };
+                        fixups.push(Fixup {
+                            inst: code.len(),
+                            func: f.id,
+                            target: *t,
+                        });
+                        code.push(Inst::Jmp {
+                            target: Addr(0),
+                            slots: jslots,
+                        });
                         meta.push(m);
                         for _ in 0..jslots {
                             code.push(Inst::Nop);
@@ -218,7 +263,11 @@ pub fn lower_with_plan(module: &Module, plan: &LayoutPlan) -> Result<Program, Lo
                         }
                     }
                 }
-                Term::Switch { sel, targets, default } => {
+                Term::Switch {
+                    sel,
+                    targets,
+                    default,
+                } => {
                     table_fixups.push((jump_tables.len(), f.id, targets.clone(), *default));
                     code.push(Inst::JmpTable {
                         sel: Operand::Reg(*sel),
@@ -316,14 +365,44 @@ fn check_permutation(func: FuncId, order: &[BlockId], n: usize) -> Result<(), Lo
 
 fn lower_op(op: &Op) -> Inst {
     match op {
-        Op::Alu { op, dst, a, b } => Inst::Alu { op: *op, dst: *dst, a: *a, b: *b },
-        Op::Cmp { cond, dst, a, b } => Inst::Cmp { cond: *cond, dst: *dst, a: *a, b: *b },
-        Op::Mov { dst, src } => Inst::Mov { dst: *dst, src: *src },
-        Op::Ld { dst, base, offset } => Inst::Ld { dst: *dst, base: *base, offset: *offset },
-        Op::St { src, base, offset } => Inst::St { src: *src, base: *base, offset: *offset },
-        Op::FrameAddr { dst, offset } => Inst::FrameAddr { dst: *dst, offset: *offset },
-        Op::In { dst, stream } => Inst::In { dst: *dst, stream: *stream },
-        Op::Out { src, stream } => Inst::Out { src: *src, stream: *stream },
+        Op::Alu { op, dst, a, b } => Inst::Alu {
+            op: *op,
+            dst: *dst,
+            a: *a,
+            b: *b,
+        },
+        Op::Cmp { cond, dst, a, b } => Inst::Cmp {
+            cond: *cond,
+            dst: *dst,
+            a: *a,
+            b: *b,
+        },
+        Op::Mov { dst, src } => Inst::Mov {
+            dst: *dst,
+            src: *src,
+        },
+        Op::Ld { dst, base, offset } => Inst::Ld {
+            dst: *dst,
+            base: *base,
+            offset: *offset,
+        },
+        Op::St { src, base, offset } => Inst::St {
+            src: *src,
+            base: *base,
+            offset: *offset,
+        },
+        Op::FrameAddr { dst, offset } => Inst::FrameAddr {
+            dst: *dst,
+            offset: *offset,
+        },
+        Op::In { dst, stream } => Inst::In {
+            dst: *dst,
+            stream: *stream,
+        },
+        Op::Out { src, stream } => Inst::Out {
+            src: *src,
+            stream: *stream,
+        },
         Op::Call { func, args, dst } => Inst::Call {
             func: *func,
             args: args.clone().into_boxed_slice(),
@@ -355,7 +434,10 @@ fn fill_slots(code: &mut [Inst], meta: &[InstMeta], funcs: &[FuncInfo]) {
         for j in 0..slots as usize {
             let slot_pos = i + 1 + j;
             let src_pos = target.0 as usize + j;
-            debug_assert!(meta[slot_pos].is_slot, "slot placeholder expected at {slot_pos}");
+            debug_assert!(
+                meta[slot_pos].is_slot,
+                "slot placeholder expected at {slot_pos}"
+            );
             code[slot_pos] = if src_pos < fend {
                 code[src_pos].clone()
             } else {
@@ -377,10 +459,18 @@ mod tests {
         let r = fb.new_reg();
         let body = fb.new_block();
         let exit = fb.new_block();
-        fb.push(Op::Mov { dst: r, src: 0i64.into() });
+        fb.push(Op::Mov {
+            dst: r,
+            src: 0i64.into(),
+        });
         fb.terminate(Term::Jmp(body));
         fb.switch_to(body);
-        fb.push(Op::Alu { op: AluOp::Add, dst: r, a: r.into(), b: 1i64.into() });
+        fb.push(Op::Alu {
+            op: AluOp::Add,
+            dst: r,
+            a: r.into(),
+            b: 1i64.into(),
+        });
         fb.terminate(Term::Br {
             cond: Cond::Lt,
             a: r.into(),
@@ -391,7 +481,12 @@ mod tests {
         fb.switch_to(exit);
         fb.terminate(Term::Halt);
         let f = fb.finish();
-        Module { funcs: vec![f], globals_words: 0, globals_init: Vec::new(), entry: FuncId(0) }
+        Module {
+            funcs: vec![f],
+            globals_words: 0,
+            globals_init: Vec::new(),
+            entry: FuncId(0),
+        }
     }
 
     #[test]
@@ -403,7 +498,12 @@ mod tests {
         assert!(matches!(p.code[0], Inst::Mov { .. }));
         assert!(matches!(p.code[1], Inst::Alu { .. }));
         match &p.code[2] {
-            Inst::Br { target, slots, likely, .. } => {
+            Inst::Br {
+                target,
+                slots,
+                likely,
+                ..
+            } => {
                 assert_eq!(*target, Addr(1));
                 assert_eq!(*slots, 0);
                 assert!(!likely);
@@ -431,7 +531,12 @@ mod tests {
         fb.terminate(Term::Halt);
         fb.switch_to(else_b);
         fb.terminate(Term::Halt);
-        let m = Module { funcs: vec![fb.finish()], globals_words: 0, globals_init: Vec::new(), entry: FuncId(0) };
+        let m = Module {
+            funcs: vec![fb.finish()],
+            globals_words: 0,
+            globals_init: Vec::new(),
+            entry: FuncId(0),
+        };
         let p = lower(&m).unwrap();
         match &p.code[0] {
             Inst::Br { cond, target, .. } => {
@@ -467,7 +572,12 @@ mod tests {
         fb.terminate(Term::Jmp(join));
         fb.switch_to(join);
         fb.terminate(Term::Halt);
-        let m = Module { funcs: vec![fb.finish()], globals_words: 0, globals_init: Vec::new(), entry: FuncId(0) };
+        let m = Module {
+            funcs: vec![fb.finish()],
+            globals_words: 0,
+            globals_init: Vec::new(),
+            entry: FuncId(0),
+        };
         // Order that makes neither Br successor adjacent: [0, 3, 1, 2]
         let mut plan = LayoutPlan::natural(&m);
         plan.order[0] = vec![BlockId(0), BlockId(3), BlockId(1), BlockId(2)];
@@ -482,13 +592,24 @@ mod tests {
         let mut plan = LayoutPlan::natural(&m);
         // The loop back-edge branch lives in block 1; its then edge
         // (back to body) is likely.
-        plan.set_likely(BranchId { func: FuncId(0), block: BlockId(1) }, true);
+        plan.set_likely(
+            BranchId {
+                func: FuncId(0),
+                block: BlockId(1),
+            },
+            true,
+        );
         plan.slots = 2;
         let p = lower_with_plan(&m, &plan).unwrap();
         // mov, add, br(+2 slots), slot, slot, halt
         assert_eq!(p.code.len(), 6);
         match &p.code[2] {
-            Inst::Br { slots, likely, target, .. } => {
+            Inst::Br {
+                slots,
+                likely,
+                target,
+                ..
+            } => {
                 assert_eq!(*slots, 2);
                 assert!(*likely);
                 assert_eq!(*target, Addr(1));
@@ -521,12 +642,23 @@ mod tests {
         fb.terminate(Term::Halt);
         fb.switch_to(exit);
         fb.terminate(Term::Halt);
-        let m = Module { funcs: vec![fb.finish()], globals_words: 0, globals_init: Vec::new(), entry: FuncId(0) };
+        let m = Module {
+            funcs: vec![fb.finish()],
+            globals_words: 0,
+            globals_init: Vec::new(),
+            entry: FuncId(0),
+        };
         // Layout [0, 2, 1]: then_=1(exit) laid out... order: block0, block2, block1.
         // Br then_=1, else_=2; next after 0 is 2 → else adjacent → Br(cond, then=1).
         let mut plan = LayoutPlan::natural(&m);
         plan.order[0] = vec![BlockId(0), BlockId(2), BlockId(1)];
-        plan.set_likely(BranchId { func: FuncId(0), block: BlockId(0) }, true);
+        plan.set_likely(
+            BranchId {
+                func: FuncId(0),
+                block: BlockId(0),
+            },
+            true,
+        );
         plan.slots = 3;
         let p = lower_with_plan(&m, &plan).unwrap();
         // br(+3 slots), slot(halt copy), slot(nop pad), slot(nop pad), halt(other), halt(exit)
@@ -567,7 +699,12 @@ mod tests {
             fb.switch_to(b);
             fb.terminate(Term::Halt);
         }
-        let m = Module { funcs: vec![fb.finish()], globals_words: 0, globals_init: Vec::new(), entry: FuncId(0) };
+        let m = Module {
+            funcs: vec![fb.finish()],
+            globals_words: 0,
+            globals_init: Vec::new(),
+            entry: FuncId(0),
+        };
         let p = lower(&m).unwrap();
         assert!(matches!(p.code[0], Inst::JmpTable { .. }));
         assert_eq!(p.jump_tables.len(), 1);

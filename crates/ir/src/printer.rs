@@ -38,7 +38,11 @@ fn format_op(op: &Op) -> String {
         Op::In { dst, stream } => format!("{dst} = in #{stream}"),
         Op::Out { src, stream } => format!("out #{stream}, {src}"),
         Op::Call { func, args, dst } => {
-            let args = args.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ");
+            let args = args
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
             match dst {
                 Some(d) => format!("{d} = call {func}({args})"),
                 None => format!("call {func}({args})"),
@@ -50,12 +54,26 @@ fn format_op(op: &Op) -> String {
 
 fn format_term(t: &Term) -> String {
     match t {
-        Term::Br { cond, a, b, then_, else_ } => {
+        Term::Br {
+            cond,
+            a,
+            b,
+            then_,
+            else_,
+        } => {
             format!("br.{cond} {a}, {b} -> {then_} else {else_}")
         }
         Term::Jmp(t) => format!("jmp {t}"),
-        Term::Switch { sel, targets, default } => {
-            let ts = targets.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ");
+        Term::Switch {
+            sel,
+            targets,
+            default,
+        } => {
+            let ts = targets
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
             format!("switch {sel} [{ts}] default {default}")
         }
         Term::Ret(Some(v)) => format!("ret {v}"),
@@ -89,18 +107,37 @@ fn format_inst(inst: &Inst) -> String {
         Inst::FrameAddr { dst, offset } => format!("{dst} = fp + {offset}"),
         Inst::In { dst, stream } => format!("{dst} = in #{stream}"),
         Inst::Out { src, stream } => format!("out #{stream}, {src}"),
-        Inst::Br { cond, a, b, target, slots, likely } => {
+        Inst::Br {
+            cond,
+            a,
+            b,
+            target,
+            slots,
+            likely,
+        } => {
             let lk = if *likely { " (likely)" } else { "" };
-            let sl = if *slots > 0 { format!(" +{slots} slots") } else { String::new() };
+            let sl = if *slots > 0 {
+                format!(" +{slots} slots")
+            } else {
+                String::new()
+            };
             format!("br.{cond} {a}, {b} -> {target}{lk}{sl}")
         }
         Inst::Jmp { target, slots } => {
-            let sl = if *slots > 0 { format!(" +{slots} slots") } else { String::new() };
+            let sl = if *slots > 0 {
+                format!(" +{slots} slots")
+            } else {
+                String::new()
+            };
             format!("jmp {target}{sl}")
         }
         Inst::JmpTable { sel, table } => format!("jmp.table {sel} via t{table}"),
         Inst::Call { func, args, dst } => {
-            let args = args.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ");
+            let args = args
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
             match dst {
                 Some(d) => format!("{d} = call {func}({args})"),
                 None => format!("call {func}({args})"),
@@ -124,9 +161,20 @@ mod tests {
         let mut fb = FunctionBuilder::new("main", FuncId(0), 0);
         let r = fb.new_reg();
         let exit = fb.new_block();
-        fb.push(Op::Mov { dst: r, src: 41i64.into() });
-        fb.push(Op::Alu { op: AluOp::Add, dst: r, a: r.into(), b: 1i64.into() });
-        fb.push(Op::Out { src: r.into(), stream: 0i64.into() });
+        fb.push(Op::Mov {
+            dst: r,
+            src: 41i64.into(),
+        });
+        fb.push(Op::Alu {
+            op: AluOp::Add,
+            dst: r,
+            a: r.into(),
+            b: 1i64.into(),
+        });
+        fb.push(Op::Out {
+            src: r.into(),
+            stream: 0i64.into(),
+        });
         fb.terminate(Term::Br {
             cond: Cond::Eq,
             a: r.into(),
@@ -136,7 +184,12 @@ mod tests {
         });
         fb.switch_to(exit);
         fb.terminate(Term::Halt);
-        Module { funcs: vec![fb.finish()], globals_words: 0, globals_init: Vec::new(), entry: FuncId(0) }
+        Module {
+            funcs: vec![fb.finish()],
+            globals_words: 0,
+            globals_init: Vec::new(),
+            entry: FuncId(0),
+        }
     }
 
     #[test]
@@ -161,14 +214,25 @@ mod tests {
     #[test]
     fn format_inst_covers_control_variants() {
         assert_eq!(
-            format_inst(&Inst::Jmp { target: crate::types::Addr(5), slots: 2 }),
+            format_inst(&Inst::Jmp {
+                target: crate::types::Addr(5),
+                slots: 2
+            }),
             "jmp @000005 +2 slots"
         );
         assert_eq!(
-            format_inst(&Inst::JmpTable { sel: Reg(1).into(), table: 3 }),
+            format_inst(&Inst::JmpTable {
+                sel: Reg(1).into(),
+                table: 3
+            }),
             "jmp.table r1 via t3"
         );
-        assert_eq!(format_inst(&Inst::Ret { val: Some(Reg(0).into()) }), "ret r0");
+        assert_eq!(
+            format_inst(&Inst::Ret {
+                val: Some(Reg(0).into())
+            }),
+            "ret r0"
+        );
         assert_eq!(format_inst(&Inst::Halt), "halt");
     }
 }

@@ -343,7 +343,11 @@ mod tests {
         assert_eq!(Operand::from(Reg(1)).to_string(), "r1");
         assert_eq!(Operand::from(-9i64).to_string(), "-9");
         assert_eq!(
-            BranchId { func: FuncId(1), block: BlockId(2) }.to_string(),
+            BranchId {
+                func: FuncId(1),
+                block: BlockId(2)
+            }
+            .to_string(),
             "f1:b2"
         );
     }

@@ -90,8 +90,8 @@ pub fn validate_module(m: &Module) -> Result<(), ValidateError> {
                     Op::Out { src, stream } => check_opnd(*src) && check_opnd(*stream),
                     Op::Call { func, args, dst } => {
                         let callee_ok = (func.0 as usize) < m.funcs.len();
-                        let sig_ok = callee_ok
-                            && m.funcs[func.0 as usize].num_params as usize == args.len();
+                        let sig_ok =
+                            callee_ok && m.funcs[func.0 as usize].num_params as usize == args.len();
                         callee_ok
                             && sig_ok
                             && args.iter().all(|r| check_reg(*r))
@@ -104,11 +104,21 @@ pub fn validate_module(m: &Module) -> Result<(), ValidateError> {
                 }
             }
             let ok = match &b.term {
-                Term::Br { a, b: bb, then_, else_, .. } => {
+                Term::Br {
+                    a,
+                    b: bb,
+                    then_,
+                    else_,
+                    ..
+                } => {
                     check_opnd(*a) && check_opnd(*bb) && check_block(*then_) && check_block(*else_)
                 }
                 Term::Jmp(t) => check_block(*t),
-                Term::Switch { sel, targets, default } => {
+                Term::Switch {
+                    sel,
+                    targets,
+                    default,
+                } => {
                     check_reg(*sel)
                         && !targets.is_empty()
                         && targets.iter().all(|t| check_block(*t))
@@ -134,7 +144,12 @@ mod tests {
     fn valid_module() -> Module {
         let mut fb = FunctionBuilder::new("main", FuncId(0), 0);
         fb.terminate(Term::Halt);
-        Module { funcs: vec![fb.finish()], globals_words: 0, globals_init: Vec::new(), entry: FuncId(0) }
+        Module {
+            funcs: vec![fb.finish()],
+            globals_words: 0,
+            globals_init: Vec::new(),
+            entry: FuncId(0),
+        }
     }
 
     #[test]
@@ -144,7 +159,12 @@ mod tests {
 
     #[test]
     fn rejects_empty_module() {
-        let m = Module { funcs: vec![], globals_words: 0, globals_init: Vec::new(), entry: FuncId(0) };
+        let m = Module {
+            funcs: vec![],
+            globals_words: 0,
+            globals_init: Vec::new(),
+            entry: FuncId(0),
+        };
         assert!(validate_module(&m).is_err());
     }
 
@@ -158,7 +178,10 @@ mod tests {
     #[test]
     fn rejects_out_of_range_register() {
         let mut m = valid_module();
-        m.funcs[0].blocks[0].ops.push(Op::Mov { dst: Reg(99), src: 0i64.into() });
+        m.funcs[0].blocks[0].ops.push(Op::Mov {
+            dst: Reg(99),
+            src: 0i64.into(),
+        });
         let e = validate_module(&m).unwrap_err();
         assert!(e.detail.contains("malformed op"), "{e}");
     }
@@ -202,7 +225,11 @@ mod tests {
     fn rejects_mismatched_block_ids() {
         let mut m = valid_module();
         let f: &mut Function = &mut m.funcs[0];
-        f.blocks.push(Block { id: BlockId(7), ops: vec![], term: Term::Halt });
+        f.blocks.push(Block {
+            id: BlockId(7),
+            ops: vec![],
+            term: Term::Halt,
+        });
         let e = validate_module(&m).unwrap_err();
         assert!(e.detail.contains("block id"), "{e}");
     }

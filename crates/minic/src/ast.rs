@@ -68,9 +68,17 @@ pub enum StmtKind {
     /// `x = e;`, `x += e;`, `x++;` (the latter desugars to `x += 1`).
     AssignVar { name: String, value: Expr },
     /// `b[i] = e;`, `b[i] += e;`, `b[i]++;` (desugared like above).
-    AssignIndex { base: Expr, index: Expr, value: Expr },
+    AssignIndex {
+        base: Expr,
+        index: Expr,
+        value: Expr,
+    },
     /// `if (c) { … } else { … }`
-    If { cond: Expr, then_: Vec<Stmt>, else_: Vec<Stmt> },
+    If {
+        cond: Expr,
+        then_: Vec<Stmt>,
+        else_: Vec<Stmt>,
+    },
     /// `while (c) { … }`
     While { cond: Expr, body: Vec<Stmt> },
     /// `do { … } while (c);`
@@ -83,7 +91,10 @@ pub enum StmtKind {
         body: Vec<Stmt>,
     },
     /// `switch (e) { case N: … default: … }` with C fall-through.
-    Switch { scrutinee: Expr, arms: Vec<SwitchArm> },
+    Switch {
+        scrutinee: Expr,
+        arms: Vec<SwitchArm>,
+    },
     /// `break;`
     Break,
     /// `continue;`
@@ -187,6 +198,9 @@ impl BinOp {
     /// Is this a comparison producing 0/1?
     #[must_use]
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 }

@@ -3,9 +3,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use branchlab_ir::{
-    AluOp, BlockId, Cond, FuncId, FunctionBuilder, Module, Op, Operand, Reg, Term,
-};
+use branchlab_ir::{AluOp, BlockId, Cond, FuncId, FunctionBuilder, Module, Op, Operand, Reg, Term};
 
 use crate::ast::{BinOp, Expr, Func, Item, Stmt, StmtKind, SwitchArm, UnOp};
 use crate::parser::ParseError;
@@ -34,7 +32,10 @@ pub struct CompileError {
 
 impl CompileError {
     fn at(pos: Pos, msg: impl Into<String>) -> Self {
-        CompileError { pos: Some(pos), msg: msg.into() }
+        CompileError {
+            pos: Some(pos),
+            msg: msg.into(),
+        }
     }
 }
 
@@ -51,7 +52,10 @@ impl std::error::Error for CompileError {}
 
 impl From<ParseError> for CompileError {
     fn from(e: ParseError) -> Self {
-        CompileError { pos: Some(e.pos), msg: e.msg }
+        CompileError {
+            pos: Some(e.pos),
+            msg: e.msg,
+        }
     }
 }
 
@@ -85,7 +89,12 @@ pub fn compile(src: &str) -> Result<Module, CompileError> {
                 let addr = cx.alloc_data(&[*init]);
                 cx.bind_global(name, Binding::GlobalScalar { addr }, *pos)?;
             }
-            Item::GlobalArray { name, size, init, pos } => {
+            Item::GlobalArray {
+                name,
+                size,
+                init,
+                pos,
+            } => {
                 let mut words = init.clone();
                 words.resize(*size, 0);
                 let addr = cx.alloc_data(&words);
@@ -112,10 +121,16 @@ pub fn compile(src: &str) -> Result<Module, CompileError> {
     }
 
     let Some(&(entry, main_params)) = cx.funcs.get("main") else {
-        return Err(CompileError { pos: None, msg: "no `main` function".into() });
+        return Err(CompileError {
+            pos: None,
+            msg: "no `main` function".into(),
+        });
     };
     if main_params != 0 {
-        return Err(CompileError { pos: None, msg: "`main` must take no parameters".into() });
+        return Err(CompileError {
+            pos: None,
+            msg: "`main` must take no parameters".into(),
+        });
     }
 
     // Pass 2: function bodies.
@@ -130,8 +145,10 @@ pub fn compile(src: &str) -> Result<Module, CompileError> {
         globals_init: cx.data,
         entry,
     };
-    branchlab_ir::validate_module(&module)
-        .map_err(|e| CompileError { pos: None, msg: format!("internal codegen bug: {e}") })?;
+    branchlab_ir::validate_module(&module).map_err(|e| CompileError {
+        pos: None,
+        msg: format!("internal codegen bug: {e}"),
+    })?;
     Ok(module)
 }
 
@@ -156,7 +173,10 @@ impl ModuleCx {
 
     fn bind_global(&mut self, name: &str, b: Binding, pos: Pos) -> Result<(), CompileError> {
         if self.globals.insert(name.to_string(), b).is_some() {
-            return Err(CompileError::at(pos, format!("global `{name}` defined twice")));
+            return Err(CompileError::at(
+                pos,
+                format!("global `{name}` defined twice"),
+            ));
         }
         Ok(())
     }
@@ -165,7 +185,11 @@ impl ModuleCx {
         if let Some(&addr) = self.strings.get(s) {
             return addr;
         }
-        let words: Vec<i64> = s.iter().map(|&b| i64::from(b)).chain(std::iter::once(0)).collect();
+        let words: Vec<i64> = s
+            .iter()
+            .map(|&b| i64::from(b))
+            .chain(std::iter::once(0))
+            .collect();
         let addr = self.alloc_data(&words);
         self.strings.insert(s.to_vec(), addr);
         addr
@@ -180,7 +204,11 @@ struct FuncCx<'m> {
     continues: Vec<BlockId>,
 }
 
-fn gen_function(cx: &mut ModuleCx, f: &Func, id: FuncId) -> Result<branchlab_ir::Function, CompileError> {
+fn gen_function(
+    cx: &mut ModuleCx,
+    f: &Func,
+    id: FuncId,
+) -> Result<branchlab_ir::Function, CompileError> {
     let nparams = u16::try_from(f.params.len())
         .map_err(|_| CompileError::at(f.pos, "too many parameters"))?;
     let mut fcx = FuncCx {
@@ -201,7 +229,10 @@ impl FuncCx<'_> {
     fn declare(&mut self, name: &str, b: Binding, pos: Pos) -> Result<(), CompileError> {
         let scope = self.scopes.last_mut().expect("scope stack never empty");
         if scope.insert(name.to_string(), b).is_some() {
-            return Err(CompileError::at(pos, format!("`{name}` declared twice in this scope")));
+            return Err(CompileError::at(
+                pos,
+                format!("`{name}` declared twice in this scope"),
+            ));
         }
         Ok(())
     }
@@ -228,6 +259,7 @@ impl FuncCx<'_> {
         }
     }
 
+    #[allow(clippy::wrong_self_convention)]
     fn to_reg(&mut self, op: Operand) -> Reg {
         match op {
             Operand::Reg(r) => r,
@@ -268,8 +300,8 @@ impl FuncCx<'_> {
                 self.declare(name, Binding::Local(r), s.pos)?;
             }
             StmtKind::DeclArray { name, size } => {
-                let words = u32::try_from(*size)
-                    .map_err(|_| CompileError::at(s.pos, "array too large"))?;
+                let words =
+                    u32::try_from(*size).map_err(|_| CompileError::at(s.pos, "array too large"))?;
                 let offset = self.fb.alloc_frame(words);
                 self.declare(name, Binding::LocalArray { offset }, s.pos)?;
             }
@@ -295,12 +327,20 @@ impl FuncCx<'_> {
                 let i = self.gen_expr(index)?;
                 let v = self.gen_expr(value)?;
                 let (base_op, offset) = self.address_of(b, i);
-                self.fb.push(Op::St { src: v, base: base_op, offset });
+                self.fb.push(Op::St {
+                    src: v,
+                    base: base_op,
+                    offset,
+                });
             }
             StmtKind::If { cond, then_, else_ } => {
                 let then_bb = self.fb.new_block();
                 let join = self.fb.new_block();
-                let else_bb = if else_.is_empty() { join } else { self.fb.new_block() };
+                let else_bb = if else_.is_empty() {
+                    join
+                } else {
+                    self.fb.new_block()
+                };
                 self.gen_cond(cond, then_bb, else_bb)?;
                 self.fb.switch_to(then_bb);
                 self.gen_scoped(then_)?;
@@ -344,7 +384,12 @@ impl FuncCx<'_> {
                 self.gen_cond(cond, body_bb, exit)?;
                 self.fb.switch_to(exit);
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.scopes.push(HashMap::new());
                 if let Some(i) = init {
                     self.gen_stmt(i)?;
@@ -501,7 +546,11 @@ impl FuncCx<'_> {
             for &(v, bb) in &cases {
                 targets[(v - min) as usize] = bb;
             }
-            self.fb.terminate(Term::Switch { sel, targets, default });
+            self.fb.terminate(Term::Switch {
+                sel,
+                targets,
+                default,
+            });
         }
 
         // Arms with C fall-through; `break` exits to `end`.
@@ -527,7 +576,12 @@ impl FuncCx<'_> {
             (Operand::Imm(b), i) => (i, b),
             (b, i) => {
                 let r = self.fb.new_reg();
-                self.fb.push(Op::Alu { op: AluOp::Add, dst: r, a: b, b: i });
+                self.fb.push(Op::Alu {
+                    op: AluOp::Add,
+                    dst: r,
+                    a: b,
+                    b: i,
+                });
                 (Operand::Reg(r), 0)
             }
         }
@@ -560,7 +614,11 @@ impl FuncCx<'_> {
                 let idx = self.gen_expr(i)?;
                 let (base_op, offset) = self.address_of(base, idx);
                 let r = self.fb.new_reg();
-                self.fb.push(Op::Ld { dst: r, base: base_op, offset });
+                self.fb.push(Op::Ld {
+                    dst: r,
+                    base: base_op,
+                    offset,
+                });
                 Ok(Operand::Reg(r))
             }
             Expr::Unary(op, inner) => {
@@ -618,15 +676,20 @@ impl FuncCx<'_> {
                     });
                     Ok(v)
                 }
-                Binding::LocalArray { .. } | Binding::GlobalArray { .. } => Err(
-                    CompileError::at(*pos, format!("cannot assign to array `{name}`")),
-                ),
+                Binding::LocalArray { .. } | Binding::GlobalArray { .. } => Err(CompileError::at(
+                    *pos,
+                    format!("cannot assign to array `{name}`"),
+                )),
             },
             Expr::Index(b, i) => {
                 let base = self.gen_expr(b)?;
                 let idx = self.gen_expr(i)?;
                 let (base_op, offset) = self.address_of(base, idx);
-                self.fb.push(Op::St { src: v, base: base_op, offset });
+                self.fb.push(Op::St {
+                    src: v,
+                    base: base_op,
+                    offset,
+                });
                 Ok(v)
             }
             other => Err(CompileError {
@@ -648,10 +711,20 @@ impl FuncCx<'_> {
         }
         let r = self.fb.new_reg();
         match bin_to_alu(op) {
-            Some(alu) => self.fb.push(Op::Alu { op: alu, dst: r, a: va, b: vb }),
+            Some(alu) => self.fb.push(Op::Alu {
+                op: alu,
+                dst: r,
+                a: va,
+                b: vb,
+            }),
             None => {
                 let cond = bin_to_cond(op).expect("non-alu binop is a comparison");
-                self.fb.push(Op::Cmp { cond, dst: r, a: va, b: vb });
+                self.fb.push(Op::Cmp {
+                    cond,
+                    dst: r,
+                    a: va,
+                    b: vb,
+                });
             }
         }
         Ok(Operand::Reg(r))
@@ -670,11 +743,19 @@ impl FuncCx<'_> {
         }
         self.fb.switch_to(rhs_bb);
         let vb = self.gen_expr(b)?;
-        self.fb.push(Op::Cmp { cond: Cond::Ne, dst: r, a: vb, b: Operand::Imm(0) });
+        self.fb.push(Op::Cmp {
+            cond: Cond::Ne,
+            dst: r,
+            a: vb,
+            b: Operand::Imm(0),
+        });
         self.fb.terminate(Term::Jmp(end));
         self.fb.switch_to(short_bb);
         let short_val = i64::from(op == BinOp::LOr);
-        self.fb.push(Op::Mov { dst: r, src: Operand::Imm(short_val) });
+        self.fb.push(Op::Mov {
+            dst: r,
+            src: Operand::Imm(short_val),
+        });
         self.fb.terminate(Term::Jmp(end));
         self.fb.switch_to(end);
         Ok(Operand::Reg(r))
@@ -693,14 +774,20 @@ impl FuncCx<'_> {
             }
             "putc" => {
                 let [stream, value] = args else {
-                    return Err(CompileError::at(pos, "putc(stream, byte) takes two arguments"));
+                    return Err(CompileError::at(
+                        pos,
+                        "putc(stream, byte) takes two arguments",
+                    ));
                 };
                 let stream = self.stream_operand(stream, pos)?;
                 let v = self.gen_expr(value)?;
                 self.fb.push(Op::Out { src: v, stream });
                 Ok(Operand::Imm(0))
             }
-            "halt" => Err(CompileError::at(pos, "halt() is a statement, not an expression")),
+            "halt" => Err(CompileError::at(
+                pos,
+                "halt() is a statement, not an expression",
+            )),
             _ => {
                 let Some(&(id, nparams)) = self.cx.funcs.get(name) else {
                     return Err(CompileError::at(pos, format!("unknown function `{name}`")));
@@ -717,7 +804,11 @@ impl FuncCx<'_> {
                     arg_regs.push(self.to_reg(v));
                 }
                 let r = self.fb.new_reg();
-                self.fb.push(Op::Call { func: id, args: arg_regs, dst: Some(r) });
+                self.fb.push(Op::Call {
+                    func: id,
+                    args: arg_regs,
+                    dst: Some(r),
+                });
                 Ok(Operand::Reg(r))
             }
         }
@@ -737,7 +828,12 @@ impl FuncCx<'_> {
     /// Generate a conditional jump on `e` to `then_bb` (nonzero) or
     /// `else_bb` (zero), folding comparisons into compare-and-branch and
     /// short-circuiting `&&`/`||`/`!`.
-    fn gen_cond(&mut self, e: &Expr, then_bb: BlockId, else_bb: BlockId) -> Result<(), CompileError> {
+    fn gen_cond(
+        &mut self,
+        e: &Expr,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    ) -> Result<(), CompileError> {
         match e {
             Expr::Binary(op, a, b) if op.is_comparison() => {
                 let va = self.gen_expr(a)?;

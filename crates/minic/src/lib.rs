@@ -108,8 +108,7 @@ mod tests {
 
     #[test]
     fn globals_are_laid_out_with_initializers() {
-        let m = compile("int x = 7; int a[3] = {1, 2}; int main() { return x + a[1]; }")
-            .unwrap();
+        let m = compile("int x = 7; int a[3] = {1, 2}; int main() { return x + a[1]; }").unwrap();
         assert_eq!(m.globals_words, 4);
         assert_eq!(m.globals_init, vec![7, 1, 2, 0]);
     }
@@ -124,8 +123,8 @@ mod tests {
 
     #[test]
     fn comparison_condition_folds_into_branch() {
-        let m = compile("int main() { int x = getc(0); if (x < 10) { return 1; } return 2; }")
-            .unwrap();
+        let m =
+            compile("int main() { int x = getc(0); if (x < 10) { return 1; } return 2; }").unwrap();
         let text = print_module(&m);
         assert!(text.contains("br.lt"), "{text}");
         // No separate cmp instruction for the condition.
@@ -134,10 +133,9 @@ mod tests {
 
     #[test]
     fn logical_and_short_circuits_via_blocks() {
-        let m = compile(
-            "int main() { int x = getc(0); if (x > 0 && x < 10) { return 1; } return 0; }",
-        )
-        .unwrap();
+        let m =
+            compile("int main() { int x = getc(0); if (x > 0 && x < 10) { return 1; } return 0; }")
+                .unwrap();
         let text = print_module(&m);
         assert!(text.contains("br.gt"), "{text}");
         assert!(text.contains("br.lt"), "{text}");
@@ -151,8 +149,11 @@ mod tests {
         )
         .unwrap();
         let f = &m.funcs[0];
-        let Some(Term::Switch { targets, .. }) =
-            f.blocks.iter().map(|b| &b.term).find(|t| matches!(t, Term::Switch { .. }))
+        let Some(Term::Switch { targets, .. }) = f
+            .blocks
+            .iter()
+            .map(|b| &b.term)
+            .find(|t| matches!(t, Term::Switch { .. }))
         else {
             panic!("expected a switch terminator")
         };
@@ -168,7 +169,9 @@ mod tests {
         .unwrap();
         let f = &m.funcs[0];
         assert!(
-            !f.blocks.iter().any(|b| matches!(b.term, Term::Switch { .. })),
+            !f.blocks
+                .iter()
+                .any(|b| matches!(b.term, Term::Switch { .. })),
             "expected a compare chain"
         );
         // Two Eq tests, one per case.
@@ -188,17 +191,20 @@ mod tests {
         )
         .unwrap();
         assert!(
-            !m.funcs[0].blocks.iter().any(|b| matches!(b.term, Term::Switch { .. })),
+            !m.funcs[0]
+                .blocks
+                .iter()
+                .any(|b| matches!(b.term, Term::Switch { .. })),
             "expected a compare chain"
         );
     }
 
     #[test]
     fn rejects_duplicate_case() {
-        assert!(compile(
-            "int main() { switch (0) { case 1: break; case 1: break; } return 0; }"
-        )
-        .is_err());
+        assert!(
+            compile("int main() { switch (0) { case 1: break; case 1: break; } return 0; }")
+                .is_err()
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { pos: e.pos, msg: e.msg }
+        ParseError {
+            pos: e.pos,
+            msg: e.msg,
+        }
     }
 }
 
@@ -73,7 +76,10 @@ impl Parser {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { pos: self.here(), msg: msg.into() })
+        Err(ParseError {
+            pos: self.here(),
+            msg: msg.into(),
+        })
     }
 
     fn eat_punct(&mut self, p: Punct) -> bool {
@@ -181,9 +187,18 @@ impl Parser {
                 }
             };
             self.expect_punct(Punct::Semi)?;
-            Ok(Item::GlobalArray { name, size, init, pos })
+            Ok(Item::GlobalArray {
+                name,
+                size,
+                init,
+                pos,
+            })
         } else {
-            let init = if self.eat_punct(Punct::Assign) { self.int_const()? } else { 0 };
+            let init = if self.eat_punct(Punct::Assign) {
+                self.int_const()?
+            } else {
+                0
+            };
             self.expect_punct(Punct::Semi)?;
             Ok(Item::GlobalScalar { name, init, pos })
         }
@@ -222,7 +237,12 @@ impl Parser {
             }
         }
         let body = self.block()?;
-        Ok(Func { name, params, body, pos })
+        Ok(Func {
+            name,
+            params,
+            body,
+            pos,
+        })
     }
 
     // ---- statements ----
@@ -252,7 +272,10 @@ impl Parser {
                     }
                     self.expect_punct(Punct::RBracket)?;
                     self.expect_punct(Punct::Semi)?;
-                    StmtKind::DeclArray { name, size: n as usize }
+                    StmtKind::DeclArray {
+                        name,
+                        size: n as usize,
+                    }
                 } else {
                     let init = if self.eat_punct(Punct::Assign) {
                         Some(self.expr()?)
@@ -291,7 +314,10 @@ impl Parser {
                 let init = if self.peek() == &Tok::Punct(Punct::Semi) {
                     None
                 } else {
-                    Some(Box::new(Stmt { kind: self.simple_stmt()?, pos }))
+                    Some(Box::new(Stmt {
+                        kind: self.simple_stmt()?,
+                        pos,
+                    }))
                 };
                 self.expect_punct(Punct::Semi)?;
                 let cond = if self.peek() == &Tok::Punct(Punct::Semi) {
@@ -303,11 +329,19 @@ impl Parser {
                 let step = if self.peek() == &Tok::Punct(Punct::RParen) {
                     None
                 } else {
-                    Some(Box::new(Stmt { kind: self.simple_stmt()?, pos }))
+                    Some(Box::new(Stmt {
+                        kind: self.simple_stmt()?,
+                        pos,
+                    }))
                 };
                 self.expect_punct(Punct::RParen)?;
                 let body = self.block()?;
-                StmtKind::For { init, cond, step, body }
+                StmtKind::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                }
             }
             Tok::Kw(Kw::Switch) => {
                 self.bump();
@@ -359,7 +393,10 @@ impl Parser {
         } else {
             Vec::new()
         };
-        Ok(Stmt { kind: StmtKind::If { cond, then_, else_ }, pos })
+        Ok(Stmt {
+            kind: StmtKind::If { cond, then_, else_ },
+            pos,
+        })
     }
 
     fn switch_stmt(&mut self, pos: Pos) -> Result<Stmt, ParseError> {
@@ -396,7 +433,10 @@ impl Parser {
             }
             arms.push(SwitchArm { labels, stmts });
         }
-        Ok(Stmt { kind: StmtKind::Switch { scrutinee, arms }, pos })
+        Ok(Stmt {
+            kind: StmtKind::Switch { scrutinee, arms },
+            pos,
+        })
     }
 
     /// Assignment, compound assignment, increment, or expression —
@@ -421,11 +461,8 @@ impl Parser {
                     self.bump();
                     self.bump();
                     let rhs = self.expr()?;
-                    let value = Expr::Binary(
-                        op,
-                        Box::new(Expr::Var(name.clone(), pos)),
-                        Box::new(rhs),
-                    );
+                    let value =
+                        Expr::Binary(op, Box::new(Expr::Var(name.clone(), pos)), Box::new(rhs));
                     return Ok(StmtKind::AssignVar { name, value });
                 }
                 Tok::Punct(Punct::PlusPlus) | Tok::Punct(Punct::MinusMinus) => {
@@ -452,10 +489,15 @@ impl Parser {
         // `expr()` already parses `lhs = rhs`; re-shape it as a statement.
         if let Expr::Assign(target, value) = e {
             return Ok(match *target {
-                Expr::Var(name, _) => StmtKind::AssignVar { name, value: *value },
-                Expr::Index(base, index) => {
-                    StmtKind::AssignIndex { base: *base, index: *index, value: *value }
-                }
+                Expr::Var(name, _) => StmtKind::AssignVar {
+                    name,
+                    value: *value,
+                },
+                Expr::Index(base, index) => StmtKind::AssignIndex {
+                    base: *base,
+                    index: *index,
+                    value: *value,
+                },
                 _ => unreachable!("expr() only builds Assign with Var/Index targets"),
             });
         }
@@ -465,10 +507,7 @@ impl Parser {
                 index: (**index).clone(),
                 value,
             };
-            for (p, op) in [
-                (Punct::PlusEq, BinOp::Add),
-                (Punct::MinusEq, BinOp::Sub),
-            ] {
+            for (p, op) in [(Punct::PlusEq, BinOp::Add), (Punct::MinusEq, BinOp::Sub)] {
                 if self.eat_punct(p) {
                     let rhs = self.expr()?;
                     return Ok(mk(Expr::Binary(op, Box::new(e.clone()), Box::new(rhs))));
@@ -479,7 +518,11 @@ impl Parser {
                 (Punct::MinusMinus, BinOp::Sub),
             ] {
                 if self.eat_punct(p) {
-                    return Ok(mk(Expr::Binary(op, Box::new(e.clone()), Box::new(Expr::Num(1)))));
+                    return Ok(mk(Expr::Binary(
+                        op,
+                        Box::new(e.clone()),
+                        Box::new(Expr::Num(1)),
+                    )));
                 }
             }
         }
@@ -637,13 +680,19 @@ mod tests {
     fn precedence_mul_over_add() {
         let items = parse("int main() { return 1 + 2 * 3; }").unwrap();
         let Item::Func(f) = &items[0] else { panic!() };
-        let StmtKind::Return(Some(e)) = &f.body[0].kind else { panic!() };
+        let StmtKind::Return(Some(e)) = &f.body[0].kind else {
+            panic!()
+        };
         assert_eq!(
             *e,
             Expr::Binary(
                 BinOp::Add,
                 Box::new(Expr::Num(1)),
-                Box::new(Expr::Binary(BinOp::Mul, Box::new(Expr::Num(2)), Box::new(Expr::Num(3)))),
+                Box::new(Expr::Binary(
+                    BinOp::Mul,
+                    Box::new(Expr::Num(2)),
+                    Box::new(Expr::Num(3))
+                )),
             )
         );
     }
@@ -692,7 +741,9 @@ mod tests {
         ";
         let items = parse(src).unwrap();
         let Item::Func(f) = &items[0] else { panic!() };
-        let StmtKind::Switch { arms, .. } = &f.body[0].kind else { panic!() };
+        let StmtKind::Switch { arms, .. } = &f.body[0].kind else {
+            panic!()
+        };
         assert_eq!(arms.len(), 3);
         assert_eq!(arms[0].labels, vec![Some(1), Some(2)]);
         assert_eq!(arms[1].labels, vec![Some(3)]);
@@ -714,7 +765,9 @@ mod tests {
     fn parses_string_literal_expression() {
         let items = parse(r#"int main() { return "ab"[0]; }"#).unwrap();
         let Item::Func(f) = &items[0] else { panic!() };
-        let StmtKind::Return(Some(Expr::Index(b, _))) = &f.body[0].kind else { panic!() };
+        let StmtKind::Return(Some(Expr::Index(b, _))) = &f.body[0].kind else {
+            panic!()
+        };
         assert_eq!(**b, Expr::Str(b"ab".to_vec()));
     }
 
@@ -723,7 +776,9 @@ mod tests {
         let src = "int main() { if (1) { } else if (2) { } else { return 3; } return 0; }";
         let items = parse(src).unwrap();
         let Item::Func(f) = &items[0] else { panic!() };
-        let StmtKind::If { else_, .. } = &f.body[0].kind else { panic!() };
+        let StmtKind::If { else_, .. } = &f.body[0].kind else {
+            panic!()
+        };
         assert_eq!(else_.len(), 1);
         assert!(matches!(else_[0].kind, StmtKind::If { .. }));
     }

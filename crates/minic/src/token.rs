@@ -160,7 +160,10 @@ pub fn lex(src: &str) -> Result<Vec<(Tok, Pos)>, LexError> {
                 bump!();
                 loop {
                     if i + 1 >= b.len() {
-                        return Err(LexError { pos, msg: "unterminated block comment".into() });
+                        return Err(LexError {
+                            pos,
+                            msg: "unterminated block comment".into(),
+                        });
                     }
                     if b[i] == b'*' && b[i + 1] == b'/' {
                         bump!();
@@ -182,7 +185,10 @@ pub fn lex(src: &str) -> Result<Vec<(Tok, Pos)>, LexError> {
                         bump!();
                     }
                     if i == start {
-                        return Err(LexError { pos, msg: "empty hex literal".into() });
+                        return Err(LexError {
+                            pos,
+                            msg: "empty hex literal".into(),
+                        });
                     }
                 } else {
                     while i < b.len() && b[i].is_ascii_digit() {
@@ -191,22 +197,33 @@ pub fn lex(src: &str) -> Result<Vec<(Tok, Pos)>, LexError> {
                     }
                 }
                 if i < b.len() && (b[i].is_ascii_alphabetic() || b[i] == b'_') {
-                    return Err(LexError { pos, msg: "identifier starts with digit".into() });
+                    return Err(LexError {
+                        pos,
+                        msg: "identifier starts with digit".into(),
+                    });
                 }
                 out.push((Tok::Num(v), pos));
             }
             b'\'' => {
                 bump!();
                 if i >= b.len() {
-                    return Err(LexError { pos, msg: "unterminated char literal".into() });
+                    return Err(LexError {
+                        pos,
+                        msg: "unterminated char literal".into(),
+                    });
                 }
                 let v = if b[i] == b'\\' {
                     bump!();
                     if i >= b.len() {
-                        return Err(LexError { pos, msg: "unterminated char literal".into() });
+                        return Err(LexError {
+                            pos,
+                            msg: "unterminated char literal".into(),
+                        });
                     }
-                    let e = escape(b[i])
-                        .ok_or_else(|| LexError { pos, msg: "bad escape in char".into() })?;
+                    let e = escape(b[i]).ok_or_else(|| LexError {
+                        pos,
+                        msg: "bad escape in char".into(),
+                    })?;
                     bump!();
                     e
                 } else {
@@ -215,7 +232,10 @@ pub fn lex(src: &str) -> Result<Vec<(Tok, Pos)>, LexError> {
                     v
                 };
                 if i >= b.len() || b[i] != b'\'' {
-                    return Err(LexError { pos, msg: "unterminated char literal".into() });
+                    return Err(LexError {
+                        pos,
+                        msg: "unterminated char literal".into(),
+                    });
                 }
                 bump!();
                 out.push((Tok::Num(i64::from(v)), pos));
@@ -225,7 +245,10 @@ pub fn lex(src: &str) -> Result<Vec<(Tok, Pos)>, LexError> {
                 let mut s = Vec::new();
                 loop {
                     if i >= b.len() {
-                        return Err(LexError { pos, msg: "unterminated string".into() });
+                        return Err(LexError {
+                            pos,
+                            msg: "unterminated string".into(),
+                        });
                     }
                     match b[i] {
                         b'"' => {
@@ -235,7 +258,10 @@ pub fn lex(src: &str) -> Result<Vec<(Tok, Pos)>, LexError> {
                         b'\\' => {
                             bump!();
                             if i >= b.len() {
-                                return Err(LexError { pos, msg: "unterminated string".into() });
+                                return Err(LexError {
+                                    pos,
+                                    msg: "unterminated string".into(),
+                                });
                             }
                             let e = escape(b[i]).ok_or_else(|| LexError {
                                 pos,
@@ -264,7 +290,11 @@ pub fn lex(src: &str) -> Result<Vec<(Tok, Pos)>, LexError> {
                 }
             }
             _ => {
-                let two = if i + 1 < b.len() { &b[i..i + 2] } else { &b[i..i + 1] };
+                let two = if i + 1 < b.len() {
+                    &b[i..i + 2]
+                } else {
+                    &b[i..i + 1]
+                };
                 let p2 = match two {
                     b"<<" => Some(Punct::Shl),
                     b">>" => Some(Punct::Shr),
@@ -348,17 +378,18 @@ mod tests {
 
     #[test]
     fn lexes_numbers() {
-        assert_eq!(toks("0 42 0x1f"), vec![Tok::Num(0), Tok::Num(42), Tok::Num(31), Tok::Eof]);
+        assert_eq!(
+            toks("0 42 0x1f"),
+            vec![Tok::Num(0), Tok::Num(42), Tok::Num(31), Tok::Eof]
+        );
     }
 
     #[test]
     fn lexes_char_literals() {
-        assert_eq!(toks("'a' '\\n' '\\0'"), vec![
-            Tok::Num(97),
-            Tok::Num(10),
-            Tok::Num(0),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("'a' '\\n' '\\0'"),
+            vec![Tok::Num(97), Tok::Num(10), Tok::Num(0), Tok::Eof]
+        );
     }
 
     #[test]
@@ -371,34 +402,38 @@ mod tests {
 
     #[test]
     fn lexes_keywords_and_idents() {
-        assert_eq!(toks("int foo while_x"), vec![
-            Tok::Kw(Kw::Int),
-            Tok::Ident("foo".into()),
-            Tok::Ident("while_x".into()),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("int foo while_x"),
+            vec![
+                Tok::Kw(Kw::Int),
+                Tok::Ident("foo".into()),
+                Tok::Ident("while_x".into()),
+                Tok::Eof
+            ]
+        );
     }
 
     #[test]
     fn lexes_two_char_operators_greedily() {
-        assert_eq!(toks("<= << = == ++"), vec![
-            Tok::Punct(Punct::Le),
-            Tok::Punct(Punct::Shl),
-            Tok::Punct(Punct::Assign),
-            Tok::Punct(Punct::EqEq),
-            Tok::Punct(Punct::PlusPlus),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("<= << = == ++"),
+            vec![
+                Tok::Punct(Punct::Le),
+                Tok::Punct(Punct::Shl),
+                Tok::Punct(Punct::Assign),
+                Tok::Punct(Punct::EqEq),
+                Tok::Punct(Punct::PlusPlus),
+                Tok::Eof
+            ]
+        );
     }
 
     #[test]
     fn skips_comments() {
-        assert_eq!(toks("1 // line\n2 /* block\nmore */ 3"), vec![
-            Tok::Num(1),
-            Tok::Num(2),
-            Tok::Num(3),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("1 // line\n2 /* block\nmore */ 3"),
+            vec![Tok::Num(1), Tok::Num(2), Tok::Num(3), Tok::Eof]
+        );
     }
 
     #[test]

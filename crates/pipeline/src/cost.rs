@@ -74,7 +74,10 @@ impl FlushModel {
 /// Panics (debug) if `accuracy` is outside `[0, 1]`.
 #[must_use]
 pub fn branch_cost(accuracy: f64, k: u32, flush: &FlushModel) -> f64 {
-    debug_assert!((0.0..=1.0).contains(&accuracy), "accuracy {accuracy} out of range");
+    debug_assert!(
+        (0.0..=1.0).contains(&accuracy),
+        "accuracy {accuracy} out of range"
+    );
     let penalty = f64::from(k) + flush.l_bar + flush.m_bar;
     accuracy + penalty * (1.0 - accuracy)
 }
@@ -97,8 +100,14 @@ pub fn cost_curve(accuracy: f64, k: u32, lm_max: f64, step: f64) -> Vec<CostPoin
     (0..=n)
         .map(|i| {
             let lm = i as f64 * step;
-            let flush = FlushModel { l_bar: lm, m_bar: 0.0 };
-            CostPoint { lm, cost: branch_cost(accuracy, k, &flush) }
+            let flush = FlushModel {
+                l_bar: lm,
+                m_bar: 0.0,
+            };
+            CostPoint {
+                lm,
+                cost: branch_cost(accuracy, k, &flush),
+            }
         })
         .collect()
 }
@@ -109,13 +118,19 @@ mod tests {
 
     #[test]
     fn perfect_prediction_costs_one_cycle() {
-        let flush = FlushModel { l_bar: 3.0, m_bar: 5.0 };
+        let flush = FlushModel {
+            l_bar: 3.0,
+            m_bar: 5.0,
+        };
         assert!((branch_cost(1.0, 8, &flush) - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn zero_accuracy_costs_full_flush() {
-        let flush = FlushModel { l_bar: 1.0, m_bar: 1.0 };
+        let flush = FlushModel {
+            l_bar: 1.0,
+            m_bar: 1.0,
+        };
         // k + l̄ + m̄ = 4
         assert!((branch_cost(0.0, 2, &flush) - 4.0).abs() < 1e-12);
     }
@@ -125,7 +140,10 @@ mod tests {
         // Table 4 uses k + l̄ = 2, m̄ = 1 (penalty 3). Cross-check
         // against Table 3 accuracies: cmp FS A = 0.986 → 1.03;
         // wc FS A = 0.904 → 1.19; wc SBTB A = 0.854 → 1.29.
-        let flush = FlushModel { l_bar: 1.0, m_bar: 1.0 };
+        let flush = FlushModel {
+            l_bar: 1.0,
+            m_bar: 1.0,
+        };
         assert!((branch_cost(0.986, 1, &flush) - 1.03).abs() < 0.005);
         assert!((branch_cost(0.904, 1, &flush) - 1.19).abs() < 0.005);
         assert!((branch_cost(0.854, 1, &flush) - 1.29).abs() < 0.005);
@@ -136,15 +154,24 @@ mod tests {
         // Abstract: FS beats the best hardware scheme at 11 stages
         // (≈1.65 vs 1.68 cycles/branch) and at 5 stages (1.19 vs 1.23),
         // using the average accuracies of Table 3.
-        let deep = FlushModel { l_bar: 3.0, m_bar: 5.0 };
+        let deep = FlushModel {
+            l_bar: 3.0,
+            m_bar: 5.0,
+        };
         assert!(branch_cost(0.935, 2, &deep) < branch_cost(0.924, 2, &deep));
-        let moderate = FlushModel { l_bar: 1.0, m_bar: 1.0 };
+        let moderate = FlushModel {
+            l_bar: 1.0,
+            m_bar: 1.0,
+        };
         assert!(branch_cost(0.935, 1, &moderate) < branch_cost(0.924, 1, &moderate));
     }
 
     #[test]
     fn higher_accuracy_always_cheaper() {
-        let flush = FlushModel { l_bar: 2.0, m_bar: 2.0 };
+        let flush = FlushModel {
+            l_bar: 2.0,
+            m_bar: 2.0,
+        };
         let mut last = f64::INFINITY;
         for a in [0.5, 0.7, 0.9, 0.95, 0.99] {
             let c = branch_cost(a, 4, &flush);
@@ -158,7 +185,10 @@ mod tests {
         // The paper's Figures 3–4: the gap between schemes widens as
         // ℓ̄ + m̄ and k grow.
         let gap = |k: u32, lm: f64| {
-            let flush = FlushModel { l_bar: lm, m_bar: 0.0 };
+            let flush = FlushModel {
+                l_bar: lm,
+                m_bar: 0.0,
+            };
             branch_cost(0.915, k, &flush) - branch_cost(0.935, k, &flush)
         };
         assert!(gap(2, 4.0) > gap(1, 2.0));

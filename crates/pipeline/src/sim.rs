@@ -55,6 +55,20 @@ impl<P: BranchPredictor> CycleSim<P> {
         &self.eval.stats
     }
 
+    /// Add this run's cycle accounting to `prefix.*` counters in a
+    /// metrics registry.
+    pub fn export(&self, registry: &branchlab_telemetry::MetricsRegistry, prefix: &str) {
+        for (name, value) in [
+            ("stall_cycles", self.stall_cycles),
+            ("cond_mispredicts", self.cond_mispredicts),
+            ("uncond_mispredicts", self.uncond_mispredicts),
+            ("branch_events", self.eval.stats.events),
+            ("branch_correct", self.eval.stats.correct),
+        ] {
+            registry.counter(&format!("{prefix}.{name}")).add(value);
+        }
+    }
+
     /// Total cycles to execute a run that retired `insts` instructions.
     #[must_use]
     pub fn total_cycles(&self, insts: u64) -> u64 {
@@ -104,7 +118,11 @@ impl<P: BranchPredictor> CycleSim<P> {
     /// model — should match [`CycleSim::measured_cost`] to rounding.
     #[must_use]
     pub fn analytic_cost(&self) -> f64 {
-        branch_cost(self.eval.stats.accuracy(), self.config.k, &self.empirical_flush())
+        branch_cost(
+            self.eval.stats.accuracy(),
+            self.config.k,
+            &self.empirical_flush(),
+        )
     }
 }
 
@@ -191,8 +209,12 @@ mod tests {
     fn perfect_prediction_gives_cpi_one() {
         // A straight-line program has only perfectly-predictable
         // unconditional direct flow… actually none: no branches at all.
-        let (sim, insts) =
-            simulate("int main() { return 1 + 2 + 3; }", b"", PipelineConfig::deep(), Sbtb::paper());
+        let (sim, insts) = simulate(
+            "int main() { return 1 + 2 + 3; }",
+            b"",
+            PipelineConfig::deep(),
+            Sbtb::paper(),
+        );
         assert_eq!(sim.stall_cycles, 0);
         assert!((sim.cpi(insts) - 1.0).abs() < 1e-12);
     }
@@ -208,7 +230,10 @@ mod tests {
             taken: true,
             target: Addr(999),
             fallthrough: Addr(pc + 1),
-            branch: BranchId { func: FuncId(0), block: BlockId(pc) },
+            branch: BranchId {
+                func: FuncId(0),
+                block: BlockId(pc),
+            },
             likely: false,
             cond: Some(branchlab_ir::Cond::Eq),
         };
@@ -220,5 +245,11 @@ mod tests {
         assert_eq!(sim.stall_cycles, 8);
         assert_eq!(sim.cond_mispredicts, 1);
         assert_eq!(sim.uncond_mispredicts, 1);
+
+        let registry = branchlab_telemetry::MetricsRegistry::new();
+        sim.export(&registry, "pipeline.test");
+        assert_eq!(registry.counter("pipeline.test.stall_cycles").get(), 8);
+        assert_eq!(registry.counter("pipeline.test.cond_mispredicts").get(), 1);
+        assert_eq!(registry.counter("pipeline.test.branch_events").get(), 2);
     }
 }

@@ -83,7 +83,10 @@ impl<V> AssocBuffer<V> {
     #[must_use]
     pub fn peek(&self, key: u32) -> Option<&V> {
         let set = self.set_index(key);
-        self.sets[set].iter().find(|e| e.key == key).map(|e| &e.value)
+        self.sets[set]
+            .iter()
+            .find(|e| e.key == key)
+            .map(|e| &e.value)
     }
 
     /// Insert or overwrite `key`, evicting the least-recently-used entry

@@ -15,6 +15,7 @@
 //! sensitivity experiments.
 
 use branchlab_ir::Addr;
+use branchlab_telemetry::{NoopSink, ProbeEvent, ProbeKind, TelemetrySink};
 use branchlab_trace::BranchEvent;
 
 use crate::assoc::AssocBuffer;
@@ -69,10 +70,15 @@ struct CbtbEntry {
 }
 
 /// The Counter-based Branch Target Buffer.
+///
+/// Generic over a [`TelemetrySink`]; the default [`NoopSink`] keeps
+/// `enabled()` constant-false, so the uninstrumented predictor
+/// monomorphizes with no probe code on the hot path.
 #[derive(Clone, Debug)]
-pub struct Cbtb {
+pub struct Cbtb<S: TelemetrySink = NoopSink> {
     buf: AssocBuffer<CbtbEntry>,
     config: CbtbConfig,
+    sink: S,
 }
 
 impl Cbtb {
@@ -83,8 +89,26 @@ impl Cbtb {
     /// than 7 bits, or a threshold outside the counter range.
     #[must_use]
     pub fn new(config: CbtbConfig) -> Self {
+        Self::with_sink(config, NoopSink)
+    }
+
+    /// The paper's 256-entry fully-associative 2-bit CBTB with T = 2.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::new(CbtbConfig::paper())
+    }
+}
+
+impl<S: TelemetrySink> Cbtb<S> {
+    /// Build a CBTB that publishes probe events to `sink`.
+    ///
+    /// # Panics
+    /// Panics on invalid geometry, zero-width counters, counters wider
+    /// than 7 bits, or a threshold outside the counter range.
+    #[must_use]
+    pub fn with_sink(config: CbtbConfig, sink: S) -> Self {
         assert!(
-            config.ways > 0 && config.entries % config.ways == 0,
+            config.ways > 0 && config.entries.is_multiple_of(config.ways),
             "entries must be a multiple of ways"
         );
         assert!(
@@ -98,13 +122,8 @@ impl Cbtb {
         Cbtb {
             buf: AssocBuffer::new(config.entries / config.ways, config.ways),
             config,
+            sink,
         }
-    }
-
-    /// The paper's 256-entry fully-associative 2-bit CBTB with T = 2.
-    #[must_use]
-    pub fn paper() -> Self {
-        Self::new(CbtbConfig::paper())
     }
 
     /// Resident entries.
@@ -119,11 +138,24 @@ impl Cbtb {
         self.buf.is_empty()
     }
 
+    /// The telemetry sink.
+    #[must_use]
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
     fn predicts_taken(&self, counter: u8) -> bool {
         if self.config.strict_greater {
             counter > self.config.threshold
         } else {
             counter >= self.config.threshold
+        }
+    }
+
+    #[inline]
+    fn probe(&mut self, site: u32, kind: ProbeKind) {
+        if self.sink.enabled() {
+            self.sink.emit(ProbeEvent { site, kind });
         }
     }
 }
@@ -134,7 +166,7 @@ impl Default for Cbtb {
     }
 }
 
-impl BranchPredictor for Cbtb {
+impl<S: TelemetrySink> BranchPredictor for Cbtb<S> {
     fn name(&self) -> &'static str {
         "CBTB"
     }
@@ -145,17 +177,52 @@ impl BranchPredictor for Cbtb {
         match hit {
             Some(entry) => {
                 let _ = self.buf.lookup(ev.pc.0); // refresh LRU
+                self.probe(ev.pc.0, ProbeKind::Hit);
                 Prediction {
                     taken: self.predicts_taken(entry.counter),
                     target: TargetInfo::Addr(entry.target),
                     hit: Some(true),
                 }
             }
-            None => Prediction { taken: false, target: TargetInfo::None, hit: Some(false) },
+            None => {
+                self.probe(ev.pc.0, ProbeKind::Miss);
+                Prediction {
+                    taken: false,
+                    target: TargetInfo::None,
+                    hit: Some(false),
+                }
+            }
         }
     }
 
-    fn update(&mut self, ev: &BranchEvent, _pred: &Prediction) {
+    fn update(&mut self, ev: &BranchEvent, pred: &Prediction) {
+        if self.sink.enabled() {
+            let kind = if ev.taken {
+                ProbeKind::Taken
+            } else {
+                ProbeKind::NotTaken
+            };
+            self.sink.emit(ProbeEvent {
+                site: ev.pc.0,
+                kind,
+            });
+            if !pred.is_correct(ev) {
+                self.sink.emit(ProbeEvent {
+                    site: ev.pc.0,
+                    kind: ProbeKind::Mispredict,
+                });
+            }
+            if ev.taken {
+                if let Some(entry) = self.buf.peek(ev.pc.0) {
+                    if entry.target != ev.target {
+                        self.sink.emit(ProbeEvent {
+                            site: ev.pc.0,
+                            kind: ProbeKind::Alias,
+                        });
+                    }
+                }
+            }
+        }
         let max = self.config.counter_max();
         if let Some(entry) = self.buf.lookup(ev.pc.0) {
             if ev.taken {
@@ -170,7 +237,15 @@ impl BranchPredictor for Cbtb {
             } else {
                 self.config.threshold - 1
             };
-            self.buf.insert(ev.pc.0, CbtbEntry { counter, target: ev.target });
+            if let Some((victim, _)) = self.buf.insert(
+                ev.pc.0,
+                CbtbEntry {
+                    counter,
+                    target: ev.target,
+                },
+            ) {
+                self.probe(victim, ProbeKind::Evict);
+            }
         }
     }
 
@@ -253,7 +328,10 @@ mod tests {
 
     #[test]
     fn strict_greater_reading_hurts_fresh_entries() {
-        let cfg = CbtbConfig { strict_greater: true, ..CbtbConfig::paper() };
+        let cfg = CbtbConfig {
+            strict_greater: true,
+            ..CbtbConfig::paper()
+        };
         let strict = drive(Cbtb::new(cfg), &[true, true, true]);
         let lenient = drive(Cbtb::paper(), &[true, true, true]);
         assert!(strict.stats.correct < lenient.stats.correct);
@@ -293,8 +371,27 @@ mod tests {
     }
 
     #[test]
+    fn site_probe_sees_residence_and_mispredicts() {
+        use branchlab_telemetry::SiteProbe;
+        let mut e = Evaluator::new(Cbtb::with_sink(CbtbConfig::paper(), SiteProbe::enabled()));
+        e.branch(&cond_to(10, true, 50)); // miss (wrong), insert at T
+        e.branch(&cond_to(10, true, 50)); // hit, correct
+        e.branch(&cond_to(10, false, 50)); // hit, predicted taken → wrong
+        let probe = e.predictor.sink();
+        let c = probe.sites()[&10];
+        assert_eq!((c.hits, c.misses), (2, 1));
+        assert_eq!((c.taken, c.not_taken), (2, 1));
+        assert_eq!(c.mispredicts, 2);
+        assert_eq!(c.evicts, 0);
+    }
+
+    #[test]
     #[should_panic(expected = "threshold")]
     fn threshold_above_counter_max_rejected() {
-        let _ = Cbtb::new(CbtbConfig { counter_bits: 2, threshold: 4, ..CbtbConfig::paper() });
+        let _ = Cbtb::new(CbtbConfig {
+            counter_bits: 2,
+            threshold: 4,
+            ..CbtbConfig::paper()
+        });
     }
 }

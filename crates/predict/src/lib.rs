@@ -43,9 +43,14 @@ mod statics;
 mod twolevel;
 
 pub use assoc::AssocBuffer;
-pub use ras::ReturnAddressStack;
-pub use twolevel::{Gshare, LocalHistory};
 pub use cbtb::{Cbtb, CbtbConfig};
-pub use predictor::{BranchPredictor, ContextSwitched, Evaluator, PredStats, Prediction, TargetInfo};
+pub use predictor::{
+    BranchPredictor, ContextSwitched, Evaluator, PredStats, Prediction, TargetInfo,
+};
+pub use ras::ReturnAddressStack;
 pub use sbtb::{Sbtb, SbtbConfig};
-pub use statics::{AlwaysNotTaken, AlwaysTaken, BackwardTakenForwardNot, ForwardSemantic, LikelyBit, OpcodeBias, OpcodeCounts};
+pub use statics::{
+    AlwaysNotTaken, AlwaysTaken, BackwardTakenForwardNot, ForwardSemantic, LikelyBit, OpcodeBias,
+    OpcodeCounts,
+};
+pub use twolevel::{Gshare, LocalHistory};

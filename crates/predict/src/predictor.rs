@@ -36,7 +36,11 @@ impl Prediction {
     /// A buffer-less not-taken prediction.
     #[must_use]
     pub fn not_taken() -> Self {
-        Prediction { taken: false, target: TargetInfo::None, hit: None }
+        Prediction {
+            taken: false,
+            target: TargetInfo::None,
+            hit: None,
+        }
     }
 
     /// Was this prediction correct for the resolved branch `ev`?
@@ -166,7 +170,10 @@ pub struct Evaluator<P> {
 impl<P: BranchPredictor> Evaluator<P> {
     /// Wrap a predictor with fresh statistics.
     pub fn new(predictor: P) -> Self {
-        Evaluator { predictor, stats: PredStats::default() }
+        Evaluator {
+            predictor,
+            stats: PredStats::default(),
+        }
     }
 }
 
@@ -206,7 +213,11 @@ impl<P: BranchPredictor> ContextSwitched<P> {
     /// Panics if `interval` is 0.
     pub fn new(inner: P, interval: u64) -> Self {
         assert!(interval > 0, "context-switch interval must be positive");
-        ContextSwitched { inner, interval, since_switch: 0 }
+        ContextSwitched {
+            inner,
+            interval,
+            since_switch: 0,
+        }
     }
 }
 
@@ -251,7 +262,10 @@ pub(crate) mod test_util {
             taken,
             target: Addr(target),
             fallthrough: Addr(pc + 1),
-            branch: BranchId { func: FuncId(0), block: BlockId(pc) },
+            branch: BranchId {
+                func: FuncId(0),
+                block: BlockId(pc),
+            },
             likely: false,
             cond: Some(branchlab_ir::Cond::Eq),
         }
@@ -290,7 +304,11 @@ mod tests {
 
     #[test]
     fn taken_prediction_requires_matching_target() {
-        let p = Prediction { taken: true, target: TargetInfo::Addr(Addr(100)), hit: Some(true) };
+        let p = Prediction {
+            taken: true,
+            target: TargetInfo::Addr(Addr(100)),
+            hit: Some(true),
+        };
         assert!(p.is_correct(&cond_to(0, true, 100)));
         assert!(!p.is_correct(&cond_to(0, true, 200)));
         assert!(!p.is_correct(&cond_to(0, false, 100)));
@@ -298,7 +316,11 @@ mod tests {
 
     #[test]
     fn encoded_target_fails_only_on_indirect() {
-        let p = Prediction { taken: true, target: TargetInfo::Encoded, hit: None };
+        let p = Prediction {
+            taken: true,
+            target: TargetInfo::Encoded,
+            hit: None,
+        };
         assert!(p.is_correct(&cond_to(0, true, 77)));
         assert!(p.is_correct(&jmp(0, 77)));
         assert!(!p.is_correct(&indirect(0, 77)));
@@ -306,7 +328,11 @@ mod tests {
 
     #[test]
     fn direction_only_taken_prediction_ignores_target() {
-        let p = Prediction { taken: true, target: TargetInfo::None, hit: None };
+        let p = Prediction {
+            taken: true,
+            target: TargetInfo::None,
+            hit: None,
+        };
         assert!(p.is_correct(&cond_to(0, true, 42)));
     }
 
@@ -316,7 +342,11 @@ mod tests {
             "fixed"
         }
         fn predict(&mut self, _: &BranchEvent) -> Prediction {
-            Prediction { taken: self.0, target: TargetInfo::None, hit: None }
+            Prediction {
+                taken: self.0,
+                target: TargetInfo::None,
+                hit: None,
+            }
         }
         fn update(&mut self, _: &BranchEvent, _: &Prediction) {}
     }
@@ -336,8 +366,16 @@ mod tests {
 
     #[test]
     fn pred_stats_merge() {
-        let mut a = PredStats { events: 10, correct: 9, ..Default::default() };
-        let b = PredStats { events: 10, correct: 5, ..Default::default() };
+        let mut a = PredStats {
+            events: 10,
+            correct: 9,
+            ..Default::default()
+        };
+        let b = PredStats {
+            events: 10,
+            correct: 5,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.events, 20);
         assert!((a.accuracy() - 0.7).abs() < 1e-12);

@@ -7,6 +7,7 @@
 //! is deleted.
 
 use branchlab_ir::Addr;
+use branchlab_telemetry::{NoopSink, ProbeEvent, ProbeKind, TelemetrySink};
 use branchlab_trace::BranchEvent;
 
 use crate::assoc::AssocBuffer;
@@ -25,7 +26,10 @@ impl SbtbConfig {
     /// The paper's configuration: 256 entries, fully associative, LRU.
     #[must_use]
     pub fn paper() -> Self {
-        SbtbConfig { entries: 256, ways: 256 }
+        SbtbConfig {
+            entries: 256,
+            ways: 256,
+        }
     }
 }
 
@@ -36,9 +40,14 @@ impl Default for SbtbConfig {
 }
 
 /// The Simple Branch Target Buffer.
+///
+/// Generic over a [`TelemetrySink`]; the default [`NoopSink`] keeps
+/// `enabled()` constant-false, so the uninstrumented predictor
+/// monomorphizes with no probe code on the hot path.
 #[derive(Clone, Debug)]
-pub struct Sbtb {
+pub struct Sbtb<S: TelemetrySink = NoopSink> {
     buf: AssocBuffer<Addr>,
+    sink: S,
 }
 
 impl Sbtb {
@@ -49,17 +58,32 @@ impl Sbtb {
     /// `ways`, set count not a power of two, zero sizes).
     #[must_use]
     pub fn new(config: SbtbConfig) -> Self {
-        assert!(
-            config.ways > 0 && config.entries % config.ways == 0,
-            "entries must be a multiple of ways"
-        );
-        Sbtb { buf: AssocBuffer::new(config.entries / config.ways, config.ways) }
+        Self::with_sink(config, NoopSink)
     }
 
     /// The paper's 256-entry fully-associative SBTB.
     #[must_use]
     pub fn paper() -> Self {
         Self::new(SbtbConfig::paper())
+    }
+}
+
+impl<S: TelemetrySink> Sbtb<S> {
+    /// Build an SBTB that publishes probe events to `sink`.
+    ///
+    /// # Panics
+    /// Panics if the geometry is invalid (`entries` not divisible by
+    /// `ways`, set count not a power of two, zero sizes).
+    #[must_use]
+    pub fn with_sink(config: SbtbConfig, sink: S) -> Self {
+        assert!(
+            config.ways > 0 && config.entries.is_multiple_of(config.ways),
+            "entries must be a multiple of ways"
+        );
+        Sbtb {
+            buf: AssocBuffer::new(config.entries / config.ways, config.ways),
+            sink,
+        }
     }
 
     /// Resident entries (for tests and occupancy studies).
@@ -73,6 +97,19 @@ impl Sbtb {
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
     }
+
+    /// The telemetry sink.
+    #[must_use]
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    #[inline]
+    fn probe(&mut self, site: u32, kind: ProbeKind) {
+        if self.sink.enabled() {
+            self.sink.emit(ProbeEvent { site, kind });
+        }
+    }
 }
 
 impl Default for Sbtb {
@@ -81,26 +118,65 @@ impl Default for Sbtb {
     }
 }
 
-impl BranchPredictor for Sbtb {
+impl<S: TelemetrySink> BranchPredictor for Sbtb<S> {
     fn name(&self) -> &'static str {
         "SBTB"
     }
 
     fn predict(&mut self, ev: &BranchEvent) -> Prediction {
-        match self.buf.lookup(ev.pc.0) {
-            Some(target) => Prediction {
-                taken: true,
-                target: TargetInfo::Addr(*target),
-                hit: Some(true),
-            },
-            None => Prediction { taken: false, target: TargetInfo::None, hit: Some(false) },
+        match self.buf.lookup(ev.pc.0).copied() {
+            Some(target) => {
+                self.probe(ev.pc.0, ProbeKind::Hit);
+                Prediction {
+                    taken: true,
+                    target: TargetInfo::Addr(target),
+                    hit: Some(true),
+                }
+            }
+            None => {
+                self.probe(ev.pc.0, ProbeKind::Miss);
+                Prediction {
+                    taken: false,
+                    target: TargetInfo::None,
+                    hit: Some(false),
+                }
+            }
         }
     }
 
     fn update(&mut self, ev: &BranchEvent, pred: &Prediction) {
+        if self.sink.enabled() {
+            let kind = if ev.taken {
+                ProbeKind::Taken
+            } else {
+                ProbeKind::NotTaken
+            };
+            self.sink.emit(ProbeEvent {
+                site: ev.pc.0,
+                kind,
+            });
+            if !pred.is_correct(ev) {
+                self.sink.emit(ProbeEvent {
+                    site: ev.pc.0,
+                    kind: ProbeKind::Mispredict,
+                });
+            }
+            if ev.taken {
+                if let Some(&old) = self.buf.peek(ev.pc.0) {
+                    if old != ev.target {
+                        self.sink.emit(ProbeEvent {
+                            site: ev.pc.0,
+                            kind: ProbeKind::Alias,
+                        });
+                    }
+                }
+            }
+        }
         if ev.taken {
             // Remember (or refresh) the taken branch and its target.
-            self.buf.insert(ev.pc.0, ev.target);
+            if let Some((victim, _)) = self.buf.insert(ev.pc.0, ev.target) {
+                self.probe(victim, ProbeKind::Evict);
+            }
         } else if pred.hit == Some(true) {
             // Predicted taken but fell through: delete the entry (§2.2).
             self.buf.remove(ev.pc.0);
@@ -149,7 +225,10 @@ mod tests {
     #[test]
     fn hit_predicts_taken_with_stored_target() {
         // taken once (miss, inserted), then taken again (hit, correct).
-        let e = drive(Sbtb::paper(), &[cond_to(10, true, 50), cond_to(10, true, 50)]);
+        let e = drive(
+            Sbtb::paper(),
+            &[cond_to(10, true, 50), cond_to(10, true, 50)],
+        );
         assert_eq!(e.stats.events, 2);
         assert_eq!(e.stats.correct, 1); // first was a mispredicted miss
         assert_eq!(e.stats.btb_misses, 1);
@@ -195,7 +274,10 @@ mod tests {
     fn capacity_pressure_evicts_lru_and_costs_accuracy() {
         // 4-entry SBTB, 8 distinct always-taken branches, round-robin:
         // every access misses once warm capacity is exceeded.
-        let mut e = Evaluator::new(Sbtb::new(SbtbConfig { entries: 4, ways: 4 }));
+        let mut e = Evaluator::new(Sbtb::new(SbtbConfig {
+            entries: 4,
+            ways: 4,
+        }));
         for round in 0..4 {
             for pc in 0..8u32 {
                 e.branch(&cond_to(pc * 16, true, 500));
@@ -206,6 +288,31 @@ mod tests {
         // every single access misses.
         assert_eq!(e.stats.btb_misses, 32);
         assert_eq!(e.stats.correct, 0);
+    }
+
+    #[test]
+    fn site_probe_counts_hits_misses_and_evictions() {
+        use branchlab_telemetry::SiteProbe;
+        let mut e = Evaluator::new(Sbtb::with_sink(
+            SbtbConfig {
+                entries: 1,
+                ways: 1,
+            },
+            SiteProbe::enabled(),
+        ));
+        e.branch(&cond_to(10, true, 50)); // miss, insert
+        e.branch(&cond_to(10, true, 50)); // hit, correct
+        e.branch(&cond_to(10, true, 99)); // hit, stale target → alias
+        e.branch(&cond_to(26, true, 7)); // miss, insert evicts site 10
+        let probe = e.predictor.sink();
+        let site10 = probe.sites()[&10];
+        assert_eq!(site10.hits, 2);
+        assert_eq!(site10.misses, 1);
+        assert_eq!(site10.evicts, 1, "site 10 was the eviction victim");
+        assert_eq!(site10.aliases, 1);
+        assert_eq!(site10.taken, 3);
+        assert_eq!(site10.mispredicts, 2); // first miss + stale target
+        assert_eq!(probe.sites()[&26].misses, 1);
     }
 
     #[test]

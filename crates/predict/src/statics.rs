@@ -34,14 +34,20 @@ impl BranchPredictor for LikelyBit {
         match ev.kind {
             BranchKind::Cond => {
                 if ev.likely {
-                    Prediction { taken: true, target: TargetInfo::Encoded, hit: None }
+                    Prediction {
+                        taken: true,
+                        target: TargetInfo::Encoded,
+                        hit: None,
+                    }
                 } else {
                     Prediction::not_taken()
                 }
             }
-            BranchKind::UncondDirect | BranchKind::UncondIndirect => {
-                Prediction { taken: true, target: TargetInfo::Encoded, hit: None }
-            }
+            BranchKind::UncondDirect | BranchKind::UncondIndirect => Prediction {
+                taken: true,
+                target: TargetInfo::Encoded,
+                hit: None,
+            },
         }
     }
 
@@ -58,7 +64,11 @@ impl BranchPredictor for AlwaysTaken {
     }
 
     fn predict(&mut self, _ev: &BranchEvent) -> Prediction {
-        Prediction { taken: true, target: TargetInfo::None, hit: None }
+        Prediction {
+            taken: true,
+            target: TargetInfo::None,
+            hit: None,
+        }
     }
 
     fn update(&mut self, _ev: &BranchEvent, _pred: &Prediction) {}
@@ -93,7 +103,11 @@ impl BranchPredictor for BackwardTakenForwardNot {
 
     fn predict(&mut self, ev: &BranchEvent) -> Prediction {
         if ev.target < ev.pc {
-            Prediction { taken: true, target: TargetInfo::Encoded, hit: None }
+            Prediction {
+                taken: true,
+                target: TargetInfo::Encoded,
+                hit: None,
+            }
         } else {
             Prediction::not_taken()
         }
@@ -169,12 +183,20 @@ impl BranchPredictor for OpcodeBias {
         match (ev.kind, ev.cond) {
             (BranchKind::Cond, Some(c)) => {
                 if self.predicts_taken(c) {
-                    Prediction { taken: true, target: TargetInfo::Encoded, hit: None }
+                    Prediction {
+                        taken: true,
+                        target: TargetInfo::Encoded,
+                        hit: None,
+                    }
                 } else {
                     Prediction::not_taken()
                 }
             }
-            _ => Prediction { taken: true, target: TargetInfo::Encoded, hit: None },
+            _ => Prediction {
+                taken: true,
+                target: TargetInfo::Encoded,
+                hit: None,
+            },
         }
     }
 
@@ -257,16 +279,22 @@ impl BranchPredictor for ForwardSemantic {
         match ev.kind {
             BranchKind::Cond => {
                 if self.is_likely(ev.branch) {
-                    Prediction { taken: true, target: TargetInfo::Encoded, hit: None }
+                    Prediction {
+                        taken: true,
+                        target: TargetInfo::Encoded,
+                        hit: None,
+                    }
                 } else {
                     Prediction::not_taken()
                 }
             }
             // Extremely-biased likely branch with an encoded target:
             // always right for direct, never for indirect.
-            BranchKind::UncondDirect | BranchKind::UncondIndirect => {
-                Prediction { taken: true, target: TargetInfo::Encoded, hit: None }
-            }
+            BranchKind::UncondDirect | BranchKind::UncondIndirect => Prediction {
+                taken: true,
+                target: TargetInfo::Encoded,
+                hit: None,
+            },
         }
     }
 
@@ -312,7 +340,10 @@ mod tests {
     }
 
     fn site(b: u32) -> BranchId {
-        BranchId { func: FuncId(0), block: BlockId(b) }
+        BranchId {
+            func: FuncId(0),
+            block: BlockId(b),
+        }
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use std::collections::HashMap;
 
 use branchlab_ir::Addr;
+use branchlab_telemetry::{NoopSink, ProbeEvent, ProbeKind, TelemetrySink};
 use branchlab_trace::{BranchEvent, BranchKind};
 
 use crate::predictor::{BranchPredictor, Prediction, TargetInfo};
@@ -71,12 +72,16 @@ impl TargetMap {
 }
 
 /// GShare: global history XOR PC indexes a shared 2-bit counter table.
+///
+/// Generic over a [`TelemetrySink`] like the BTBs; the default
+/// [`NoopSink`] compiles the probes away.
 #[derive(Clone, Debug)]
-pub struct Gshare {
+pub struct Gshare<S: TelemetrySink = NoopSink> {
     table: PatternTable,
     targets: TargetMap,
     history: u32,
     history_bits: u32,
+    sink: S,
 }
 
 impl Gshare {
@@ -87,13 +92,31 @@ impl Gshare {
     /// Panics if `table_bits` ∉ 1..=24 or `history_bits` > `table_bits`.
     #[must_use]
     pub fn new(table_bits: u32, history_bits: u32) -> Self {
+        Self::with_sink(table_bits, history_bits, NoopSink)
+    }
+}
+
+impl<S: TelemetrySink> Gshare<S> {
+    /// A gshare predictor that publishes probe events to `sink`.
+    ///
+    /// # Panics
+    /// Panics if `table_bits` ∉ 1..=24 or `history_bits` > `table_bits`.
+    #[must_use]
+    pub fn with_sink(table_bits: u32, history_bits: u32, sink: S) -> Self {
         assert!(history_bits <= table_bits, "history wider than the table");
         Gshare {
             table: PatternTable::new(table_bits),
             targets: TargetMap::default(),
             history: 0,
             history_bits,
+            sink,
         }
+    }
+
+    /// The telemetry sink.
+    #[must_use]
+    pub fn sink(&self) -> &S {
+        &self.sink
     }
 
     fn index(&self, pc: Addr) -> u32 {
@@ -108,7 +131,7 @@ impl Default for Gshare {
     }
 }
 
-impl BranchPredictor for Gshare {
+impl<S: TelemetrySink> BranchPredictor for Gshare<S> {
     fn name(&self) -> &'static str {
         "gshare"
     }
@@ -118,9 +141,11 @@ impl BranchPredictor for Gshare {
             BranchKind::Cond => {
                 if self.table.predict(self.index(ev.pc)) {
                     match self.targets.predict(ev.pc) {
-                        Some(t) => {
-                            Prediction { taken: true, target: TargetInfo::Addr(t), hit: None }
-                        }
+                        Some(t) => Prediction {
+                            taken: true,
+                            target: TargetInfo::Addr(t),
+                            hit: None,
+                        },
                         None => Prediction::not_taken(),
                     }
                 } else {
@@ -128,13 +153,20 @@ impl BranchPredictor for Gshare {
                 }
             }
             _ => match self.targets.predict(ev.pc) {
-                Some(t) => Prediction { taken: true, target: TargetInfo::Addr(t), hit: None },
+                Some(t) => Prediction {
+                    taken: true,
+                    target: TargetInfo::Addr(t),
+                    hit: None,
+                },
                 None => Prediction::not_taken(),
             },
         }
     }
 
-    fn update(&mut self, ev: &BranchEvent, _pred: &Prediction) {
+    fn update(&mut self, ev: &BranchEvent, pred: &Prediction) {
+        if self.sink.enabled() {
+            emit_direction_probes(&mut self.sink, &self.targets, ev, pred);
+        }
         self.targets.update(ev);
         if ev.kind == BranchKind::Cond {
             self.table.update(self.index(ev.pc), ev.taken);
@@ -149,15 +181,61 @@ impl BranchPredictor for Gshare {
     }
 }
 
+/// Shared probe emission for the two-level predictors: direction
+/// tallies, mispredicts, target-map residence (hit/miss), and stale
+/// targets (alias).
+fn emit_direction_probes<S: TelemetrySink>(
+    sink: &mut S,
+    targets: &TargetMap,
+    ev: &BranchEvent,
+    pred: &Prediction,
+) {
+    let site = ev.pc.0;
+    let kind = if ev.taken {
+        ProbeKind::Taken
+    } else {
+        ProbeKind::NotTaken
+    };
+    sink.emit(ProbeEvent { site, kind });
+    if !pred.is_correct(ev) {
+        sink.emit(ProbeEvent {
+            site,
+            kind: ProbeKind::Mispredict,
+        });
+    }
+    match targets.predict(ev.pc) {
+        Some(old) => {
+            sink.emit(ProbeEvent {
+                site,
+                kind: ProbeKind::Hit,
+            });
+            if ev.taken && old != ev.target {
+                sink.emit(ProbeEvent {
+                    site,
+                    kind: ProbeKind::Alias,
+                });
+            }
+        }
+        None => sink.emit(ProbeEvent {
+            site,
+            kind: ProbeKind::Miss,
+        }),
+    }
+}
+
 /// Per-branch local-history predictor (PAg-style): each branch's own
 /// outcome history, concatenated with low PC bits, indexes the shared
 /// counter table.
+///
+/// Generic over a [`TelemetrySink`] like the BTBs; the default
+/// [`NoopSink`] compiles the probes away.
 #[derive(Clone, Debug)]
-pub struct LocalHistory {
+pub struct LocalHistory<S: TelemetrySink = NoopSink> {
     table: PatternTable,
     targets: TargetMap,
     histories: HashMap<u32, u32>,
     history_bits: u32,
+    sink: S,
 }
 
 impl LocalHistory {
@@ -168,13 +246,31 @@ impl LocalHistory {
     /// Panics if `table_bits` ∉ 1..=24 or `history_bits` > `table_bits`.
     #[must_use]
     pub fn new(table_bits: u32, history_bits: u32) -> Self {
+        Self::with_sink(table_bits, history_bits, NoopSink)
+    }
+}
+
+impl<S: TelemetrySink> LocalHistory<S> {
+    /// A local-history predictor that publishes probe events to `sink`.
+    ///
+    /// # Panics
+    /// Panics if `table_bits` ∉ 1..=24 or `history_bits` > `table_bits`.
+    #[must_use]
+    pub fn with_sink(table_bits: u32, history_bits: u32, sink: S) -> Self {
         assert!(history_bits <= table_bits, "history wider than the table");
         LocalHistory {
             table: PatternTable::new(table_bits),
             targets: TargetMap::default(),
             histories: HashMap::new(),
             history_bits,
+            sink,
         }
+    }
+
+    /// The telemetry sink.
+    #[must_use]
+    pub fn sink(&self) -> &S {
+        &self.sink
     }
 
     fn index(&self, pc: Addr) -> u32 {
@@ -190,7 +286,7 @@ impl Default for LocalHistory {
     }
 }
 
-impl BranchPredictor for LocalHistory {
+impl<S: TelemetrySink> BranchPredictor for LocalHistory<S> {
     fn name(&self) -> &'static str {
         "local-2level"
     }
@@ -200,9 +296,11 @@ impl BranchPredictor for LocalHistory {
             BranchKind::Cond => {
                 if self.table.predict(self.index(ev.pc)) {
                     match self.targets.predict(ev.pc) {
-                        Some(t) => {
-                            Prediction { taken: true, target: TargetInfo::Addr(t), hit: None }
-                        }
+                        Some(t) => Prediction {
+                            taken: true,
+                            target: TargetInfo::Addr(t),
+                            hit: None,
+                        },
                         None => Prediction::not_taken(),
                     }
                 } else {
@@ -210,13 +308,20 @@ impl BranchPredictor for LocalHistory {
                 }
             }
             _ => match self.targets.predict(ev.pc) {
-                Some(t) => Prediction { taken: true, target: TargetInfo::Addr(t), hit: None },
+                Some(t) => Prediction {
+                    taken: true,
+                    target: TargetInfo::Addr(t),
+                    hit: None,
+                },
                 None => Prediction::not_taken(),
             },
         }
     }
 
-    fn update(&mut self, ev: &BranchEvent, _pred: &Prediction) {
+    fn update(&mut self, ev: &BranchEvent, pred: &Prediction) {
+        if self.sink.enabled() {
+            emit_direction_probes(&mut self.sink, &self.targets, ev, pred);
+        }
         self.targets.update(ev);
         if ev.kind == BranchKind::Cond {
             let idx = self.index(ev.pc);
@@ -319,8 +424,7 @@ mod tests {
         let program = branchlab_ir::lower(&module).unwrap();
         let mut g = Evaluator::new(Gshare::default());
         let mut c = Evaluator::new(Cbtb::paper());
-        branchlab_interp::run(&program, &Default::default(), &[], &mut (&mut g, &mut c))
-            .unwrap();
+        branchlab_interp::run(&program, &Default::default(), &[], &mut (&mut g, &mut c)).unwrap();
         assert!(
             g.stats.accuracy() >= c.stats.accuracy() - 0.01,
             "gshare {} vs cbtb {}",

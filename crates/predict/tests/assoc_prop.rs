@@ -1,12 +1,16 @@
-//! Model-based property tests: the set-associative LRU buffer must
+//! Model-based randomized tests: the set-associative LRU buffer must
 //! behave exactly like a naive reference implementation under arbitrary
 //! operation sequences, and the BTBs must uphold their structural
 //! invariants on random branch streams.
+//!
+//! Driven by the seeded `branchlab_telemetry::Rng` (the build has no
+//! crates.io access, so no proptest): each case runs many independent
+//! randomized trials from fixed seeds, which keeps failures
+//! reproducible by construction.
 
-use proptest::prelude::*;
-
-use branchlab_predict::{AssocBuffer, Cbtb, CbtbConfig, Evaluator, Sbtb, SbtbConfig};
 use branchlab_ir::{Addr, BlockId, BranchId, FuncId};
+use branchlab_predict::{AssocBuffer, Cbtb, CbtbConfig, Evaluator, Sbtb, SbtbConfig};
+use branchlab_telemetry::Rng;
 use branchlab_trace::{BranchEvent, BranchKind, ExecHooks};
 
 /// Reference fully-associative LRU: a Vec ordered by recency.
@@ -45,112 +49,126 @@ enum Op {
     Flush,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u32..24).prop_map(Op::Lookup),
-        ((0u32..24), any::<i32>()).prop_map(|(k, v)| Op::Insert(k, v)),
-        (0u32..24).prop_map(Op::Remove),
-        Just(Op::Flush),
-    ]
+fn random_op(rng: &mut Rng) -> Op {
+    match rng.gen_range(0..10u32) {
+        0..=3 => Op::Lookup(rng.gen_range(0..24u32)),
+        4..=7 => Op::Insert(rng.gen_range(0..24u32), rng.next_u64() as i32),
+        8 => Op::Remove(rng.gen_range(0..24u32)),
+        _ => Op::Flush,
+    }
 }
 
-proptest! {
-    #[test]
-    fn fully_associative_buffer_matches_reference_lru(
-        ops in prop::collection::vec(op_strategy(), 0..200),
-        cap in 1usize..12,
-    ) {
+fn cond_event(pc: u32, taken: bool) -> BranchEvent {
+    BranchEvent {
+        pc: Addr(pc * 4),
+        kind: BranchKind::Cond,
+        taken,
+        target: Addr(1000 + pc),
+        fallthrough: Addr(pc * 4 + 1),
+        branch: BranchId {
+            func: FuncId(0),
+            block: BlockId(pc),
+        },
+        likely: false,
+        cond: Some(branchlab_ir::Cond::Eq),
+    }
+}
+
+#[test]
+fn fully_associative_buffer_matches_reference_lru() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let cap = rng.gen_range(1..12usize);
+        let n_ops = rng.gen_range(0..200usize);
         let mut buf = AssocBuffer::fully_associative(cap);
-        let mut model = RefLru { capacity: cap, ..Default::default() };
-        for op in ops {
+        let mut model = RefLru {
+            capacity: cap,
+            ..Default::default()
+        };
+        for i in 0..n_ops {
+            let op = random_op(&mut rng);
+            let ctx = format!("seed {seed} op {i}: {op:?}");
             match op {
                 Op::Lookup(k) => {
-                    prop_assert_eq!(buf.lookup(k).copied(), model.lookup(k));
+                    assert_eq!(buf.lookup(k).copied(), model.lookup(k), "{ctx}");
                 }
                 Op::Insert(k, v) => {
                     buf.insert(k, v);
                     model.insert(k, v);
                 }
                 Op::Remove(k) => {
-                    prop_assert_eq!(buf.remove(k), model.remove(k));
+                    assert_eq!(buf.remove(k), model.remove(k), "{ctx}");
                 }
                 Op::Flush => {
                     buf.flush();
                     model.entries.clear();
                 }
             }
-            prop_assert_eq!(buf.len(), model.entries.len());
-            prop_assert!(buf.len() <= cap);
+            assert_eq!(buf.len(), model.entries.len(), "{ctx}");
+            assert!(buf.len() <= cap, "{ctx}");
         }
     }
+}
 
-    #[test]
-    fn btbs_never_exceed_capacity_and_score_sanely(
-        outcomes in prop::collection::vec((0u32..64, any::<bool>()), 1..300),
-        entries_pow in 2u32..6,
-    ) {
-        let entries = 1usize << entries_pow;
-        let mut sbtb = Evaluator::new(Sbtb::new(SbtbConfig { entries, ways: entries }));
+#[test]
+fn btbs_never_exceed_capacity_and_score_sanely() {
+    for seed in 0..32u64 {
+        let mut rng = Rng::seed_from_u64(0x5eed ^ seed);
+        let entries = 1usize << rng.gen_range(2..6u32);
+        let n = rng.gen_range(1..300usize);
+        let mut sbtb = Evaluator::new(Sbtb::new(SbtbConfig {
+            entries,
+            ways: entries,
+        }));
         let mut cbtb = Evaluator::new(Cbtb::new(CbtbConfig {
             entries,
             ways: entries,
             ..CbtbConfig::paper()
         }));
-        for &(pc, taken) in &outcomes {
-            let ev = BranchEvent {
-                pc: Addr(pc * 4),
-                kind: BranchKind::Cond,
-                taken,
-                target: Addr(1000 + pc),
-                fallthrough: Addr(pc * 4 + 1),
-                branch: BranchId { func: FuncId(0), block: BlockId(pc) },
-                likely: false,
-                cond: Some(branchlab_ir::Cond::Eq),
-            };
+        for _ in 0..n {
+            let ev = cond_event(rng.gen_range(0..64u32), rng.gen_bool(0.5));
             sbtb.branch(&ev);
             cbtb.branch(&ev);
         }
-        let n = outcomes.len() as u64;
-        prop_assert_eq!(sbtb.stats.events, n);
-        prop_assert_eq!(cbtb.stats.events, n);
-        prop_assert!(sbtb.stats.correct <= n);
-        prop_assert!(cbtb.stats.correct <= n);
-        prop_assert!(sbtb.predictor.len() <= entries);
-        prop_assert!(cbtb.predictor.len() <= entries);
+        let n = n as u64;
+        assert_eq!(sbtb.stats.events, n, "seed {seed}");
+        assert_eq!(cbtb.stats.events, n, "seed {seed}");
+        assert!(sbtb.stats.correct <= n, "seed {seed}");
+        assert!(cbtb.stats.correct <= n, "seed {seed}");
+        assert!(sbtb.predictor.len() <= entries, "seed {seed}");
+        assert!(cbtb.predictor.len() <= entries, "seed {seed}");
         // SBTB holds only branches whose last resolution was taken… so
         // after the stream, misses must be consistent with lookups.
-        prop_assert_eq!(sbtb.stats.btb_lookups, n);
-        prop_assert!(sbtb.stats.btb_misses <= n);
+        assert_eq!(sbtb.stats.btb_lookups, n, "seed {seed}");
+        assert!(sbtb.stats.btb_misses <= n, "seed {seed}");
     }
+}
 
-    #[test]
-    fn counter_stays_within_range_under_any_pattern(
-        outcomes in prop::collection::vec(any::<bool>(), 1..500),
-        bits in 1u8..5,
-    ) {
+#[test]
+fn counter_stays_within_range_under_any_pattern() {
+    for seed in 0..32u64 {
+        let mut rng = Rng::seed_from_u64(0xc0ffee ^ seed);
+        let bits = rng.gen_range(1..5u8);
+        let threshold = 1 << (bits - 1);
         // Indirectly validated: accuracy stays within [0, 1] and the
         // predictor never panics regardless of counter width.
-        let threshold = 1 << (bits - 1);
         let mut e = Evaluator::new(Cbtb::new(CbtbConfig {
             counter_bits: bits,
             threshold,
             ..CbtbConfig::paper()
         }));
-        for (i, &taken) in outcomes.iter().enumerate() {
-            let ev = BranchEvent {
-                pc: Addr(4),
-                kind: BranchKind::Cond,
-                taken,
-                target: Addr(77),
-                fallthrough: Addr(5),
-                branch: BranchId { func: FuncId(0), block: BlockId(0) },
-                likely: false,
-                cond: Some(branchlab_ir::Cond::Eq),
+        for _ in 0..rng.gen_range(1..500usize) {
+            let mut ev = cond_event(1, rng.gen_bool(0.5));
+            ev.pc = Addr(4);
+            ev.target = Addr(77);
+            ev.fallthrough = Addr(5);
+            ev.branch = BranchId {
+                func: FuncId(0),
+                block: BlockId(0),
             };
             e.branch(&ev);
-            let _ = i;
         }
         let a = e.stats.accuracy();
-        prop_assert!((0.0..=1.0).contains(&a));
+        assert!((0.0..=1.0).contains(&a), "seed {seed}: accuracy {a}");
     }
 }

@@ -62,7 +62,10 @@ impl Profile {
     /// Weight of an edge (0 if never executed).
     #[must_use]
     pub fn edge_weight(&self, func: FuncId, from: BlockId, to: BlockId) -> u64 {
-        self.edges.get(&Edge { func, from, to }).copied().unwrap_or(0)
+        self.edges
+            .get(&Edge { func, from, to })
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Entry count of a function.
@@ -129,7 +132,10 @@ impl Profiler {
             func_entries: vec![0; program.funcs.len()],
             ..Profile::default()
         };
-        Profiler { addr_to_block, profile }
+        Profiler {
+            addr_to_block,
+            profile,
+        }
     }
 
     /// Record one entry of the program's entry function (call once per
@@ -158,7 +164,11 @@ impl ExecHooks for Profiler {
         // boundary; the Jmp's own event records the real edge.
         if let Some(&(func, to)) = self.addr_to_block.get(&ev.next_pc().0) {
             if func == ev.branch.func {
-                let edge = Edge { func, from: ev.branch.block, to };
+                let edge = Edge {
+                    func,
+                    from: ev.branch.block,
+                    to,
+                };
                 *self.profile.edges.entry(edge).or_insert(0) += 1;
             }
         }
@@ -232,8 +242,8 @@ pub fn profile_module_with(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use branchlab_minic::compile;
     use branchlab_ir::Module;
+    use branchlab_minic::compile;
 
     fn profile_src(src: &str, runs: &[Vec<Vec<u8>>]) -> (Module, Profile) {
         let m = compile(src).unwrap();
@@ -254,7 +264,10 @@ mod tests {
             .iter()
             .find(|(_, c)| c.total == 11)
             .expect("loop condition site");
-        assert!(cond_site.1.taken == 10 || cond_site.1.taken == 1, "{cond_site:?}");
+        assert!(
+            cond_site.1.taken == 10 || cond_site.1.taken == 1,
+            "{cond_site:?}"
+        );
         let w = p.block_weights(&m);
         // Entry block of main runs exactly once.
         assert_eq!(w[0][0], 1);
@@ -294,7 +307,11 @@ mod tests {
         let (_, p1) = profile_src(src, &[vec![b"abc".to_vec()]]);
         let (_, p3) = profile_src(
             src,
-            &[vec![b"abc".to_vec()], vec![b"d".to_vec()], vec![b"".to_vec()]],
+            &[
+                vec![b"abc".to_vec()],
+                vec![b"d".to_vec()],
+                vec![b"".to_vec()],
+            ],
         );
         let total1: u64 = p1.sites.iter().map(|(_, c)| c.total).sum();
         let total3: u64 = p3.sites.iter().map(|(_, c)| c.total).sum();
@@ -312,7 +329,9 @@ mod tests {
         separate.merge(&profile_module(&m, &[run_b.clone()]).unwrap());
         let joint = profile_module(&m, &[run_a, run_b]).unwrap();
         let sum = |p: &Profile| -> (u64, u64) {
-            p.sites.iter().fold((0, 0), |(t, n), (_, c)| (t + c.taken, n + c.total))
+            p.sites
+                .iter()
+                .fold((0, 0), |(t, n), (_, c)| (t + c.taken, n + c.total))
         };
         assert_eq!(sum(&separate), sum(&joint));
         assert_eq!(separate.edges, joint.edges);
@@ -322,7 +341,9 @@ mod tests {
     #[test]
     fn biased_branch_bias_is_visible() {
         // 90% spaces: the `c == ' '` check is heavily biased.
-        let input: Vec<u8> = (0..100).map(|i| if i % 10 == 0 { b'x' } else { b' ' }).collect();
+        let input: Vec<u8> = (0..100)
+            .map(|i| if i % 10 == 0 { b'x' } else { b' ' })
+            .collect();
         let src = r"
             int main() {
                 int c; int n = 0;

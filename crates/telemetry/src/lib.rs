@@ -1,0 +1,39 @@
+//! # branchlab-telemetry
+//!
+//! Zero-external-dependency observability for the branchlab stack
+//! (the build must work without crates.io access, so everything here is
+//! `std`-only):
+//!
+//! * [`metrics`] — a registry of named monotonic [`Counter`]s,
+//!   [`Gauge`]s and fixed-bucket [`Histogram`]s with cheap atomic
+//!   increments, and a [`Snapshot`] that renders to fixed-width text,
+//!   JSON lines, and Prometheus exposition text.
+//! * [`span`] — RAII span timers ([`Timeline`]/[`SpanGuard`]) used to
+//!   break a benchmark run into compile/profile/evaluate/… phases.
+//! * [`sink`] — the [`TelemetrySink`] trait behind which the branch
+//!   predictors publish hit/miss/evict/alias events, the zero-cost
+//!   [`NoopSink`], and the per-branch-site [`SiteProbe`] collector.
+//! * [`manifest`] — the [`RunManifest`] written next to experiment
+//!   output so every number in EXPERIMENTS.md can be traced back to a
+//!   (config, seed, git revision, per-phase timing) record.
+//! * [`json`] — a minimal JSON value type with a writer and a parser,
+//!   used by the snapshot/manifest serializers and their round-trip
+//!   tests.
+//! * [`rng`] — a seedable SplitMix64 PRNG standing in for the `rand`
+//!   crate in workload input generation and randomized tests.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod manifest;
+pub mod metrics;
+pub mod rng;
+pub mod sink;
+pub mod span;
+
+pub use json::JsonValue;
+pub use manifest::RunManifest;
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, Snapshot};
+pub use rng::Rng;
+pub use sink::{NoopSink, ProbeEvent, ProbeKind, SiteCounters, SiteProbe, TelemetrySink};
+pub use span::{PhaseSpan, SpanGuard, Timeline};

@@ -1,0 +1,612 @@
+//! Named counters, gauges, and fixed-bucket histograms.
+//!
+//! Handles are `Arc`-backed atomics, so instrumented code pays one
+//! relaxed atomic RMW per increment and never takes the registry lock;
+//! the lock is only held while registering a metric or taking a
+//! [`Snapshot`]. Snapshots render to fixed-width text, JSON lines, and
+//! Prometheus exposition text, and merge across runs (counters and
+//! histograms add, gauges keep the merged-in value).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::JsonValue;
+
+/// A monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust by `delta`.
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over fixed upper-bound buckets (plus an implicit +Inf
+/// bucket), tracking count and sum like a Prometheus histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Inclusive upper bounds, strictly increasing.
+    bounds: Vec<u64>,
+    /// One slot per bound, plus the overflow bucket at the end.
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with the given inclusive upper bounds.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty or not strictly increasing.
+    #[must_use]
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(
+            !bounds.is_empty(),
+            "histogram needs at least one bucket bound"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must strictly increase"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observed values.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Handle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A registry of named metrics.
+///
+/// Names are dotted paths (`harness.wc.insts`). Registering the same
+/// name twice returns the same underlying metric, so instrumentation
+/// sites don't need to coordinate.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Handle>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different kind.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Handle::Counter(Arc::new(Counter::default())))
+        {
+            Handle::Counter(c) => Arc::clone(c),
+            _ => panic!("metric `{name}` is not a counter"),
+        }
+    }
+
+    /// The gauge named `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different kind.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Handle::Gauge(Arc::new(Gauge::default())))
+        {
+            Handle::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric `{name}` is not a gauge"),
+        }
+    }
+
+    /// The histogram named `name` with the given bounds, creating it on
+    /// first use.
+    ///
+    /// # Panics
+    /// Panics if `name` exists as a different kind or with different
+    /// bounds.
+    #[must_use]
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Handle::Histogram(Arc::new(Histogram::new(bounds))))
+        {
+            Handle::Histogram(h) => {
+                assert_eq!(
+                    h.bounds, bounds,
+                    "histogram `{name}` re-registered with new bounds"
+                );
+                Arc::clone(h)
+            }
+            _ => panic!("metric `{name}` is not a histogram"),
+        }
+    }
+
+    /// A point-in-time copy of every metric, sorted by name.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.lock().expect("registry poisoned");
+        Snapshot {
+            samples: metrics
+                .iter()
+                .map(|(name, h)| {
+                    let value = match h {
+                        Handle::Counter(c) => SampleValue::Counter(c.get()),
+                        Handle::Gauge(g) => SampleValue::Gauge(g.get()),
+                        Handle::Histogram(h) => SampleValue::Histogram {
+                            bounds: h.bounds.clone(),
+                            buckets: h
+                                .buckets
+                                .iter()
+                                .map(|b| b.load(Ordering::Relaxed))
+                                .collect(),
+                            sum: h.sum(),
+                            count: h.count(),
+                        },
+                    };
+                    Sample {
+                        name: name.clone(),
+                        value,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One metric's value at snapshot time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SampleValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram buckets (one per bound, plus the +Inf bucket last).
+    Histogram {
+        /// Inclusive upper bounds.
+        bounds: Vec<u64>,
+        /// Per-bucket observation counts (`bounds.len() + 1` entries).
+        buckets: Vec<u64>,
+        /// Sum of observations.
+        sum: u64,
+        /// Number of observations.
+        count: u64,
+    },
+}
+
+/// A named sample.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sample {
+    /// Metric name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: SampleValue,
+}
+
+/// A point-in-time copy of a registry, sorted by name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The samples, sorted by name.
+    pub samples: Vec<Sample>,
+}
+
+impl Snapshot {
+    /// Merge another snapshot into this one: counters and histogram
+    /// buckets add; a merged-in gauge replaces the existing value;
+    /// unknown names are appended (keeping the sorted order).
+    ///
+    /// # Panics
+    /// Panics if a name exists in both snapshots with different kinds,
+    /// or as histograms with different bounds.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for sample in &other.samples {
+            match self.samples.binary_search_by(|s| s.name.cmp(&sample.name)) {
+                Err(at) => self.samples.insert(at, sample.clone()),
+                Ok(at) => {
+                    let mine = &mut self.samples[at].value;
+                    match (mine, &sample.value) {
+                        (SampleValue::Counter(a), SampleValue::Counter(b)) => *a += b,
+                        (SampleValue::Gauge(a), SampleValue::Gauge(b)) => *a = *b,
+                        (
+                            SampleValue::Histogram {
+                                bounds,
+                                buckets,
+                                sum,
+                                count,
+                            },
+                            SampleValue::Histogram {
+                                bounds: ob,
+                                buckets: obk,
+                                sum: os,
+                                count: oc,
+                            },
+                        ) => {
+                            assert_eq!(
+                                bounds, ob,
+                                "histogram `{}` merged with different bounds",
+                                sample.name
+                            );
+                            for (b, o) in buckets.iter_mut().zip(obk) {
+                                *b += o;
+                            }
+                            *sum += os;
+                            *count += oc;
+                        }
+                        _ => panic!("metric `{}` merged across kinds", sample.name),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fixed-width `name value` text.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let width = self.samples.iter().map(|s| s.name.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for s in &self.samples {
+            match &s.value {
+                SampleValue::Counter(v) => {
+                    let _ = writeln!(out, "{:<width$}  {v}", s.name);
+                }
+                SampleValue::Gauge(v) => {
+                    let _ = writeln!(out, "{:<width$}  {v}", s.name);
+                }
+                SampleValue::Histogram {
+                    bounds,
+                    buckets,
+                    sum,
+                    count,
+                } => {
+                    let dist: Vec<String> = bounds
+                        .iter()
+                        .map(ToString::to_string)
+                        .chain(["+Inf".to_string()])
+                        .zip(buckets)
+                        .map(|(b, c)| format!("le{b}:{c}"))
+                        .collect();
+                    let _ = writeln!(
+                        out,
+                        "{:<width$}  count={count} sum={sum} {}",
+                        s.name,
+                        dist.join(" ")
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// One JSON object per line (the format [`Snapshot::from_json_lines`]
+    /// parses back).
+    #[must_use]
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for s in &self.samples {
+            let obj = match &s.value {
+                SampleValue::Counter(v) => JsonValue::obj(vec![
+                    ("name", s.name.as_str().into()),
+                    ("type", "counter".into()),
+                    ("value", JsonValue::from(*v)),
+                ]),
+                SampleValue::Gauge(v) => JsonValue::obj(vec![
+                    ("name", s.name.as_str().into()),
+                    ("type", "gauge".into()),
+                    ("value", JsonValue::Int(*v)),
+                ]),
+                SampleValue::Histogram {
+                    bounds,
+                    buckets,
+                    sum,
+                    count,
+                } => JsonValue::obj(vec![
+                    ("name", s.name.as_str().into()),
+                    ("type", "histogram".into()),
+                    (
+                        "bounds",
+                        JsonValue::Arr(bounds.iter().map(|&b| b.into()).collect()),
+                    ),
+                    (
+                        "buckets",
+                        JsonValue::Arr(buckets.iter().map(|&b| b.into()).collect()),
+                    ),
+                    ("sum", JsonValue::from(*sum)),
+                    ("count", JsonValue::from(*count)),
+                ]),
+            };
+            out.push_str(&obj.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the output of [`Snapshot::to_json_lines`].
+    ///
+    /// # Errors
+    /// Returns a message naming the first malformed line.
+    pub fn from_json_lines(text: &str) -> Result<Snapshot, String> {
+        let mut samples = Vec::new();
+        for (ln, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let bad = |what: &str| format!("line {}: {what}", ln + 1);
+            let v = crate::json::parse(line).map_err(|e| bad(&e.to_string()))?;
+            let name = v
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| bad("missing name"))?
+                .to_string();
+            let kind = v.get("type").and_then(JsonValue::as_str).unwrap_or("");
+            let int = |key: &str| {
+                v.get(key)
+                    .and_then(JsonValue::as_int)
+                    .ok_or_else(|| bad(&format!("missing {key}")))
+            };
+            let ints = |key: &str| -> Result<Vec<u64>, String> {
+                v.get(key)
+                    .and_then(JsonValue::as_arr)
+                    .ok_or_else(|| bad(&format!("missing {key}")))?
+                    .iter()
+                    .map(|x| {
+                        x.as_int()
+                            .and_then(|n| u64::try_from(n).ok())
+                            .ok_or_else(|| bad(&format!("bad {key} entry")))
+                    })
+                    .collect()
+            };
+            let value = match kind {
+                "counter" => SampleValue::Counter(int("value")? as u64),
+                "gauge" => SampleValue::Gauge(int("value")?),
+                "histogram" => SampleValue::Histogram {
+                    bounds: ints("bounds")?,
+                    buckets: ints("buckets")?,
+                    sum: int("sum")? as u64,
+                    count: int("count")? as u64,
+                },
+                other => return Err(bad(&format!("unknown type `{other}`"))),
+            };
+            samples.push(Sample { name, value });
+        }
+        samples.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(Snapshot { samples })
+    }
+
+    /// Prometheus exposition text.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mangle = |name: &str| name.replace(['.', '-'], "_");
+        let mut out = String::new();
+        for s in &self.samples {
+            let pname = mangle(&s.name);
+            match &s.value {
+                SampleValue::Counter(v) => {
+                    let _ = writeln!(out, "# TYPE {pname} counter\n{pname} {v}");
+                }
+                SampleValue::Gauge(v) => {
+                    let _ = writeln!(out, "# TYPE {pname} gauge\n{pname} {v}");
+                }
+                SampleValue::Histogram {
+                    bounds,
+                    buckets,
+                    sum,
+                    count,
+                } => {
+                    let _ = writeln!(out, "# TYPE {pname} histogram");
+                    let mut cumulative = 0u64;
+                    for (bound, bucket) in bounds
+                        .iter()
+                        .map(ToString::to_string)
+                        .chain(["+Inf".to_string()])
+                        .zip(buckets)
+                    {
+                        cumulative += bucket;
+                        let _ = writeln!(out, "{pname}_bucket{{le=\"{bound}\"}} {cumulative}");
+                    }
+                    let _ = writeln!(out, "{pname}_sum {sum}\n{pname}_count {count}");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("a.hits");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("a.hits").get(), 5); // same underlying metric
+        let g = reg.gauge("a.depth");
+        g.set(7);
+        g.add(-2);
+        assert_eq!(g.get(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_observations() {
+        let h = Histogram::new(&[10, 100]);
+        for v in [1, 10, 11, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1022);
+        let reg = MetricsRegistry::new();
+        let rh = reg.histogram("lat", &[10, 100]);
+        rh.observe(50);
+        let snap = reg.snapshot();
+        match &snap.samples[0].value {
+            SampleValue::Histogram { buckets, .. } => assert_eq!(buckets, &[0, 1, 0]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_clash_rejected() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.gauge("x");
+        let _ = reg.counter("x");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_renders() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z.last").add(1);
+        reg.counter("a.first").add(2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.samples[0].name, "a.first");
+        let text = snap.to_text();
+        assert!(text.contains("a.first"), "{text}");
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("# TYPE a_first counter"), "{prom}");
+        assert!(prom.contains("a_first 2"), "{prom}");
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms_replaces_gauges() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").add(3);
+        reg.gauge("g").set(1);
+        reg.histogram("h", &[5]).observe(2);
+        let mut a = reg.snapshot();
+        reg.counter("c").add(4);
+        reg.gauge("g").set(9);
+        reg.histogram("h", &[5]).observe(100);
+        reg.counter("only_b").add(1);
+        let b = reg.snapshot();
+        a.merge(&b);
+        let get = |name: &str| {
+            a.samples
+                .iter()
+                .find(|s| s.name == name)
+                .map(|s| s.value.clone())
+                .unwrap()
+        };
+        assert_eq!(get("c"), SampleValue::Counter(3 + 7));
+        assert_eq!(get("g"), SampleValue::Gauge(9));
+        assert_eq!(get("only_b"), SampleValue::Counter(1));
+        match get("h") {
+            SampleValue::Histogram {
+                buckets,
+                count,
+                sum,
+                ..
+            } => {
+                assert_eq!(buckets, vec![2, 1]);
+                assert_eq!(count, 3);
+                assert_eq!(sum, 104);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(a.samples.windows(2).all(|w| w[0].name < w[1].name));
+    }
+
+    #[test]
+    fn json_lines_round_trip() {
+        let reg = MetricsRegistry::new();
+        reg.counter("interp.insts").add(123_456);
+        reg.gauge("queue.depth").set(-3);
+        let h = reg.histogram("span.us", &[10, 100, 1000]);
+        h.observe(7);
+        h.observe(450);
+        let snap = reg.snapshot();
+        let parsed = Snapshot::from_json_lines(&snap.to_json_lines()).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn prometheus_histogram_is_cumulative() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("d", &[1, 2]);
+        h.observe(1);
+        h.observe(2);
+        h.observe(3);
+        let prom = reg.snapshot().to_prometheus();
+        assert!(prom.contains("d_bucket{le=\"1\"} 1"), "{prom}");
+        assert!(prom.contains("d_bucket{le=\"2\"} 2"), "{prom}");
+        assert!(prom.contains("d_bucket{le=\"+Inf\"} 3"), "{prom}");
+        assert!(prom.contains("d_count 3"), "{prom}");
+    }
+}

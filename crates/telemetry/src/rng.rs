@@ -1,0 +1,166 @@
+//! A seedable SplitMix64 PRNG.
+//!
+//! The sandbox builds with no crates.io access, so this stands in for
+//! `rand` everywhere the repo needs reproducible pseudo-randomness:
+//! workload input generation and the randomized model-based tests.
+//! The API mirrors the small slice of `rand` the repo used
+//! (`gen_range` over integer ranges, `gen_bool`), so call sites read
+//! the same.
+//!
+//! SplitMix64 passes BigCrush and is the standard seeder for the
+//! xoshiro family; its 64-bit state is plenty for input generation,
+//! where quality requirements are "no visible artifacts", not crypto.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seedable SplitMix64 generator.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Seed the generator. Identical seeds yield identical streams.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `0..bound` (Lemire's multiply-shift reduction;
+    /// the modulo bias is below 2⁻⁶⁴ × bound, irrelevant here).
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        // Compare against a 53-bit uniform in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// A uniform value in the given (half-open or inclusive) integer
+    /// range.
+    ///
+    /// # Panics
+    /// Panics on an empty range, matching `rand`'s behavior.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+}
+
+/// Integer range types [`Rng::gen_range`] accepts.
+pub trait SampleRange {
+    /// The sampled integer type.
+    type Output;
+    /// Draw a uniform sample from `self`.
+    fn sample(self, rng: &mut Rng) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_seeds_identical_streams() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..9);
+            assert!((3..9).contains(&v));
+            let v = rng.gen_range(0..=3usize);
+            assert!(v <= 3);
+            let v = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&v));
+            let b = rng.gen_range(32u8..127);
+            assert!((32..127).contains(&b));
+        }
+    }
+
+    #[test]
+    fn all_range_values_are_reachable() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rate() {
+        let mut rng = Rng::seed_from_u64(9);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let _ = Rng::seed_from_u64(0).gen_range(5..5);
+    }
+}

@@ -1,0 +1,170 @@
+//! RAII span timers.
+//!
+//! A [`Timeline`] collects named [`PhaseSpan`]s; [`Timeline::span`]
+//! returns a [`SpanGuard`] that records wall-clock time (and an
+//! optional caller-supplied work count, e.g. instructions executed)
+//! when dropped. The timeline uses interior mutability so nested spans
+//! can be open at once.
+
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+use crate::json::JsonValue;
+
+/// A completed, named timing span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseSpan {
+    /// Phase name (`compile`, `natural_eval`, …).
+    pub name: String,
+    /// Wall-clock duration of the span.
+    pub wall: Duration,
+    /// Work units attributed to the span (instructions executed, items
+    /// processed); 0 when the phase has no natural work counter.
+    pub work: u64,
+}
+
+impl PhaseSpan {
+    /// JSON object form, as embedded in run manifests.
+    #[must_use]
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("name", self.name.as_str().into()),
+            (
+                "wall_us",
+                JsonValue::from(self.wall.as_micros().min(u128::from(u64::MAX)) as u64),
+            ),
+            ("work", self.work.into()),
+        ])
+    }
+}
+
+/// An ordered collection of completed spans.
+///
+/// Spans are recorded in completion order, so a nested span appears
+/// before the phase that contains it.
+#[derive(Debug, Default)]
+pub struct Timeline {
+    spans: RefCell<Vec<PhaseSpan>>,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open a span; it is recorded when the returned guard drops.
+    #[must_use]
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        SpanGuard {
+            timeline: self,
+            name: name.to_string(),
+            start: Instant::now(),
+            work: 0,
+        }
+    }
+
+    /// Record an already-measured span.
+    pub fn record(&self, span: PhaseSpan) {
+        self.spans.borrow_mut().push(span);
+    }
+
+    /// All completed spans, in completion order.
+    #[must_use]
+    pub fn finish(self) -> Vec<PhaseSpan> {
+        self.spans.into_inner()
+    }
+
+    /// Copy of the completed spans without consuming the timeline.
+    #[must_use]
+    pub fn spans(&self) -> Vec<PhaseSpan> {
+        self.spans.borrow().clone()
+    }
+}
+
+/// An open span; records into its [`Timeline`] on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    timeline: &'a Timeline,
+    name: String,
+    start: Instant,
+    work: u64,
+}
+
+impl SpanGuard<'_> {
+    /// Attribute `n` additional work units to this span.
+    pub fn add_work(&mut self, n: u64) {
+        self.work += n;
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.timeline.record(PhaseSpan {
+            name: std::mem::take(&mut self.name),
+            wall: self.start.elapsed(),
+            work: self.work,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_on_drop_in_completion_order() {
+        let tl = Timeline::new();
+        {
+            let _outer = tl.span("outer");
+            {
+                let mut inner = tl.span("inner");
+                inner.add_work(10);
+            }
+        }
+        let spans = tl.finish();
+        assert_eq!(
+            spans.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+            ["inner", "outer"]
+        );
+        assert_eq!(spans[0].work, 10);
+        assert_eq!(spans[1].work, 0);
+    }
+
+    #[test]
+    fn nested_guards_coexist() {
+        let tl = Timeline::new();
+        let a = tl.span("a");
+        let b = tl.span("b");
+        drop(a);
+        drop(b);
+        assert_eq!(tl.spans().len(), 2);
+    }
+
+    #[test]
+    fn outer_wall_covers_inner() {
+        let tl = Timeline::new();
+        {
+            let _outer = tl.span("outer");
+            let _inner = tl.span("inner");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let spans = tl.finish();
+        let get = |n: &str| spans.iter().find(|s| s.name == n).unwrap().wall;
+        assert!(get("outer") >= get("inner"));
+    }
+
+    #[test]
+    fn json_form_has_expected_keys() {
+        let span = PhaseSpan {
+            name: "compile".into(),
+            wall: Duration::from_micros(1234),
+            work: 99,
+        };
+        let v = span.to_json_value();
+        assert_eq!(v.get("name").and_then(JsonValue::as_str), Some("compile"));
+        assert_eq!(v.get("wall_us").and_then(JsonValue::as_int), Some(1234));
+        assert_eq!(v.get("work").and_then(JsonValue::as_int), Some(99));
+    }
+}

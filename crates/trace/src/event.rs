@@ -105,7 +105,10 @@ mod tests {
             taken,
             target: Addr(50),
             fallthrough: Addr(11),
-            branch: BranchId { func: FuncId(0), block: BlockId(1) },
+            branch: BranchId {
+                func: FuncId(0),
+                block: BlockId(1),
+            },
             likely: false,
             cond: Some(Cond::Eq),
         }

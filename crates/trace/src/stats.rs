@@ -180,7 +180,11 @@ impl TraceRecorder {
     /// [`TraceRecorder::dropped`] but not stored.
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
-        TraceRecorder { events: Vec::new(), capacity, dropped: 0 }
+        TraceRecorder {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
     }
 
     /// The recorded events.
@@ -212,7 +216,10 @@ mod tests {
             taken,
             target: Addr(100),
             fallthrough: Addr(block + 1),
-            branch: BranchId { func: FuncId(0), block: BlockId(block) },
+            branch: BranchId {
+                func: FuncId(0),
+                block: BlockId(block),
+            },
             likely: false,
             cond: if kind == BranchKind::Cond {
                 Some(branchlab_ir::Cond::Eq)
@@ -245,7 +252,12 @@ mod tests {
 
     #[test]
     fn branch_mix_merge_adds() {
-        let mut a = BranchMix { cond_taken: 1, cond_not_taken: 2, uncond_known: 3, uncond_unknown: 4 };
+        let mut a = BranchMix {
+            cond_taken: 1,
+            cond_not_taken: 2,
+            uncond_known: 3,
+            uncond_unknown: 4,
+        };
         let b = a;
         a.merge(&b);
         assert_eq!(a.cond_taken, 2);
@@ -259,7 +271,12 @@ mod tests {
             s.branch(&ev(BranchKind::Cond, taken, 5));
         }
         s.branch(&ev(BranchKind::Cond, true, 9));
-        let c5 = s.get(BranchId { func: FuncId(0), block: BlockId(5) }).unwrap();
+        let c5 = s
+            .get(BranchId {
+                func: FuncId(0),
+                block: BlockId(5),
+            })
+            .unwrap();
         assert_eq!(c5, SiteCounts { taken: 2, total: 3 });
         assert_eq!(c5.majority(), 2);
         assert!((c5.taken_prob() - 2.0 / 3.0).abs() < 1e-12);
@@ -275,7 +292,11 @@ mod tests {
         b.branch(&ev(BranchKind::Cond, false, 2));
         a.merge(&b);
         assert_eq!(
-            a.get(BranchId { func: FuncId(0), block: BlockId(1) }).unwrap(),
+            a.get(BranchId {
+                func: FuncId(0),
+                block: BlockId(1)
+            })
+            .unwrap(),
             SiteCounts { taken: 1, total: 2 }
         );
         assert_eq!(a.len(), 2);
@@ -283,7 +304,10 @@ mod tests {
 
     #[test]
     fn majority_counts_dominant_direction() {
-        let c = SiteCounts { taken: 1, total: 10 };
+        let c = SiteCounts {
+            taken: 1,
+            total: 10,
+        };
         assert_eq!(c.majority(), 9);
     }
 

@@ -4,8 +4,7 @@
 //! the same (benchmark, scale, seed) triple always yields byte-identical
 //! inputs, which keeps every table in EXPERIMENTS.md regenerable.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use branchlab_telemetry::Rng;
 
 /// How large to make generated inputs.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -34,15 +33,46 @@ impl Scale {
 }
 
 const WORDS: &[&str] = &[
-    "the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog", "pack", "my", "box",
-    "with", "five", "dozen", "liquor", "jugs", "pipeline", "branch", "target", "buffer",
-    "cache", "fetch", "decode", "execute", "semantic", "forward", "trace", "profile",
-    "compiler", "hardware", "software", "scheme", "cost", "cycle", "instruction",
+    "the",
+    "quick",
+    "brown",
+    "fox",
+    "jumps",
+    "over",
+    "lazy",
+    "dog",
+    "pack",
+    "my",
+    "box",
+    "with",
+    "five",
+    "dozen",
+    "liquor",
+    "jugs",
+    "pipeline",
+    "branch",
+    "target",
+    "buffer",
+    "cache",
+    "fetch",
+    "decode",
+    "execute",
+    "semantic",
+    "forward",
+    "trace",
+    "profile",
+    "compiler",
+    "hardware",
+    "software",
+    "scheme",
+    "cost",
+    "cycle",
+    "instruction",
 ];
 
 /// Random prose: words separated by spaces, wrapped into lines of
 /// 3–9 words. Used by wc, tee, grep, compress.
-pub fn text(rng: &mut StdRng, lines: usize) -> Vec<u8> {
+pub fn text(rng: &mut Rng, lines: usize) -> Vec<u8> {
     let mut out = Vec::new();
     for _ in 0..lines {
         let n = rng.gen_range(3..=9);
@@ -59,8 +89,10 @@ pub fn text(rng: &mut StdRng, lines: usize) -> Vec<u8> {
 
 /// A C-ish source file (identifiers, punctuation, numbers, keywords,
 /// comments, preprocessor lines) for cccp, lex and wc.
-pub fn c_source(rng: &mut StdRng, lines: usize) -> Vec<u8> {
-    let base = ["count", "buf", "i", "j", "tmp", "state", "next", "len", "ptr", "val"];
+pub fn c_source(rng: &mut Rng, lines: usize) -> Vec<u8> {
+    let base = [
+        "count", "buf", "i", "j", "tmp", "state", "next", "len", "ptr", "val",
+    ];
     let kws = ["int", "if", "while", "return", "else", "for", "char"];
     // A per-file vocabulary with numbered variants, so identifier streams
     // have both repetition (macro hits) and novelty (LZW/dict misses).
@@ -98,17 +130,17 @@ pub fn c_source(rng: &mut StdRng, lines: usize) -> Vec<u8> {
                 }
             }
             2..=4 => {
-                let _ = write_stmt(
+                write_stmt(
                     &mut out,
                     kws[rng.gen_range(0..kws.len())],
                     idents[rng.gen_range(0..idents.len())],
-                    rng.gen_range(0..100),
+                    rng.gen_range(0..100u32),
                 );
             }
             _ => {
                 let a = idents[rng.gen_range(0..idents.len())];
                 let b = idents[rng.gen_range(0..idents.len())];
-                let op = ["+", "-", "*", "/", "<<", "&"][rng.gen_range(0..6)];
+                let op = ["+", "-", "*", "/", "<<", "&"][rng.gen_range(0..6usize)];
                 out.extend_from_slice(
                     format!("{a} = {b} {op} {};\n", rng.gen_range(0..256)).as_bytes(),
                 );
@@ -124,7 +156,7 @@ fn write_stmt(out: &mut Vec<u8>, kw: &str, id: &str, n: u32) {
 
 /// A pair of byte streams for cmp: equal with probability `p_same`,
 /// otherwise differing at a random position.
-pub fn cmp_pair(rng: &mut StdRng, lines: usize, same: bool) -> (Vec<u8>, Vec<u8>) {
+pub fn cmp_pair(rng: &mut Rng, lines: usize, same: bool) -> (Vec<u8>, Vec<u8>) {
     let a = text(rng, lines);
     if same {
         return (a.clone(), a);
@@ -146,7 +178,7 @@ pub fn cmp_pair(rng: &mut StdRng, lines: usize, same: bool) -> (Vec<u8>, Vec<u8>
 /// A makefile-like dependency description for the `make` benchmark:
 /// `T<id>: D<id> D<id>…` lines followed by a `stamps` section giving
 /// each node a timestamp.
-pub fn makefile(rng: &mut StdRng, targets: usize) -> Vec<u8> {
+pub fn makefile(rng: &mut Rng, targets: usize) -> Vec<u8> {
     let mut out = Vec::new();
     for t in 0..targets {
         out.extend_from_slice(format!("t{t}:").as_bytes());
@@ -171,7 +203,7 @@ pub fn makefile(rng: &mut StdRng, targets: usize) -> Vec<u8> {
 
 /// A simple archive for the `tar` benchmark: records of
 /// `name-length, name bytes, size (2 bytes LE), payload, checksum byte`.
-pub fn archive(rng: &mut StdRng, files: usize) -> Vec<u8> {
+pub fn archive(rng: &mut Rng, files: usize) -> Vec<u8> {
     let mut out = Vec::new();
     for f in 0..files {
         let name = format!("file{f:03}.txt");
@@ -182,7 +214,7 @@ pub fn archive(rng: &mut StdRng, files: usize) -> Vec<u8> {
         out.push((size >> 8) as u8);
         let mut sum: u32 = 0;
         for _ in 0..size {
-            let b: u8 = rng.gen_range(32..127);
+            let b = rng.gen_range(32u8..127);
             sum = sum.wrapping_add(u32::from(b));
             out.push(b);
         }
@@ -194,7 +226,7 @@ pub fn archive(rng: &mut StdRng, files: usize) -> Vec<u8> {
 
 /// Arithmetic expressions (one per line) for yacc and eqn:
 /// integers, `+ - * /`, parentheses.
-pub fn expressions(rng: &mut StdRng, count: usize) -> Vec<u8> {
+pub fn expressions(rng: &mut Rng, count: usize) -> Vec<u8> {
     let mut out = Vec::new();
     for _ in 0..count {
         gen_expr(rng, &mut out, 0);
@@ -203,7 +235,7 @@ pub fn expressions(rng: &mut StdRng, count: usize) -> Vec<u8> {
     out
 }
 
-fn gen_expr(rng: &mut StdRng, out: &mut Vec<u8>, depth: usize) {
+fn gen_expr(rng: &mut Rng, out: &mut Vec<u8>, depth: usize) {
     if depth > 4 || rng.gen_bool(0.35) {
         out.extend_from_slice(rng.gen_range(1..100i32).to_string().as_bytes());
         return;
@@ -230,7 +262,7 @@ fn gen_expr(rng: &mut StdRng, out: &mut Vec<u8>, depth: usize) {
 }
 
 /// Boolean cubes (lines over `0`, `1`, `-`) for espresso.
-pub fn cubes(rng: &mut StdRng, vars: usize, count: usize) -> Vec<u8> {
+pub fn cubes(rng: &mut Rng, vars: usize, count: usize) -> Vec<u8> {
     let mut out = Vec::new();
     for _ in 0..count {
         for _ in 0..vars {
@@ -247,7 +279,7 @@ pub fn cubes(rng: &mut StdRng, vars: usize, count: usize) -> Vec<u8> {
 
 /// grep patterns of varying selectivity (literal fragments of real
 /// words, some with `.`/`*`/`^`).
-pub fn grep_pattern(rng: &mut StdRng) -> Vec<u8> {
+pub fn grep_pattern(rng: &mut Rng) -> Vec<u8> {
     let base = WORDS[rng.gen_range(0..WORDS.len())].as_bytes();
     let mut pat = Vec::new();
     match rng.gen_range(0..4) {
@@ -274,10 +306,9 @@ pub fn grep_pattern(rng: &mut StdRng) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng(seed: u64) -> StdRng {
-        StdRng::seed_from_u64(seed)
+    fn rng(seed: u64) -> Rng {
+        Rng::seed_from_u64(seed)
     }
 
     #[test]
@@ -333,7 +364,9 @@ mod tests {
     #[test]
     fn cubes_alphabet() {
         let c = cubes(&mut rng(8), 8, 10);
-        assert!(c.iter().all(|&b| b == b'0' || b == b'1' || b == b'-' || b == b'\n'));
+        assert!(c
+            .iter()
+            .all(|&b| b == b'0' || b == b'1' || b == b'-' || b == b'\n'));
     }
 
     #[test]

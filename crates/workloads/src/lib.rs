@@ -35,8 +35,7 @@ pub use inputs::Scale;
 
 use branchlab_ir::Module;
 use branchlab_minic::CompileError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use branchlab_telemetry::Rng;
 
 /// One benchmark of the suite.
 #[derive(Copy, Clone, Debug)]
@@ -87,7 +86,7 @@ impl Benchmark {
         let units = scale.units();
         (0..n_runs)
             .map(|r| {
-                let mut rng = StdRng::seed_from_u64(
+                let mut rng = Rng::seed_from_u64(
                     seed ^ (r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ hash_name(self.name),
                 );
                 self.gen_run(&mut rng, units, r)
@@ -95,12 +94,12 @@ impl Benchmark {
             .collect()
     }
 
-    fn gen_run(&self, rng: &mut StdRng, units: usize, run_idx: usize) -> Vec<Vec<u8>> {
+    fn gen_run(&self, rng: &mut Rng, units: usize, run_idx: usize) -> Vec<Vec<u8>> {
         match self.name {
             "wc" | "tee" => vec![inputs::text(rng, units)],
             "cmp" => {
                 // The paper: "similar/dissimilar text files".
-                let (a, b) = inputs::cmp_pair(rng, units, run_idx % 2 == 0);
+                let (a, b) = inputs::cmp_pair(rng, units, run_idx.is_multiple_of(2));
                 vec![a, b]
             }
             "compress" => vec![inputs::c_source(rng, units)],
@@ -118,7 +117,7 @@ impl Benchmark {
             "yacc" => vec![inputs::expressions(rng, units)],
             "eqn" => vec![inputs::expressions(rng, units)],
             "espresso" => {
-                let vars = rng.gen_range(6..=12);
+                let vars = rng.gen_range(6..=12usize);
                 vec![inputs::cubes(rng, vars, (units / 4).clamp(8, 400))]
             }
             other => unreachable!("unknown benchmark {other}"),
@@ -240,14 +239,18 @@ mod tests {
     fn exec(b: &Benchmark, streams: &[&[u8]]) -> Outcome {
         let m = b.compile().unwrap_or_else(|e| panic!("{}: {e}", b.name));
         let p = lower(&m).unwrap();
-        let cfg = ExecConfig { max_insts: 200_000_000, ..ExecConfig::default() };
+        let cfg = ExecConfig {
+            max_insts: 200_000_000,
+            ..ExecConfig::default()
+        };
         run(&p, &cfg, streams, &mut ()).unwrap_or_else(|e| panic!("{}: {e}", b.name))
     }
 
     #[test]
     fn every_benchmark_compiles() {
         for b in SUITE {
-            b.compile().unwrap_or_else(|e| panic!("{} failed to compile: {e}", b.name));
+            b.compile()
+                .unwrap_or_else(|e| panic!("{} failed to compile: {e}", b.name));
         }
     }
 
@@ -257,7 +260,11 @@ mod tests {
             for (ri, streams) in b.runs(Scale::Test, 1).iter().enumerate() {
                 let refs: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
                 let out = exec(b, &refs);
-                assert!(out.stats.branches > 0, "{} run {ri} executed no branches", b.name);
+                assert!(
+                    out.stats.branches > 0,
+                    "{} run {ri} executed no branches",
+                    b.name
+                );
             }
         }
     }
@@ -328,7 +335,9 @@ mod tests {
         let mut next = 256i64;
         let mut out = Vec::new();
         let mut iter = data.iter();
-        let Some(&first) = iter.next() else { return out };
+        let Some(&first) = iter.next() else {
+            return out;
+        };
         let mut prefix = i64::from(first);
         for &c in iter {
             if let Some(&code) = dict.get(&(prefix, c)) {
@@ -452,8 +461,9 @@ mod tests {
     fn suite_has_ten_main_benchmarks() {
         assert_eq!(main_suite().count(), 10);
         assert_eq!(SUITE.len(), 12);
-        for name in ["cccp", "cmp", "compress", "grep", "lex", "make", "tar", "tee", "wc", "yacc"]
-        {
+        for name in [
+            "cccp", "cmp", "compress", "grep", "lex", "make", "tar", "tee", "wc", "yacc",
+        ] {
             assert!(benchmark(name).unwrap().in_main_tables, "{name}");
         }
         assert!(!benchmark("eqn").unwrap().in_main_tables);

@@ -10,13 +10,24 @@ use branchlab::experiments::{ablation, ExperimentConfig};
 use branchlab::workloads::{benchmark, Scale};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "compress".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "compress".to_string());
     let bench = benchmark(&name)
         .ok_or_else(|| format!("unknown benchmark `{name}` (try wc, compress, grep …)"))?;
-    let config = ExperimentConfig { scale: Scale::Test, ..ExperimentConfig::default() };
+    let config = ExperimentConfig {
+        scale: Scale::Test,
+        ..ExperimentConfig::default()
+    };
 
-    println!("{}", ablation::sweep_btb_size(bench, &config, &[8, 32, 128, 256, 1024])?.to_text());
-    println!("{}", ablation::sweep_associativity(bench, &config, 256, &[1, 2, 4, 8, 256])?.to_text());
+    println!(
+        "{}",
+        ablation::sweep_btb_size(bench, &config, &[8, 32, 128, 256, 1024])?.to_text()
+    );
+    println!(
+        "{}",
+        ablation::sweep_associativity(bench, &config, 256, &[1, 2, 4, 8, 256])?.to_text()
+    );
     println!(
         "{}",
         ablation::sweep_counters(bench, &config, &[(1, 1), (2, 1), (2, 2), (3, 4), (4, 8)])?

@@ -11,7 +11,10 @@ use branchlab::experiments::{ablation, ExperimentConfig};
 use branchlab::workloads::{benchmark, Scale};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let config = ExperimentConfig { scale: Scale::Test, ..ExperimentConfig::default() };
+    let config = ExperimentConfig {
+        scale: Scale::Test,
+        ..ExperimentConfig::default()
+    };
     for name in ["grep", "compress", "wc"] {
         let bench = benchmark(name).expect("suite benchmark");
         let table = ablation::context_switch_study(

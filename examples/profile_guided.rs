@@ -31,7 +31,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sites: Vec<_> = profile.sites.iter().collect();
     sites.sort_by_key(|(s, _)| *s);
     for (site, c) in sites {
-        println!("  {site}: {}/{} taken ({:.0}%)", c.taken, c.total, c.taken_prob() * 100.0);
+        println!(
+            "  {site}: {}/{} taken ({:.0}%)",
+            c.taken,
+            c.total,
+            c.taken_prob() * 100.0
+        );
     }
 
     println!("\n== selected traces (blocks laid out together) ==");
@@ -60,6 +65,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let a = run_simple(&conventional, &[])?;
     let b = run_simple(&forward, &[])?;
     assert_eq!(a.exit_value, b.exit_value);
-    println!("\nboth layouts return {} — semantics preserved", a.exit_value);
+    println!(
+        "\nboth layouts return {} — semantics preserved",
+        a.exit_value
+    );
     Ok(())
 }

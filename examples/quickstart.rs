@@ -57,17 +57,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut sbtb = Evaluator::new(Sbtb::paper());
     let mut cbtb = Evaluator::new(Cbtb::paper());
-    run(&conventional, &ExecConfig::default(), &[&test], &mut (&mut sbtb, &mut cbtb))?;
+    run(
+        &conventional,
+        &ExecConfig::default(),
+        &[&test],
+        &mut (&mut sbtb, &mut cbtb),
+    )?;
 
     let mut fs = Evaluator::new(LikelyBit);
     let fs_out = run(&forward, &ExecConfig::default(), &[&test], &mut fs)?;
     let conv_out = run_simple(&conventional, &[&test])?;
-    assert_eq!(conv_out.exit_value, fs_out.exit_value, "FS transform must preserve semantics");
+    assert_eq!(
+        conv_out.exit_value, fs_out.exit_value,
+        "FS transform must preserve semantics"
+    );
 
     // The paper's cost model on its Table 4 machine (k + ℓ̄ = 2, m̄ = 1).
-    let flush = FlushModel { l_bar: 1.0, m_bar: 1.0 };
+    let flush = FlushModel {
+        l_bar: 1.0,
+        m_bar: 1.0,
+    };
     println!("\nscheme  accuracy  cycles/branch (k+l=2, m=1)");
-    for (name, stats) in [("SBTB", &sbtb.stats), ("CBTB", &cbtb.stats), ("FS  ", &fs.stats)] {
+    for (name, stats) in [
+        ("SBTB", &sbtb.stats),
+        ("CBTB", &cbtb.stats),
+        ("FS  ", &fs.stats),
+    ] {
         println!(
             "{name}    {:6.2}%   {:.3}",
             stats.accuracy() * 100.0,

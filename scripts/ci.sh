@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Offline CI gate: format, lint, build, test, and a telemetry smoke run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (telemetry + bench, warnings are errors)"
+cargo clippy -p branchlab-telemetry -p branchlab-bench --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> telemetry smoke: report --scale test --telemetry-out"
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+cargo run --release -p branchlab-bench --bin report -- --scale test --telemetry-out "$out" >/dev/null
+
+for f in manifest.json metrics.jsonl metrics.prom; do
+    [[ -s "$out/$f" ]] || { echo "missing telemetry artifact: $f" >&2; exit 1; }
+done
+
+python3 - "$out/manifest.json" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+assert m["tool"] == "report", m["tool"]
+assert m["git_describe"], "empty git_describe"
+cfg = m["config"]
+assert cfg["scale"] == "test" and cfg["seed"] == 1989, cfg
+assert len(m["benchmarks"]) == 12, len(m["benchmarks"])
+phases = {"compile", "profile", "lower", "fs_build", "natural_eval", "fs_eval", "expansion"}
+for b in m["benchmarks"]:
+    got = {p["name"] for p in b["phases"]}
+    assert phases <= got, (b["name"], phases - got)
+    sbtb = b["predictors"]["sbtb"]
+    assert sbtb["stats"]["events"] > 0, b["name"]
+    assert sbtb["sites"]["sites"] > 0, (b["name"], "site telemetry missing")
+print(f"manifest OK: {len(m['benchmarks'])} benchmarks, git {m['git_describe']}")
+EOF
+
+echo "==> ci green"

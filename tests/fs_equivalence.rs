@@ -10,13 +10,18 @@ use branchlab::profile::profile_module;
 use branchlab::workloads::{Scale, SUITE};
 
 fn exec_cfg() -> ExecConfig {
-    ExecConfig { max_insts: 200_000_000, ..ExecConfig::default() }
+    ExecConfig {
+        max_insts: 200_000_000,
+        ..ExecConfig::default()
+    }
 }
 
 #[test]
 fn every_benchmark_is_equivalent_under_fs_transform() {
     for bench in SUITE {
-        let module = bench.compile().unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let module = bench
+            .compile()
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
         let runs = bench.runs(Scale::Test, 11);
         let profile = profile_module(&module, &runs).unwrap();
         let conventional = lower(&module).unwrap();
@@ -78,12 +83,22 @@ fn forward_slots_grow_code_but_never_change_dynamic_instruction_count() {
     let mut dyn_insts = Vec::new();
     let mut static_sizes = Vec::new();
     for slots in [0u16, 1, 2, 8] {
-        let prog = fs_program(&module, &profile, FsConfig { slots, slot_jumps: slots > 0 })
-            .unwrap();
+        let prog = fs_program(
+            &module,
+            &profile,
+            FsConfig {
+                slots,
+                slot_jumps: slots > 0,
+            },
+        )
+        .unwrap();
         static_sizes.push(prog.len());
         dyn_insts.push(run(&prog, &exec_cfg(), &refs, &mut ()).unwrap().stats.insts);
     }
-    assert!(static_sizes.windows(2).all(|w| w[0] <= w[1]), "{static_sizes:?}");
+    assert!(
+        static_sizes.windows(2).all(|w| w[0] <= w[1]),
+        "{static_sizes:?}"
+    );
     assert!(static_sizes[3] > static_sizes[0], "slots must grow code");
     assert!(
         dyn_insts.windows(2).all(|w| w[0] == w[1]),

@@ -1,13 +1,16 @@
-//! Property-based end-to-end tests: randomly generated MiniC programs
+//! Randomized end-to-end tests: randomly generated MiniC programs
 //! must compile, validate, run deterministically, and behave identically
 //! under the Forward Semantic transformation at any slot depth.
-
-use proptest::prelude::*;
+//!
+//! Each test drives a fixed-seed [`Rng`] trial loop, so failures are
+//! reproducible by construction (the failing seed is in the panic
+//! message).
 
 use branchlab::fsem::{fs_program, FsConfig};
 use branchlab::interp::{run, ExecConfig};
 use branchlab::ir::{lower, validate_module};
 use branchlab::profile::profile_module;
+use branchlab::telemetry::Rng;
 
 /// A tiny expression AST rendered to MiniC source. Only bounded
 /// constructs are generated, so every program terminates.
@@ -32,59 +35,74 @@ enum Stmt {
 
 const NVARS: usize = 4;
 
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        any::<i8>().prop_map(Expr::Const),
-        (0..NVARS).prop_map(Expr::Var),
-        Just(Expr::Getc),
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            (
-                prop_oneof![
-                    Just("+"),
-                    Just("-"),
-                    Just("*"),
-                    Just("/"),
-                    Just("%"),
-                    Just("<"),
-                    Just("=="),
-                    Just("&"),
-                    Just("^"),
-                    Just("&&"),
-                    Just("||"),
-                ],
-                inner.clone(),
-                inner.clone()
-            )
-                .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b))),
-            inner.prop_map(|e| Expr::Not(Box::new(e))),
-        ]
-    })
+const OPS: [&str; 11] = ["+", "-", "*", "/", "%", "<", "==", "&", "^", "&&", "||"];
+
+fn random_expr(rng: &mut Rng, depth: u32) -> Expr {
+    if depth == 0 || rng.gen_bool(0.4) {
+        match rng.gen_range(0..3u32) {
+            0 => Expr::Const(rng.gen_range(i8::MIN..=i8::MAX)),
+            1 => Expr::Var(rng.gen_range(0..NVARS)),
+            _ => Expr::Getc,
+        }
+    } else if rng.gen_bool(0.2) {
+        Expr::Not(Box::new(random_expr(rng, depth - 1)))
+    } else {
+        let op = OPS[rng.gen_range(0..OPS.len())];
+        let a = random_expr(rng, depth - 1);
+        let b = random_expr(rng, depth - 1);
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
 }
 
-fn stmt_strategy() -> impl Strategy<Value = Stmt> {
-    let leaf = prop_oneof![
-        ((0..NVARS), expr_strategy()).prop_map(|(v, e)| Stmt::Assign(v, e)),
-        expr_strategy().prop_map(Stmt::Putc),
-    ];
-    leaf.prop_recursive(3, 16, 3, |inner| {
-        let body = prop::collection::vec(inner.clone(), 0..3);
-        prop_oneof![
-            (expr_strategy(), body.clone(), body.clone())
-                .prop_map(|(c, t, e)| Stmt::If(c, t, e)),
-            ((1u8..6), body.clone()).prop_map(|(n, b)| Stmt::Loop(n, b)),
-            (
-                expr_strategy(),
-                prop::collection::vec((any::<i8>(), body), 1..4)
-            )
-                .prop_map(|(s, mut arms)| {
-                    arms.sort_by_key(|(v, _)| *v);
-                    arms.dedup_by_key(|(v, _)| *v);
-                    Stmt::Switch(s, arms)
-                }),
-        ]
-    })
+fn random_block(rng: &mut Rng, depth: u32) -> Vec<Stmt> {
+    let len = rng.gen_range(0..3usize);
+    (0..len).map(|_| random_stmt(rng, depth)).collect()
+}
+
+fn random_stmt(rng: &mut Rng, depth: u32) -> Stmt {
+    if depth == 0 || rng.gen_bool(0.5) {
+        if rng.gen_bool(0.6) {
+            Stmt::Assign(rng.gen_range(0..NVARS), random_expr(rng, 3))
+        } else {
+            Stmt::Putc(random_expr(rng, 3))
+        }
+    } else {
+        match rng.gen_range(0..3u32) {
+            0 => {
+                let cond = random_expr(rng, 3);
+                let then = random_block(rng, depth - 1);
+                let alt = random_block(rng, depth - 1);
+                Stmt::If(cond, then, alt)
+            }
+            1 => {
+                let bound = rng.gen_range(1u8..6);
+                Stmt::Loop(bound, random_block(rng, depth - 1))
+            }
+            _ => {
+                let scrut = random_expr(rng, 3);
+                let narms = rng.gen_range(1..4usize);
+                let mut arms: Vec<(i8, Vec<Stmt>)> = (0..narms)
+                    .map(|_| {
+                        let v = rng.gen_range(i8::MIN..=i8::MAX);
+                        (v, random_block(rng, depth - 1))
+                    })
+                    .collect();
+                arms.sort_by_key(|(v, _)| *v);
+                arms.dedup_by_key(|(v, _)| *v);
+                Stmt::Switch(scrut, arms)
+            }
+        }
+    }
+}
+
+fn random_stmts(rng: &mut Rng) -> Vec<Stmt> {
+    let len = rng.gen_range(0..6usize);
+    (0..len).map(|_| random_stmt(rng, 3)).collect()
+}
+
+fn random_input(rng: &mut Rng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..max_len);
+    (0..len).map(|_| rng.gen_range(0u8..=255)).collect()
 }
 
 fn render_expr(e: &Expr, out: &mut String) {
@@ -132,7 +150,9 @@ fn render_stmts(stmts: &[Stmt], out: &mut String, fresh: &mut usize) {
             Stmt::Loop(n, body) => {
                 let i = *fresh;
                 *fresh += 1;
-                out.push_str(&format!("int t{i};\nfor (t{i} = 0; t{i} < {n}; t{i}++) {{\n"));
+                out.push_str(&format!(
+                    "int t{i};\nfor (t{i} = 0; t{i} < {n}; t{i}++) {{\n"
+                ));
                 render_stmts(body, out, fresh);
                 out.push_str("}\n");
             }
@@ -163,44 +183,54 @@ fn render_program(stmts: &[Stmt]) -> String {
 }
 
 fn exec_cfg() -> ExecConfig {
-    ExecConfig { max_insts: 5_000_000, ..ExecConfig::default() }
+    ExecConfig {
+        max_insts: 5_000_000,
+        ..ExecConfig::default()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn generated_programs_compile_and_validate(
-        stmts in prop::collection::vec(stmt_strategy(), 0..6)
-    ) {
-        let src = render_program(&stmts);
-        let module = branchlab::minic::compile(&src)
-            .unwrap_or_else(|e| panic!("generated program failed to compile: {e}\n{src}"));
-        prop_assert!(validate_module(&module).is_ok());
-        prop_assert!(lower(&module).is_ok());
+#[test]
+fn generated_programs_compile_and_validate() {
+    for seed in 0..96u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let src = render_program(&random_stmts(&mut rng));
+        let module = branchlab::minic::compile(&src).unwrap_or_else(|e| {
+            panic!("seed {seed}: generated program failed to compile: {e}\n{src}")
+        });
+        assert!(
+            validate_module(&module).is_ok(),
+            "seed {seed}: module invalid\n{src}"
+        );
+        assert!(
+            lower(&module).is_ok(),
+            "seed {seed}: lowering failed\n{src}"
+        );
     }
+}
 
-    #[test]
-    fn interpreter_is_deterministic(
-        stmts in prop::collection::vec(stmt_strategy(), 0..6),
-        input in prop::collection::vec(any::<u8>(), 0..64),
-    ) {
-        let module = branchlab::minic::compile(&render_program(&stmts)).unwrap();
+#[test]
+fn interpreter_is_deterministic() {
+    for seed in 0..48u64 {
+        let mut rng = Rng::seed_from_u64(0xd373_7213 ^ seed);
+        let module = branchlab::minic::compile(&render_program(&random_stmts(&mut rng))).unwrap();
         let program = lower(&module).unwrap();
+        let input = random_input(&mut rng, 64);
         let a = run(&program, &exec_cfg(), &[&input], &mut ()).unwrap();
         let b = run(&program, &exec_cfg(), &[&input], &mut ()).unwrap();
-        prop_assert_eq!(a.exit_value, b.exit_value);
-        prop_assert_eq!(a.outputs, b.outputs);
-        prop_assert_eq!(a.stats, b.stats);
+        assert_eq!(a.exit_value, b.exit_value, "seed {seed}");
+        assert_eq!(a.outputs, b.outputs, "seed {seed}");
+        assert_eq!(a.stats, b.stats, "seed {seed}");
     }
+}
 
-    #[test]
-    fn fs_transform_preserves_semantics_of_arbitrary_programs(
-        stmts in prop::collection::vec(stmt_strategy(), 0..6),
-        input in prop::collection::vec(any::<u8>(), 0..64),
-        other in prop::collection::vec(any::<u8>(), 0..64),
-        slots in 0u16..6,
-    ) {
+#[test]
+fn fs_transform_preserves_semantics_of_arbitrary_programs() {
+    for seed in 0..32u64 {
+        let mut rng = Rng::seed_from_u64(0xf5ea_0a11u64.wrapping_add(seed));
+        let stmts = random_stmts(&mut rng);
+        let input = random_input(&mut rng, 64);
+        let other = random_input(&mut rng, 64);
+        let slots = rng.gen_range(0u16..6);
         let module = branchlab::minic::compile(&render_program(&stmts)).unwrap();
         let conventional = lower(&module).unwrap();
         // Profile on `input`, evaluate on both `input` and `other`.
@@ -208,14 +238,17 @@ proptest! {
         let forward = fs_program(
             &module,
             &profile,
-            FsConfig { slots, slot_jumps: slots > 0 },
+            FsConfig {
+                slots,
+                slot_jumps: slots > 0,
+            },
         )
         .unwrap();
         for data in [&input, &other] {
             let a = run(&conventional, &exec_cfg(), &[data], &mut ()).unwrap();
             let b = run(&forward, &exec_cfg(), &[data], &mut ()).unwrap();
-            prop_assert_eq!(a.exit_value, b.exit_value);
-            prop_assert_eq!(&a.outputs, &b.outputs);
+            assert_eq!(a.exit_value, b.exit_value, "seed {seed}, slots {slots}");
+            assert_eq!(a.outputs, b.outputs, "seed {seed}, slots {slots}");
         }
     }
 }

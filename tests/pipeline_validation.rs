@@ -16,7 +16,10 @@ fn validate<P: BranchPredictor>(name: &str, config: PipelineConfig, predictor: P
     let mut insts = 0;
     for streams in &runs {
         let refs: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
-        insts += run(&program, &ExecConfig::default(), &refs, &mut sim).unwrap().stats.insts;
+        insts += run(&program, &ExecConfig::default(), &refs, &mut sim)
+            .unwrap()
+            .stats
+            .insts;
     }
     let measured = sim.measured_cost();
     let analytic = sim.analytic_cost();
@@ -78,10 +81,22 @@ fn better_predictors_run_programs_faster() {
         Box::new(Cbtb::paper()),
     ] {
         let mut sim = CycleSim::new(cfg, pred);
-        let insts =
-            run(&program, &ExecConfig::default(), &refs, &mut sim).unwrap().stats.insts;
+        let insts = run(&program, &ExecConfig::default(), &refs, &mut sim)
+            .unwrap()
+            .stats
+            .insts;
         cycles.push(sim.total_cycles(insts));
     }
-    assert!(cycles[1] < cycles[0], "SBTB {} vs not-taken {}", cycles[1], cycles[0]);
-    assert!(cycles[2] < cycles[0], "CBTB {} vs not-taken {}", cycles[2], cycles[0]);
+    assert!(
+        cycles[1] < cycles[0],
+        "SBTB {} vs not-taken {}",
+        cycles[1],
+        cycles[0]
+    );
+    assert!(
+        cycles[2] < cycles[0],
+        "CBTB {} vs not-taken {}",
+        cycles[2],
+        cycles[0]
+    );
 }
