@@ -1,25 +1,52 @@
 //! Extension studies: BTB geometry, counter parameters, context
 //! switches, and the related-work static baselines.
-use branchlab::experiments::ablation;
+//!
+//! Each study renders independently; a failing study is reported on
+//! stderr and the binary exits non-zero after the surviving studies
+//! have printed (partial-result degradation, like the suite binaries).
+use branchlab::experiments::{ablation, ExperimentError, Table};
 use branchlab::workloads::benchmark;
+
 fn main() {
     let options = branchlab_bench::Options::from_args();
     let cfg = &options.config;
-    let show = |t: &branchlab::experiments::Table| {
-        println!("{}", options.render(t));
+    let failed = std::cell::Cell::new(0u32);
+    let show = |what: &str, r: Result<Table, ExperimentError>| match r {
+        Ok(t) => println!("{}", options.render(&t)),
+        Err(e) => {
+            eprintln!("ablation: {what} failed ({}): {e}", e.class());
+            failed.set(failed.get() + 1);
+        }
     };
     for name in ["compress", "cccp"] {
-        let b = benchmark(name).expect("suite benchmark");
-        show(&ablation::sweep_btb_size(b, cfg, &[16, 64, 256, 1024]).expect("size sweep"));
-        show(&ablation::sweep_associativity(b, cfg, 256, &[1, 2, 4, 8, 256]).expect("assoc"));
-        show(&ablation::sweep_counters(b, cfg, &[(1, 1), (2, 2), (3, 4), (4, 8)]).expect("ctr"));
+        let Some(b) = benchmark(name) else {
+            eprintln!("ablation: benchmark {name} missing from suite");
+            failed.set(failed.get() + 1);
+            continue;
+        };
         show(
-            &ablation::context_switch_study(b, cfg, &[100, 1_000, 10_000, u64::MAX / 2])
-                .expect("ctx"),
+            "size sweep",
+            ablation::sweep_btb_size(b, cfg, &[16, 64, 256, 1024]),
         );
-        show(&ablation::static_baselines(b, cfg).expect("baselines"));
-        show(&ablation::ras_study(b, cfg, &[4, 16, 64]).expect("ras"));
-        show(&ablation::delay_slot_study(b, cfg, 2).expect("delay slots"));
-        show(&ablation::beyond_1989(b, cfg).expect("two-level"));
+        show(
+            "associativity sweep",
+            ablation::sweep_associativity(b, cfg, 256, &[1, 2, 4, 8, 256]),
+        );
+        show(
+            "counter sweep",
+            ablation::sweep_counters(b, cfg, &[(1, 1), (2, 2), (3, 4), (4, 8)]),
+        );
+        show(
+            "context-switch study",
+            ablation::context_switch_study(b, cfg, &[100, 1_000, 10_000, u64::MAX / 2]),
+        );
+        show("static baselines", ablation::static_baselines(b, cfg));
+        show("RAS study", ablation::ras_study(b, cfg, &[4, 16, 64]));
+        show("delay-slot study", ablation::delay_slot_study(b, cfg, 2));
+        show("two-level study", ablation::beyond_1989(b, cfg));
+    }
+    if failed.get() > 0 {
+        eprintln!("ablation: {} studies failed", failed.get());
+        std::process::exit(branchlab_bench::EXIT_PARTIAL);
     }
 }

@@ -19,8 +19,11 @@
 #![warn(missing_docs)]
 
 use std::path::PathBuf;
+use std::time::Duration;
 
-use branchlab::experiments::{run_suite, BenchResult, ExperimentConfig, SuiteResult, Table};
+use branchlab::experiments::{
+    run_suite_supervised, BenchResult, ExperimentConfig, SuiteResult, SupervisorConfig, Table,
+};
 use branchlab::predict::PredStats;
 use branchlab::telemetry::manifest::BenchmarkRecord;
 use branchlab::telemetry::{JsonValue, MetricsRegistry, RunManifest};
@@ -45,8 +48,10 @@ pub enum Format {
 /// Parsed command-line options shared by all bench binaries.
 #[derive(Clone, Debug)]
 pub struct Options {
-    /// Experiment configuration (scale, seed, …).
+    /// Experiment configuration (scale, seed, fault injection, …).
     pub config: ExperimentConfig,
+    /// Supervision policy (retries, watchdog, checkpoint/resume).
+    pub supervisor: SupervisorConfig,
     /// Output format.
     pub format: Format,
     /// Directory for the run manifest and metrics snapshots; also turns
@@ -54,7 +59,11 @@ pub struct Options {
     pub telemetry_out: Option<PathBuf>,
 }
 
-const USAGE: &str = "usage: [--scale test|small|paper] [--seed N] [--markdown|--csv] [--no-verify] [--telemetry-out DIR]";
+const USAGE: &str =
+    "usage: [--scale test|small|paper] [--seed N] [--markdown|--csv] [--no-verify] \
+[--telemetry-out DIR] [--max-attempts N] [--backoff-ms N] [--watchdog-ms N] \
+[--checkpoint FILE] [--resume] [--fault-exec-rate R] [--fault-panic-rate R] \
+[--fault-delay-rate R] [--fault-delay-ms N] [--fault-seed N] [--fault-benches A,B,...]";
 
 impl Options {
     /// Parse `std::env::args`.
@@ -74,9 +83,23 @@ impl Options {
     #[must_use]
     pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
         let mut config = ExperimentConfig::default();
+        let mut supervisor = SupervisorConfig::default();
         let mut format = Format::Text;
         let mut telemetry_out = None;
         let mut args = args.into_iter();
+        let next_u64 = |args: &mut dyn Iterator<Item = String>, flag: &str| -> u64 {
+            args.next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| panic!("{flag} needs an integer"))
+        };
+        let next_rate = |args: &mut dyn Iterator<Item = String>, flag: &str| -> f64 {
+            let r: f64 = args
+                .next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| panic!("{flag} needs a rate in [0, 1]"));
+            assert!((0.0..=1.0).contains(&r), "{flag} needs a rate in [0, 1]");
+            r
+        };
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--scale" => {
@@ -88,12 +111,7 @@ impl Options {
                         other => panic!("unknown scale `{other}` (test|small|paper)"),
                     };
                 }
-                "--seed" => {
-                    config.seed = args
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .expect("--seed needs an integer");
-                }
+                "--seed" => config.seed = next_u64(&mut args, "--seed"),
                 "--markdown" => format = Format::Markdown,
                 "--csv" => format = Format::Csv,
                 "--no-verify" => config.verify_equivalence = false,
@@ -102,11 +120,47 @@ impl Options {
                     config.collect_site_telemetry = true;
                     telemetry_out = Some(PathBuf::from(dir));
                 }
+                "--max-attempts" => {
+                    supervisor.max_attempts = next_u64(&mut args, "--max-attempts").max(1) as u32;
+                }
+                "--backoff-ms" => {
+                    supervisor.backoff_base =
+                        Duration::from_millis(next_u64(&mut args, "--backoff-ms"));
+                }
+                "--watchdog-ms" => {
+                    supervisor.watchdog =
+                        Some(Duration::from_millis(next_u64(&mut args, "--watchdog-ms")));
+                }
+                "--checkpoint" => {
+                    let file = args.next().expect("--checkpoint needs a file path");
+                    supervisor.checkpoint = Some(PathBuf::from(file));
+                }
+                "--resume" => supervisor.resume = true,
+                "--fault-exec-rate" => {
+                    config.fault.exec_error_rate = next_rate(&mut args, "--fault-exec-rate");
+                }
+                "--fault-panic-rate" => {
+                    config.fault.panic_rate = next_rate(&mut args, "--fault-panic-rate");
+                }
+                "--fault-delay-rate" => {
+                    config.fault.delay_rate = next_rate(&mut args, "--fault-delay-rate");
+                }
+                "--fault-delay-ms" => {
+                    config.fault.delay =
+                        Duration::from_millis(next_u64(&mut args, "--fault-delay-ms"));
+                }
+                "--fault-seed" => config.fault.seed = next_u64(&mut args, "--fault-seed"),
+                "--fault-benches" => {
+                    let list = args.next().expect("--fault-benches needs a comma list");
+                    config.fault.benches =
+                        list.split(',').map(str::trim).map(String::from).collect();
+                }
                 other => panic!("unknown argument `{other}`\n{USAGE}"),
             }
         }
         Options {
             config,
+            supervisor,
             format,
             telemetry_out,
         }
@@ -123,36 +177,57 @@ impl Options {
     }
 }
 
-/// Run the full suite with progress to stderr.
-///
-/// # Panics
-/// Panics (with the failing benchmark's error) if the pipeline fails —
-/// these binaries are terminal tools.
+/// Process exit code for a suite with at least one failed benchmark.
+pub const EXIT_PARTIAL: i32 = 1;
+
+/// Run the full supervised suite with progress and failure diagnostics
+/// to stderr. Never panics on benchmark failure: failed benches come
+/// back as [`SuiteResult::failures`] records (check
+/// [`SuiteResult::is_complete`], or let [`artifact_main`] turn them
+/// into a non-zero exit).
 #[must_use]
 pub fn suite(options: &Options) -> SuiteResult {
     eprintln!(
         "running 12-benchmark suite (scale {:?}, seed {}) …",
         options.config.scale, options.config.seed
     );
+    if options.config.fault.enabled() {
+        eprintln!(
+            "fault injection armed: exec {:.2} / panic {:.2} / delay {:.2} (seed {})",
+            options.config.fault.exec_error_rate,
+            options.config.fault.panic_rate,
+            options.config.fault.delay_rate,
+            options.config.fault.seed
+        );
+    }
     let start = std::time::Instant::now();
-    let suite = run_suite(&options.config).unwrap_or_else(|e| panic!("suite failed: {e}"));
+    let suite = run_suite_supervised(&options.config, &options.supervisor);
     let insts: u64 = suite.benches.iter().map(|b| b.stats.insts).sum();
+    let sup = &suite.supervisor;
     eprintln!(
-        "done in {:.1}s ({:.1}M dynamic instructions)",
+        "done in {:.1}s ({:.1}M dynamic instructions; {} completed, {} failed, {} resumed, {} retries)",
         start.elapsed().as_secs_f64(),
-        insts as f64 / 1e6
+        insts as f64 / 1e6,
+        sup.completed,
+        sup.failed,
+        sup.resumed,
+        sup.retries,
     );
+    for f in &suite.failures {
+        eprintln!("  {f}");
+    }
     suite
 }
 
 /// The shared main of every table/figure binary: parse the command
-/// line, run the suite, hand it to `emit` for rendering, and — when
-/// `--telemetry-out` was given — write the run manifest and metrics
-/// snapshots.
+/// line, run the supervised suite, hand it to `emit` for rendering,
+/// and — when `--telemetry-out` was given — write the run manifest and
+/// metrics snapshots. Exits with [`EXIT_PARTIAL`] (after rendering the
+/// partial tables and telemetry) when any benchmark failed.
 ///
 /// # Panics
-/// Panics on pipeline failure or unwritable telemetry directory (these
-/// binaries are terminal tools).
+/// Panics on an unwritable telemetry directory (these binaries are
+/// terminal tools); benchmark failures degrade instead of panicking.
 pub fn artifact_main(tool: &str, emit: impl FnOnce(&Options, &SuiteResult)) {
     let options = Options::from_args();
     let suite = suite(&options);
@@ -161,6 +236,14 @@ pub fn artifact_main(tool: &str, emit: impl FnOnce(&Options, &SuiteResult)) {
         let path = write_telemetry(tool, &options, &suite, dir)
             .unwrap_or_else(|e| panic!("writing telemetry to {} failed: {e}", dir.display()));
         eprintln!("telemetry manifest written to {}", path.display());
+    }
+    if !suite.is_complete() {
+        eprintln!(
+            "{tool}: partial results — {} of {} benchmarks failed",
+            suite.failures.len(),
+            suite.failures.len() + suite.benches.len()
+        );
+        std::process::exit(EXIT_PARTIAL);
     }
 }
 
@@ -219,8 +302,53 @@ pub fn write_telemetry(
     manifest.set_config("fs_slots", u64::from(cfg.fs_slots));
     manifest.set_config("cbtb_strict", cfg.cbtb_strict);
     manifest.set_config("verify_equivalence", cfg.verify_equivalence);
+    if cfg.fault.enabled() {
+        manifest.set_config("fault_seed", cfg.fault.seed);
+        manifest.set_config("fault_exec_rate", cfg.fault.exec_error_rate);
+        manifest.set_config("fault_panic_rate", cfg.fault.panic_rate);
+        manifest.set_config("fault_delay_rate", cfg.fault.delay_rate);
+    }
+    manifest.set_config("max_attempts", u64::from(options.supervisor.max_attempts));
 
     let registry = MetricsRegistry::new();
+    for (name, value) in suite.supervisor.counters() {
+        registry.counter(&format!("suite.{name}")).add(value);
+    }
+    manifest.set_section(
+        "supervisor",
+        JsonValue::Obj(
+            suite
+                .supervisor
+                .counters()
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), JsonValue::from(*v)))
+                .collect(),
+        ),
+    );
+    manifest.set_section(
+        "failures",
+        JsonValue::Arr(
+            suite
+                .failures
+                .iter()
+                .map(|f| {
+                    JsonValue::obj(vec![
+                        ("bench", f.name.as_str().into()),
+                        ("error", f.error.as_str().into()),
+                        ("class", f.class.to_string().into()),
+                        ("attempts", u64::from(f.attempts).into()),
+                        ("elapsed_ms", (f.elapsed.as_millis() as u64).into()),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    for f in &suite.failures {
+        registry.counter(&format!("bench.{}.failed", f.name)).inc();
+        registry
+            .counter(&format!("bench.{}.attempts", f.name))
+            .add(u64::from(f.attempts));
+    }
     for b in &suite.benches {
         manifest.push_benchmark(bench_record(b));
         b.stats.export(&registry, &format!("bench.{}.exec", b.name));
@@ -256,6 +384,60 @@ mod tests {
         assert!(matches!(o.config.scale, Scale::Small));
         assert!(o.telemetry_out.is_none());
         assert!(!o.config.collect_site_telemetry);
+        assert!(!o.config.fault.enabled());
+        assert_eq!(o.supervisor, SupervisorConfig::default());
+    }
+
+    #[test]
+    fn supervisor_and_fault_flags_parse() {
+        let o = Options::parse(
+            [
+                "--max-attempts",
+                "5",
+                "--backoff-ms",
+                "7",
+                "--watchdog-ms",
+                "250",
+                "--checkpoint",
+                "/tmp/ck.jsonl",
+                "--resume",
+                "--fault-exec-rate",
+                "0.25",
+                "--fault-panic-rate",
+                "0.5",
+                "--fault-delay-rate",
+                "1.0",
+                "--fault-delay-ms",
+                "9",
+                "--fault-seed",
+                "77",
+                "--fault-benches",
+                "wc, grep",
+            ]
+            .map(String::from),
+        );
+        assert_eq!(o.supervisor.max_attempts, 5);
+        assert_eq!(o.supervisor.backoff_base, Duration::from_millis(7));
+        assert_eq!(o.supervisor.watchdog, Some(Duration::from_millis(250)));
+        assert_eq!(
+            o.supervisor.checkpoint.as_deref(),
+            Some(std::path::Path::new("/tmp/ck.jsonl"))
+        );
+        assert!(o.supervisor.resume);
+        let fault = &o.config.fault;
+        assert!(fault.enabled());
+        assert_eq!(fault.exec_error_rate, 0.25);
+        assert_eq!(fault.panic_rate, 0.5);
+        assert_eq!(fault.delay_rate, 1.0);
+        assert_eq!(fault.delay, Duration::from_millis(9));
+        assert_eq!(fault.seed, 77);
+        assert_eq!(fault.benches, vec!["wc".to_string(), "grep".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate in [0, 1]")]
+    fn out_of_range_rates_rejected() {
+        let _ = Options::parse(["--fault-exec-rate".to_string(), "1.5".to_string()]);
     }
 
     #[test]

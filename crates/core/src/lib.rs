@@ -73,7 +73,10 @@ pub use branchlab_workloads as workloads;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use branchlab_experiments::{run_benchmark, run_suite, ExperimentConfig, SuiteResult};
+    pub use branchlab_experiments::{
+        run_benchmark, run_suite, run_suite_supervised, ExperimentConfig, FaultConfig, SuiteResult,
+        SupervisorConfig,
+    };
     pub use branchlab_fsem::{fs_program, FsConfig};
     pub use branchlab_interp::{run, run_simple, ExecConfig};
     pub use branchlab_ir::{lower, lower_with_plan, LayoutPlan, Module, Program};

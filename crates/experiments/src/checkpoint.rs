@@ -1,0 +1,280 @@
+//! JSONL suite checkpoints.
+//!
+//! [`run_suite_supervised`](crate::run_suite_supervised) appends one
+//! line per *completed* benchmark as it finishes, so a crashed or
+//! partially failed run can be resumed (`--resume`) without re-running
+//! what already succeeded. A line carries everything the tables and
+//! figures need — exec stats, branch mix, all six predictor scorings,
+//! code-expansion points — but not phase spans or per-site probes,
+//! which are observability extras and come back empty after a restore.
+//!
+//! Loading is deliberately forgiving: a torn final line (the process
+//! died mid-append) or an unknown benchmark name is skipped, not
+//! fatal — a checkpoint must never be able to wedge the harness that
+//! reads it.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use branchlab_fsem::ExpansionPoint;
+use branchlab_interp::ExecStats;
+use branchlab_predict::PredStats;
+use branchlab_telemetry::{JsonValue, SiteProbe};
+use branchlab_trace::BranchMix;
+
+use crate::harness::BenchResult;
+
+/// Checkpoint line format version; bumped on incompatible change, and
+/// mismatched lines are skipped on load.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+fn stats_json(s: &ExecStats) -> JsonValue {
+    JsonValue::obj(vec![
+        ("insts", s.insts.into()),
+        ("branches", s.branches.into()),
+        ("cond_branches", s.cond_branches.into()),
+        ("taken_cond", s.taken_cond.into()),
+        ("uncond_direct", s.uncond_direct.into()),
+        ("uncond_indirect", s.uncond_indirect.into()),
+        ("calls", s.calls.into()),
+    ])
+}
+
+fn mix_json(m: &BranchMix) -> JsonValue {
+    JsonValue::obj(vec![
+        ("cond_taken", m.cond_taken.into()),
+        ("cond_not_taken", m.cond_not_taken.into()),
+        ("uncond_known", m.uncond_known.into()),
+        ("uncond_unknown", m.uncond_unknown.into()),
+    ])
+}
+
+fn pred_json(p: &PredStats) -> JsonValue {
+    JsonValue::obj(vec![
+        ("events", p.events.into()),
+        ("correct", p.correct.into()),
+        ("cond_events", p.cond_events.into()),
+        ("cond_correct", p.cond_correct.into()),
+        ("btb_lookups", p.btb_lookups.into()),
+        ("btb_misses", p.btb_misses.into()),
+    ])
+}
+
+fn expansion_json(e: &ExpansionPoint) -> JsonValue {
+    JsonValue::obj(vec![
+        ("slots", u64::from(e.slots).into()),
+        ("natural_size", e.natural_size.into()),
+        ("base_size", e.base_size.into()),
+        ("fs_size", e.fs_size.into()),
+        ("slot_insts", e.slot_insts.into()),
+    ])
+}
+
+/// One checkpoint line for `result` (without trailing newline).
+#[must_use]
+pub fn to_line(result: &BenchResult) -> String {
+    JsonValue::obj(vec![
+        ("v", CHECKPOINT_VERSION.into()),
+        ("bench", result.name.into()),
+        ("source_lines", result.source_lines.into()),
+        ("runs", result.runs.into()),
+        ("stats", stats_json(&result.stats)),
+        ("mix", mix_json(&result.mix)),
+        ("sbtb", pred_json(&result.sbtb)),
+        ("cbtb", pred_json(&result.cbtb)),
+        ("fs", pred_json(&result.fs)),
+        ("always_taken", pred_json(&result.always_taken)),
+        ("always_not_taken", pred_json(&result.always_not_taken)),
+        ("btfn", pred_json(&result.btfn)),
+        (
+            "expansion",
+            JsonValue::Arr(result.expansion.iter().map(expansion_json).collect()),
+        ),
+    ])
+    .to_json()
+}
+
+/// Append one benchmark record to an open checkpoint stream.
+///
+/// # Errors
+/// Propagates write errors.
+pub fn append(w: &mut impl Write, result: &BenchResult) -> io::Result<()> {
+    writeln!(w, "{}", to_line(result))
+}
+
+fn u(v: &JsonValue, key: &str) -> Option<u64> {
+    v.get(key)?.as_int().and_then(|i| u64::try_from(i).ok())
+}
+
+fn us(v: &JsonValue, key: &str) -> Option<usize> {
+    u(v, key).and_then(|n| usize::try_from(n).ok())
+}
+
+fn parse_stats(v: &JsonValue) -> Option<ExecStats> {
+    Some(ExecStats {
+        insts: u(v, "insts")?,
+        branches: u(v, "branches")?,
+        cond_branches: u(v, "cond_branches")?,
+        taken_cond: u(v, "taken_cond")?,
+        uncond_direct: u(v, "uncond_direct")?,
+        uncond_indirect: u(v, "uncond_indirect")?,
+        calls: u(v, "calls")?,
+    })
+}
+
+fn parse_mix(v: &JsonValue) -> Option<BranchMix> {
+    Some(BranchMix {
+        cond_taken: u(v, "cond_taken")?,
+        cond_not_taken: u(v, "cond_not_taken")?,
+        uncond_known: u(v, "uncond_known")?,
+        uncond_unknown: u(v, "uncond_unknown")?,
+    })
+}
+
+fn parse_pred(v: &JsonValue, key: &str) -> Option<PredStats> {
+    let v = v.get(key)?;
+    Some(PredStats {
+        events: u(v, "events")?,
+        correct: u(v, "correct")?,
+        cond_events: u(v, "cond_events")?,
+        cond_correct: u(v, "cond_correct")?,
+        btb_lookups: u(v, "btb_lookups")?,
+        btb_misses: u(v, "btb_misses")?,
+    })
+}
+
+fn parse_expansion(v: &JsonValue) -> Option<Vec<ExpansionPoint>> {
+    v.get("expansion")?
+        .as_arr()?
+        .iter()
+        .map(|p| {
+            Some(ExpansionPoint {
+                slots: u16::try_from(u(p, "slots")?).ok()?,
+                natural_size: us(p, "natural_size")?,
+                base_size: us(p, "base_size")?,
+                fs_size: us(p, "fs_size")?,
+                slot_insts: us(p, "slot_insts")?,
+            })
+        })
+        .collect()
+}
+
+/// Parse one checkpoint line; `None` for malformed lines, version
+/// mismatches, and benchmark names not in the current suite.
+#[must_use]
+pub fn from_line(line: &str) -> Option<BenchResult> {
+    let v = branchlab_telemetry::json::parse(line).ok()?;
+    if u(&v, "v")? != CHECKPOINT_VERSION {
+        return None;
+    }
+    let name = v.get("bench")?.as_str()?;
+    // Intern through the suite table: BenchResult holds &'static str.
+    let bench = branchlab_workloads::benchmark(name)?;
+    Some(BenchResult {
+        name: bench.name,
+        source_lines: us(&v, "source_lines")?,
+        runs: us(&v, "runs")?,
+        stats: parse_stats(v.get("stats")?)?,
+        mix: parse_mix(v.get("mix")?)?,
+        sbtb: parse_pred(&v, "sbtb")?,
+        cbtb: parse_pred(&v, "cbtb")?,
+        fs: parse_pred(&v, "fs")?,
+        always_taken: parse_pred(&v, "always_taken")?,
+        always_not_taken: parse_pred(&v, "always_not_taken")?,
+        btfn: parse_pred(&v, "btfn")?,
+        expansion: parse_expansion(&v)?,
+        phases: Vec::new(),
+        sbtb_sites: SiteProbe::disabled(),
+        cbtb_sites: SiteProbe::disabled(),
+    })
+}
+
+/// Load every restorable benchmark record from a checkpoint file.
+/// Malformed lines (including a torn final line) are skipped; when the
+/// same benchmark appears more than once, the last record wins.
+///
+/// # Errors
+/// Propagates the file-read error (callers typically treat a missing
+/// file as an empty checkpoint).
+pub fn load(path: &Path) -> io::Result<Vec<BenchResult>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut results: Vec<BenchResult> = Vec::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(r) = from_line(line) {
+            if let Some(existing) = results.iter_mut().find(|e| e.name == r.name) {
+                *existing = r;
+            } else {
+                results.push(r);
+            }
+        }
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{run_benchmark, ExperimentConfig};
+    use branchlab_workloads::benchmark;
+
+    fn sample() -> BenchResult {
+        run_benchmark(benchmark("wc").unwrap(), &ExperimentConfig::test()).unwrap()
+    }
+
+    #[test]
+    fn round_trips_everything_tables_need() {
+        let r = sample();
+        let back = from_line(&to_line(&r)).expect("round trip");
+        assert_eq!(back.name, r.name);
+        assert_eq!(back.source_lines, r.source_lines);
+        assert_eq!(back.runs, r.runs);
+        assert_eq!(back.stats, r.stats);
+        assert_eq!(back.mix, r.mix);
+        assert_eq!(back.sbtb, r.sbtb);
+        assert_eq!(back.cbtb, r.cbtb);
+        assert_eq!(back.fs, r.fs);
+        assert_eq!(back.always_taken, r.always_taken);
+        assert_eq!(back.always_not_taken, r.always_not_taken);
+        assert_eq!(back.btfn, r.btfn);
+        assert_eq!(back.expansion, r.expansion);
+        // Observability extras are not persisted.
+        assert!(back.phases.is_empty());
+        assert!(back.sbtb_sites.sites().is_empty());
+    }
+
+    #[test]
+    fn torn_and_alien_lines_are_skipped() {
+        let r = sample();
+        let mut buf = Vec::new();
+        append(&mut buf, &r).unwrap();
+        buf.extend_from_slice(b"{\"v\": 999, \"bench\": \"wc\"}\n");
+        buf.extend_from_slice(b"{\"bench\": \"no-such-bench\"");
+        let dir = std::env::temp_dir().join(format!("bl-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.jsonl");
+        std::fs::write(&path, &buf).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].name, "wc");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_bench_lines_keep_the_last() {
+        let mut a = sample();
+        let b = sample();
+        a.runs += 17;
+        let text = format!("{}\n{}\n", to_line(&b), to_line(&a));
+        let dir = std::env::temp_dir().join(format!("bl-ckpt-dup-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dup.jsonl");
+        std::fs::write(&path, text).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].runs, a.runs);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

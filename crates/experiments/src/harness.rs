@@ -9,7 +9,7 @@
 //! alias/mispredict counters through a [`SiteProbe`].
 
 use branchlab_fsem::{code_expansion, fs_program, ExpansionPoint, FsConfig};
-use branchlab_interp::{run, ExecConfig, ExecError, ExecStats};
+use branchlab_interp::{run, ErrorClass, ExecConfig, ExecError, ExecStats};
 use branchlab_ir::{lower, LowerError, Program};
 use branchlab_minic::CompileError;
 use branchlab_predict::{
@@ -19,7 +19,10 @@ use branchlab_predict::{
 use branchlab_profile::{profile_module_with, Profile, ProfileError};
 use branchlab_telemetry::{PhaseSpan, SiteProbe, Timeline};
 use branchlab_trace::{BranchEvent, BranchMix, ExecHooks};
-use branchlab_workloads::{Benchmark, Scale, SUITE};
+use branchlab_workloads::{Benchmark, Scale};
+
+use crate::fault::{FaultConfig, FaultInjector};
+use crate::supervisor::{run_suite_supervised, BenchFailure, SupervisorConfig, SupervisorStats};
 
 /// The phases every [`BenchResult`] reports, in pipeline order.
 pub const PHASES: [&str; 7] = [
@@ -55,10 +58,19 @@ pub struct ExperimentConfig {
     /// aliases, mispredicts). Off by default: the accounting HashMap
     /// costs a few percent of evaluation throughput.
     pub collect_site_telemetry: bool,
+    /// Interpreter data memory in words (globals + frame stack); small
+    /// values surface `MemoryTooSmall`/`StackOverflow` through the
+    /// harness, which the robustness tests rely on.
+    pub memory_words: usize,
+    /// Interpreter call-depth limit.
+    pub max_call_depth: usize,
+    /// Deterministic fault injection (disabled by default).
+    pub fault: FaultConfig,
 }
 
 impl Default for ExperimentConfig {
     fn default() -> Self {
+        let exec = ExecConfig::default();
         ExperimentConfig {
             scale: Scale::Small,
             seed: 1989,
@@ -67,6 +79,9 @@ impl Default for ExperimentConfig {
             verify_equivalence: true,
             cbtb_strict: true,
             collect_site_telemetry: false,
+            memory_words: exec.memory_words,
+            max_call_depth: exec.max_call_depth,
+            fault: FaultConfig::default(),
         }
     }
 }
@@ -84,7 +99,8 @@ impl ExperimentConfig {
     fn exec_config(&self) -> ExecConfig {
         ExecConfig {
             max_insts: self.max_insts_per_run,
-            ..ExecConfig::default()
+            memory_words: self.memory_words,
+            max_call_depth: self.max_call_depth,
         }
     }
 
@@ -162,6 +178,35 @@ pub enum ExperimentError {
         /// Which run diverged.
         run: usize,
     },
+    /// The benchmark thread panicked; the supervisor caught the unwind
+    /// and captured the payload.
+    Panic(String),
+    /// The watchdog deadline elapsed before the benchmark finished.
+    Timeout {
+        /// The configured deadline.
+        limit: std::time::Duration,
+    },
+}
+
+impl ExperimentError {
+    /// Transient/permanent classification driving the supervisor's
+    /// retry policy (see the crate docs for the full taxonomy).
+    /// Compile/lower/profile errors and equivalence violations are
+    /// deterministic pipeline outcomes; interpreter errors delegate to
+    /// [`ExecError::class`] (everything real is permanent, injected
+    /// faults are transient); panics and watchdog timeouts are
+    /// environmental and therefore retry-eligible.
+    #[must_use]
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            ExperimentError::Exec(e) => e.class(),
+            ExperimentError::Panic(_) | ExperimentError::Timeout { .. } => ErrorClass::Transient,
+            ExperimentError::Compile(_)
+            | ExperimentError::Lower(_)
+            | ExperimentError::Profile(_)
+            | ExperimentError::EquivalenceViolation { .. } => ErrorClass::Permanent,
+        }
+    }
 }
 
 impl std::fmt::Display for ExperimentError {
@@ -176,6 +221,10 @@ impl std::fmt::Display for ExperimentError {
                     f,
                     "FS binary diverged from conventional binary: {bench} run {run}"
                 )
+            }
+            ExperimentError::Panic(payload) => write!(f, "benchmark panicked: {payload}"),
+            ExperimentError::Timeout { limit } => {
+                write!(f, "watchdog deadline ({limit:?}) exceeded")
             }
         }
     }
@@ -244,10 +293,27 @@ pub fn run_benchmark(
     bench: &'static Benchmark,
     config: &ExperimentConfig,
 ) -> Result<BenchResult, ExperimentError> {
+    run_benchmark_attempt(bench, config, 1)
+}
+
+/// [`run_benchmark`] for a specific supervisor attempt number — the
+/// attempt feeds the [`FaultInjector`]'s decision hash so a retried
+/// attempt draws fresh faults (injection is transient by construction).
+///
+/// # Errors
+/// As [`run_benchmark`], plus injected faults when
+/// [`ExperimentConfig::fault`] is armed.
+pub fn run_benchmark_attempt(
+    bench: &'static Benchmark,
+    config: &ExperimentConfig,
+    attempt: u32,
+) -> Result<BenchResult, ExperimentError> {
     let timeline = Timeline::new();
+    let injector = FaultInjector::new(&config.fault, bench.name, attempt);
 
     let module = {
         let _span = timeline.span("compile");
+        injector.trip("compile")?;
         bench.compile()?
     };
     let runs = bench.runs(config.scale, config.seed);
@@ -256,6 +322,7 @@ pub fn run_benchmark(
     // 1. Profiling pass (instrumented layout, the paper's probe build).
     let profile: Profile = {
         let _span = timeline.span("profile");
+        injector.trip("profile")?;
         profile_module_with(&module, &runs, &exec_cfg)?
     };
 
@@ -292,6 +359,7 @@ pub fn run_benchmark(
     let mut natural_outcomes = Vec::new();
     {
         let mut span = timeline.span("natural_eval");
+        injector.trip("natural_eval")?;
         for streams in &runs {
             sinks.start_run();
             let refs: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
@@ -306,6 +374,7 @@ pub fn run_benchmark(
     let mut fs_eval = Evaluator::new(LikelyBit);
     {
         let mut span = timeline.span("fs_eval");
+        injector.trip("fs_eval")?;
         for (ri, streams) in runs.iter().enumerate() {
             let refs: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
             let out = run(&fs_bin, &exec_cfg, &refs, &mut fs_eval)?;
@@ -347,19 +416,55 @@ pub fn run_benchmark(
     })
 }
 
-/// Results for the whole suite.
+/// Results for the whole suite, possibly partial: benchmarks the
+/// supervisor could not complete (retries exhausted, watchdog fired,
+/// permanent pipeline error) appear as [`BenchFailure`] records instead
+/// of aborting the run, so every unaffected benchmark's data survives.
 #[derive(Clone, Debug)]
 pub struct SuiteResult {
-    /// Per-benchmark results, in suite order.
+    /// Completed per-benchmark results, in suite order (including
+    /// results restored from a `--resume` checkpoint).
     pub benches: Vec<BenchResult>,
+    /// Benchmarks that failed after supervision, in suite order.
+    pub failures: Vec<BenchFailure>,
+    /// Supervisor counters for the run (retries, watchdog firings,
+    /// caught panics, …).
+    pub supervisor: SupervisorStats,
 }
 
 impl SuiteResult {
+    /// A complete, failure-free result — the constructor tests and
+    /// callers with pre-computed [`BenchResult`]s use.
+    #[must_use]
+    pub fn from_benches(benches: Vec<BenchResult>) -> Self {
+        SuiteResult {
+            supervisor: SupervisorStats {
+                completed: benches.len() as u64,
+                ..SupervisorStats::default()
+            },
+            benches,
+            failures: Vec::new(),
+        }
+    }
+
+    /// `true` when every benchmark completed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
     /// Results restricted to the ten Table 1–4 benchmarks.
     pub fn main_benches(&self) -> impl Iterator<Item = &BenchResult> {
         self.benches
             .iter()
             .filter(|b| branchlab_workloads::benchmark(b.name).is_some_and(|bm| bm.in_main_tables))
+    }
+
+    /// Failures restricted to the ten Table 1–4 benchmarks.
+    pub fn main_failures(&self) -> impl Iterator<Item = &BenchFailure> {
+        self.failures
+            .iter()
+            .filter(|f| branchlab_workloads::benchmark(&f.name).is_some_and(|bm| bm.in_main_tables))
     }
 
     /// Mean and sample standard deviation of a per-benchmark metric over
@@ -385,26 +490,17 @@ pub fn mean_std(xs: &[f64]) -> (f64, f64) {
     (mean, var.sqrt())
 }
 
-/// Run the full 12-benchmark suite, one thread per benchmark.
+/// Run the full 12-benchmark suite, one supervised thread per
+/// benchmark, with the default [`SupervisorConfig`] (panic isolation
+/// and transient-error retries, no watchdog, no checkpoint).
 ///
-/// # Errors
-/// Returns the first benchmark failure.
-pub fn run_suite(config: &ExperimentConfig) -> Result<SuiteResult, ExperimentError> {
-    let results: Vec<Result<BenchResult, ExperimentError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = SUITE
-            .iter()
-            .map(|bench| scope.spawn(move || run_benchmark(bench, config)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("bench thread panicked"))
-            .collect()
-    });
-    let mut benches = Vec::with_capacity(results.len());
-    for r in results {
-        benches.push(r?);
-    }
-    Ok(SuiteResult { benches })
+/// Never aborts on a single benchmark failure: panicking or erroring
+/// benchmarks become [`SuiteResult::failures`] records and every other
+/// benchmark's result is kept. Use [`run_suite_supervised`] to
+/// configure retries, watchdog deadlines, and checkpoint/resume.
+#[must_use]
+pub fn run_suite(config: &ExperimentConfig) -> SuiteResult {
+    run_suite_supervised(config, &SupervisorConfig::default())
 }
 
 /// Evaluate an arbitrary set of predictors over every run of a

@@ -11,6 +11,23 @@
 //! * [`figures`] — Figures 3–4 (cost-vs-pipelining curves + ASCII plots).
 //! * [`ablation`] — geometry/counter/context-switch/static-baseline
 //!   sweeps that extend the paper's discussion quantitatively.
+//! * [`supervisor`]/[`fault`]/[`checkpoint`] — *branchlab-guard*: the
+//!   fault-tolerance layer. Benchmarks run behind panic isolation, an
+//!   optional watchdog, and retry-with-backoff; failures degrade to
+//!   per-bench records instead of aborting the suite; completed
+//!   benches checkpoint to JSONL for `--resume`; and a seeded
+//!   [`FaultInjector`] proves all of it deterministically.
+//!
+//! ## Error taxonomy
+//!
+//! Supervision is driven by a two-class taxonomy
+//! ([`branchlab_interp::ErrorClass`], surfaced through
+//! [`ExperimentError::class`]):
+//!
+//! | Class | Errors | Retry? |
+//! |---|---|---|
+//! | **Permanent** | every real interpreter error (`OutOfFuel`, `MemoryFault`, `StackOverflow`, `CallDepthExceeded`, `PcOutOfRange`, `MemoryTooSmall`), compile/lower/profile errors, FS equivalence violations | never — they are deterministic functions of (program, input, config) |
+//! | **Transient** | injected faults (`ExecError::Injected`), caught panics, watchdog timeouts | yes, with exponential backoff up to `max_attempts` |
 //!
 //! The `branchlab-bench` crate exposes one binary per table/figure; see
 //! EXPERIMENTS.md for paper-vs-measured values.
@@ -18,13 +35,21 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod checkpoint;
+pub mod fault;
 pub mod figures;
 mod harness;
 mod render;
+pub mod supervisor;
 pub mod tables;
 
+pub use branchlab_interp::ErrorClass;
+pub use fault::{FaultConfig, FaultInjector};
 pub use harness::{
-    eval_predictors, mean_std, run_benchmark, run_suite, BenchResult, ExperimentConfig,
-    ExperimentError, SuiteResult, PHASES,
+    eval_predictors, mean_std, run_benchmark, run_benchmark_attempt, run_suite, BenchResult,
+    ExperimentConfig, ExperimentError, SuiteResult, PHASES,
 };
 pub use render::{f2, mcount, pct, rho, Align, Table};
+pub use supervisor::{
+    run_suite_supervised, supervise, AttemptFn, BenchFailure, SupervisorConfig, SupervisorStats,
+};

@@ -4,9 +4,29 @@ use branchlab_pipeline::{branch_cost, FlushModel};
 
 use crate::harness::{mean_std, BenchResult, SuiteResult};
 use crate::render::{f2, mcount, pct, rho, Table};
+use crate::supervisor::BenchFailure;
 
 /// A per-benchmark statistic selector used by the summary rows.
 type Stat = fn(&BenchResult) -> f64;
+
+/// Annotation rows for benchmarks the supervisor could not complete: a
+/// partial table names every casualty explicitly instead of silently
+/// shrinking. The failure summary lands in the second column and the
+/// remaining cells are dashed out.
+fn failure_rows<'a>(
+    t: &mut Table,
+    failures: impl Iterator<Item = &'a BenchFailure>,
+    columns: usize,
+) {
+    for f in failures {
+        let mut row = vec![
+            f.name.clone(),
+            format!("FAILED({}, {} attempts)", f.class, f.attempts),
+        ];
+        row.resize(columns, "-".to_string());
+        t.row(row);
+    }
+}
 
 /// Table 1: benchmark characteristics.
 #[must_use]
@@ -24,6 +44,7 @@ pub fn table1(suite: &SuiteResult) -> Table {
             pct(b.stats.control_fraction()),
         ]);
     }
+    failure_rows(&mut t, suite.main_failures(), 5);
     t
 }
 
@@ -46,6 +67,7 @@ pub fn table2(suite: &SuiteResult) -> Table {
             pct(1.0 - known),
         ]);
     }
+    failure_rows(&mut t, suite.main_failures(), 5);
     let (mt, _) = suite.mean_std(|b| b.mix.taken_fraction());
     let (mk, _) = suite.mean_std(|b| b.mix.known_fraction());
     t.row(vec![
@@ -83,6 +105,7 @@ pub fn table3(suite: &SuiteResult) -> Table {
             pct(b.fs.accuracy()),
         ]);
     }
+    failure_rows(&mut t, suite.main_failures(), 6);
     let stats: Vec<(&str, Stat)> = vec![
         ("rho_SBTB", |b| b.sbtb.miss_ratio()),
         ("A_SBTB", |b| b.sbtb.accuracy()),
@@ -145,6 +168,7 @@ pub fn table4(suite: &SuiteResult) -> Table {
             f2(t4_cost(b.fs.accuracy(), 3)),
         ]);
     }
+    failure_rows(&mut t, suite.main_failures(), 7);
     let cols: Vec<(Stat, u32)> = vec![
         (|b| b.sbtb.accuracy(), 2),
         (|b| b.cbtb.accuracy(), 2),
@@ -205,6 +229,8 @@ pub fn table5(suite: &SuiteResult) -> Table {
                 .collect(),
         );
     }
+    // Table 5 covers all 12 benchmarks, so annotate every failure.
+    failure_rows(&mut t, suite.failures.iter(), 5);
     for (label, stat) in [("Average", 0), ("Std. dev.", 1)] {
         let mut row = vec![label.to_string()];
         for d in 0..4 {
@@ -232,7 +258,7 @@ mod tests {
             .iter()
             .map(|n| run_benchmark(benchmark(n).unwrap(), &cfg).unwrap())
             .collect();
-        SuiteResult { benches }
+        SuiteResult::from_benches(benches)
     }
 
     #[test]
@@ -250,6 +276,35 @@ mod tests {
             assert!(!table.to_markdown().is_empty());
             assert!(!table.to_csv().is_empty());
         }
+    }
+
+    #[test]
+    fn partial_suite_annotates_failures_in_every_table() {
+        let mut suite = mini_suite();
+        suite.failures.push(BenchFailure {
+            name: "grep".into(),
+            error: "injected fault at compile".into(),
+            class: crate::ErrorClass::Transient,
+            attempts: 3,
+            elapsed: std::time::Duration::from_millis(5),
+        });
+        for t in [
+            table1(&suite),
+            table2(&suite),
+            table3(&suite),
+            table4(&suite),
+            table5(&suite),
+        ] {
+            let text = t.to_text();
+            assert!(text.contains("grep"), "{text}");
+            assert!(text.contains("FAILED(transient, 3 attempts)"), "{text}");
+            // Completed benches keep their rows.
+            assert!(text.contains("wc"), "{text}");
+        }
+        // eqn is not a main-table bench: its failure annotates only Table 5.
+        suite.failures[0].name = "eqn".into();
+        assert!(!table1(&suite).to_text().contains("FAILED"));
+        assert!(table5(&suite).to_text().contains("FAILED"));
     }
 
     #[test]

@@ -70,6 +70,9 @@ pub struct RunManifest {
     pub config: Vec<(String, JsonValue)>,
     /// Per-benchmark records.
     pub benchmarks: Vec<BenchmarkRecord>,
+    /// Extra top-level sections (e.g. a supervisor summary or failure
+    /// list), rendered after `benchmarks` in insertion order.
+    pub sections: Vec<(String, JsonValue)>,
 }
 
 impl RunManifest {
@@ -85,12 +88,23 @@ impl RunManifest {
                 .unwrap_or(0),
             config: Vec::new(),
             benchmarks: Vec::new(),
+            sections: Vec::new(),
         }
     }
 
     /// Record one configuration key.
     pub fn set_config(&mut self, key: &str, value: impl Into<JsonValue>) {
         self.config.push((key.to_string(), value.into()));
+    }
+
+    /// Attach (or replace) a named top-level section.
+    pub fn set_section(&mut self, key: &str, value: impl Into<JsonValue>) {
+        let value = value.into();
+        if let Some(slot) = self.sections.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.sections.push((key.to_string(), value));
+        }
     }
 
     /// Append a benchmark record.
@@ -101,13 +115,16 @@ impl RunManifest {
     /// The manifest as a JSON document.
     #[must_use]
     pub fn to_json_value(&self) -> JsonValue {
-        JsonValue::obj(vec![
-            ("tool", self.tool.as_str().into()),
-            ("git_describe", self.git_describe.as_str().into()),
-            ("created_unix", self.created_unix.into()),
-            ("config", JsonValue::Obj(self.config.clone())),
+        let mut fields = vec![
+            ("tool".to_string(), JsonValue::from(self.tool.as_str())),
             (
-                "benchmarks",
+                "git_describe".to_string(),
+                self.git_describe.as_str().into(),
+            ),
+            ("created_unix".to_string(), self.created_unix.into()),
+            ("config".to_string(), JsonValue::Obj(self.config.clone())),
+            (
+                "benchmarks".to_string(),
                 JsonValue::Arr(
                     self.benchmarks
                         .iter()
@@ -115,7 +132,9 @@ impl RunManifest {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        fields.extend(self.sections.iter().cloned());
+        JsonValue::Obj(fields)
     }
 
     /// Write `manifest.json` (and, when `snapshot` is given,
@@ -221,6 +240,28 @@ mod tests {
         assert_eq!(round, snap);
         assert!(dir.join(METRICS_PROM_FILE).exists());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sections_render_at_top_level_and_replace_by_key() {
+        let mut m = sample_manifest();
+        m.set_section("supervisor", JsonValue::obj(vec![("retries", 1u64.into())]));
+        m.set_section("supervisor", JsonValue::obj(vec![("retries", 4u64.into())]));
+        m.set_section("failures", JsonValue::Arr(vec!["wc".into()]));
+        let v = m.to_json_value();
+        assert_eq!(
+            v.get("supervisor")
+                .and_then(|s| s.get("retries"))
+                .and_then(JsonValue::as_int),
+            Some(4)
+        );
+        assert_eq!(
+            v.get("failures").and_then(JsonValue::as_arr).unwrap().len(),
+            1
+        );
+        // Round-trips through the writer.
+        let parsed = crate::json::parse(&v.to_json_pretty()).unwrap();
+        assert!(parsed.get("failures").is_some());
     }
 
     #[test]

@@ -42,4 +42,40 @@ for b in m["benchmarks"]:
 print(f"manifest OK: {len(m['benchmarks'])} benchmarks, git {m['git_describe']}")
 EOF
 
+echo "==> fault smoke: report with injection killing wc must degrade, not die"
+fault_out="$(mktemp -d)"
+trap 'rm -rf "$out" "$fault_out"' EXIT
+set +e
+cargo run --release -p branchlab-bench --bin report -- \
+    --scale test --fault-exec-rate 1.0 --fault-benches wc --max-attempts 2 \
+    --telemetry-out "$fault_out" >"$fault_out/stdout.txt" 2>"$fault_out/stderr.txt"
+status=$?
+set -e
+[[ $status -eq 1 ]] || {
+    echo "fault smoke: expected exit code 1 (partial results), got $status" >&2
+    cat "$fault_out/stderr.txt" >&2
+    exit 1
+}
+grep -q "FAILED(transient" "$fault_out/stdout.txt" \
+    || { echo "fault smoke: tables missing FAILED annotation" >&2; exit 1; }
+
+python3 - "$fault_out/manifest.json" "$fault_out/metrics.jsonl" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+assert len(m["benchmarks"]) == 11, len(m["benchmarks"])
+sup = m["supervisor"]
+assert sup["benches_failed"] == 1 and sup["benches_completed"] == 11, sup
+failures = m["failures"]
+assert len(failures) == 1 and failures[0]["bench"] == "wc", failures
+assert failures[0]["class"] == "transient" and failures[0]["attempts"] == 2, failures
+metrics = {}
+for line in open(sys.argv[2]):
+    rec = json.loads(line)
+    metrics[rec["name"]] = rec.get("value")
+assert metrics.get("suite.benches_failed") == 1, metrics.get("suite.benches_failed")
+assert metrics.get("suite.benches_completed") == 11, metrics.get("suite.benches_completed")
+assert metrics.get("suite.retries") == 1, metrics.get("suite.retries")
+print("fault smoke OK: 11/12 benchmarks survived certain injection on wc")
+EOF
+
 echo "==> ci green"
