@@ -1,52 +1,40 @@
 //! Extension studies: BTB geometry, counter parameters, context
 //! switches, and the related-work static baselines.
 //!
-//! Each study renders independently; a failing study is reported on
-//! stderr and the binary exits non-zero after the surviving studies
-//! have printed (partial-result degradation, like the suite binaries).
-use branchlab::experiments::{ablation, ExperimentError, Table};
+//! All studies on one benchmark are planned into a single
+//! [`ablation::full_study`] batch, so the whole set is scored in one
+//! pass over the captured trace (one capture + one replay per
+//! benchmark). A failing benchmark is reported on stderr and the
+//! binary exits non-zero after the surviving benchmarks have printed
+//! (partial-result degradation, like the suite binaries).
+use branchlab::experiments::ablation::{self, StudySpec};
 use branchlab::workloads::benchmark;
 
 fn main() {
     let options = branchlab_bench::Options::from_args();
     let cfg = &options.config;
-    let failed = std::cell::Cell::new(0u32);
-    let show = |what: &str, r: Result<Table, ExperimentError>| match r {
-        Ok(t) => println!("{}", options.render(&t)),
-        Err(e) => {
-            eprintln!("ablation: {what} failed ({}): {e}", e.class());
-            failed.set(failed.get() + 1);
-        }
-    };
+    let spec = StudySpec::default();
+    let mut failed = 0u32;
     for name in ["compress", "cccp"] {
         let Some(b) = benchmark(name) else {
             eprintln!("ablation: benchmark {name} missing from suite");
-            failed.set(failed.get() + 1);
+            failed += 1;
             continue;
         };
-        show(
-            "size sweep",
-            ablation::sweep_btb_size(b, cfg, &[16, 64, 256, 1024]),
-        );
-        show(
-            "associativity sweep",
-            ablation::sweep_associativity(b, cfg, 256, &[1, 2, 4, 8, 256]),
-        );
-        show(
-            "counter sweep",
-            ablation::sweep_counters(b, cfg, &[(1, 1), (2, 2), (3, 4), (4, 8)]),
-        );
-        show(
-            "context-switch study",
-            ablation::context_switch_study(b, cfg, &[100, 1_000, 10_000, u64::MAX / 2]),
-        );
-        show("static baselines", ablation::static_baselines(b, cfg));
-        show("RAS study", ablation::ras_study(b, cfg, &[4, 16, 64]));
-        show("delay-slot study", ablation::delay_slot_study(b, cfg, 2));
-        show("two-level study", ablation::beyond_1989(b, cfg));
+        match ablation::full_study(b, cfg, &spec) {
+            Ok(tables) => {
+                for t in &tables {
+                    println!("{}", options.render(t));
+                }
+            }
+            Err(e) => {
+                eprintln!("ablation: {name} study set failed ({}): {e}", e.class());
+                failed += 1;
+            }
+        }
     }
-    if failed.get() > 0 {
-        eprintln!("ablation: {} studies failed", failed.get());
+    if failed > 0 {
+        eprintln!("ablation: {failed} benchmarks failed");
         std::process::exit(branchlab_bench::EXIT_PARTIAL);
     }
 }

@@ -1,0 +1,189 @@
+//! Replay-vs-reinterpret benchmark: runs the full ablation study set
+//! twice per benchmark — once re-interpreting every sweep point (the
+//! pre-replay `O(points × interpret)` baseline: `--no-trace-replay`
+//! plus one full compile→lower→interpret pipeline per sweep point) and
+//! once on the batched trace-replay engine (one capture + one replay
+//! pass scores every point) — verifies the rendered tables are
+//! identical, and writes `BENCH_replay.json` recording per-phase
+//! wall-clock and the measured speedup so the perf trajectory is
+//! tracked PR over PR.
+//!
+//! Usage:
+//! `replay_bench [--scale test|small|paper] [--seed N] [--out FILE]
+//! [--trace-cache DIR] [--benches A,B,...]`
+//!
+//! (Own argument parser: this binary needs `--out`/`--benches`, which
+//! the shared suite `Options` intentionally does not know about.)
+
+use std::time::Instant;
+
+use branchlab::experiments::ablation::{full_study, StudySpec};
+use branchlab::experiments::{ExperimentConfig, ExperimentError, Table, TraceStats};
+use branchlab::telemetry::JsonValue;
+use branchlab::workloads::{benchmark, Scale};
+
+/// The ablation binary's study set, reproduced point for point.
+fn study_set(
+    bench: &branchlab::workloads::Benchmark,
+    cfg: &ExperimentConfig,
+) -> Result<Vec<Table>, ExperimentError> {
+    full_study(bench, cfg, &StudySpec::default())
+}
+
+fn tables_csv(tables: &[Table]) -> String {
+    tables
+        .iter()
+        .map(Table::to_csv)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+struct Args {
+    config: ExperimentConfig,
+    out: std::path::PathBuf,
+    benches: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    const USAGE: &str = "usage: replay_bench [--scale test|small|paper] [--seed N] \
+[--out FILE] [--trace-cache DIR] [--benches A,B,...]";
+    let mut config = ExperimentConfig::default();
+    let mut out = std::path::PathBuf::from("BENCH_replay.json");
+    let mut benches: Vec<String> = vec!["compress".into(), "cccp".into()];
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                config.scale = match args.next().unwrap_or_default().as_str() {
+                    "test" => Scale::Test,
+                    "small" => Scale::Small,
+                    "paper" => Scale::Paper,
+                    other => panic!("unknown scale `{other}` (test|small|paper)"),
+                };
+            }
+            "--seed" => {
+                config.seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            "--out" => out = args.next().expect("--out needs a file path").into(),
+            "--trace-cache" => {
+                config.trace_cache_dir =
+                    Some(args.next().expect("--trace-cache needs a directory").into());
+            }
+            "--benches" => {
+                let list = args.next().expect("--benches needs a comma list");
+                benches = list.split(',').map(str::trim).map(String::from).collect();
+            }
+            other => panic!("unknown argument `{other}`\n{USAGE}"),
+        }
+    }
+    Args {
+        config,
+        out,
+        benches,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut per_bench = Vec::new();
+    let mut total_reinterpret = 0.0f64;
+    let mut total_replay = 0.0f64;
+    let mut all_match = true;
+    let run_started = TraceStats::snapshot();
+
+    for name in &args.benches {
+        let bench =
+            benchmark(name).unwrap_or_else(|| panic!("benchmark `{name}` missing from suite"));
+
+        let baseline_cfg = ExperimentConfig {
+            use_trace_replay: false,
+            sweep_per_point: true,
+            ..args.config.clone()
+        };
+        let started = Instant::now();
+        let baseline = study_set(bench, &baseline_cfg)
+            .unwrap_or_else(|e| panic!("{name}: re-interpretation baseline failed: {e}"));
+        let reinterpret_s = started.elapsed().as_secs_f64();
+
+        let before = TraceStats::snapshot();
+        let started = Instant::now();
+        let replayed = study_set(bench, &args.config)
+            .unwrap_or_else(|e| panic!("{name}: replay run failed: {e}"));
+        let replay_s = started.elapsed().as_secs_f64();
+        let delta = TraceStats::snapshot().since(&before);
+
+        let stats_match = tables_csv(&baseline) == tables_csv(&replayed);
+        all_match &= stats_match;
+        let speedup = if replay_s > 0.0 {
+            reinterpret_s / replay_s
+        } else {
+            f64::INFINITY
+        };
+        total_reinterpret += reinterpret_s;
+        total_replay += replay_s;
+        eprintln!(
+            "{name}: reinterpret {reinterpret_s:.2}s, capture+replay {replay_s:.2}s \
+             ({speedup:.1}x, {} events captured, {} replayed, match: {stats_match})",
+            delta.events_captured, delta.events_replayed,
+        );
+
+        per_bench.push(JsonValue::obj(vec![
+            ("name", name.as_str().into()),
+            ("reinterpret_s", reinterpret_s.into()),
+            ("replay_s", replay_s.into()),
+            ("speedup", speedup.into()),
+            ("stats_match", stats_match.into()),
+            ("trace", delta.to_json_value()),
+        ]));
+    }
+
+    let trace = TraceStats::snapshot().since(&run_started);
+    let speedup = if total_replay > 0.0 {
+        total_reinterpret / total_replay
+    } else {
+        f64::INFINITY
+    };
+    let report = JsonValue::obj(vec![
+        ("tool", "replay_bench".into()),
+        (
+            "baseline",
+            "per-point reinterpretation (one compile->profile->interpret pipeline per sweep point)"
+                .into(),
+        ),
+        (
+            "scale",
+            format!("{:?}", args.config.scale).to_lowercase().into(),
+        ),
+        ("seed", args.config.seed.into()),
+        ("stats_match", all_match.into()),
+        ("reinterpret_s", total_reinterpret.into()),
+        ("replay_s", total_replay.into()),
+        ("speedup", speedup.into()),
+        ("benches", JsonValue::Arr(per_bench)),
+        ("trace", trace.to_json_value()),
+        (
+            "phases",
+            JsonValue::Arr(
+                trace
+                    .phase_spans()
+                    .iter()
+                    .map(branchlab::telemetry::PhaseSpan::to_json_value)
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(&args.out, report.to_json_pretty() + "\n")
+        .unwrap_or_else(|e| panic!("writing {} failed: {e}", args.out.display()));
+    eprintln!(
+        "replay_bench: total reinterpret {total_reinterpret:.2}s vs capture+replay \
+         {total_replay:.2}s ({speedup:.1}x) -> {}",
+        args.out.display()
+    );
+    if !all_match {
+        eprintln!("replay_bench: MISMATCH between replayed and re-interpreted tables");
+        std::process::exit(1);
+    }
+}

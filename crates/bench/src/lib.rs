@@ -15,6 +15,10 @@
 //! * `--telemetry-out DIR` — write a run manifest (`manifest.json`)
 //!   plus metrics snapshots (`metrics.jsonl`, `metrics.prom`) with
 //!   per-benchmark phase timings and per-site predictor counters
+//! * `--trace-cache DIR` — persist captured branch traces on disk
+//!   (hash-validated; stale or corrupt entries degrade to re-capture)
+//! * `--no-trace-replay` — re-interpret every sweep point instead of
+//!   replaying captured traces (the slow baseline)
 
 #![warn(missing_docs)]
 
@@ -61,9 +65,10 @@ pub struct Options {
 
 const USAGE: &str =
     "usage: [--scale test|small|paper] [--seed N] [--markdown|--csv] [--no-verify] \
-[--telemetry-out DIR] [--max-attempts N] [--backoff-ms N] [--watchdog-ms N] \
-[--checkpoint FILE] [--resume] [--fault-exec-rate R] [--fault-panic-rate R] \
-[--fault-delay-rate R] [--fault-delay-ms N] [--fault-seed N] [--fault-benches A,B,...]";
+[--telemetry-out DIR] [--trace-cache DIR] [--no-trace-replay] [--max-attempts N] \
+[--backoff-ms N] [--watchdog-ms N] [--checkpoint FILE] [--resume] [--fault-exec-rate R] \
+[--fault-panic-rate R] [--fault-delay-rate R] [--fault-delay-ms N] [--fault-seed N] \
+[--fault-benches A,B,...]";
 
 impl Options {
     /// Parse `std::env::args`.
@@ -120,6 +125,11 @@ impl Options {
                     config.collect_site_telemetry = true;
                     telemetry_out = Some(PathBuf::from(dir));
                 }
+                "--trace-cache" => {
+                    let dir = args.next().expect("--trace-cache needs a directory");
+                    config.trace_cache_dir = Some(PathBuf::from(dir));
+                }
+                "--no-trace-replay" => config.use_trace_replay = false,
                 "--max-attempts" => {
                     supervisor.max_attempts = next_u64(&mut args, "--max-attempts").max(1) as u32;
                 }
@@ -314,6 +324,9 @@ pub fn write_telemetry(
     for (name, value) in suite.supervisor.counters() {
         registry.counter(&format!("suite.{name}")).add(value);
     }
+    let trace = branchlab::experiments::TraceStats::snapshot();
+    trace.export(&registry);
+    manifest.set_section("trace", trace.to_json_value());
     manifest.set_section(
         "supervisor",
         JsonValue::Obj(
@@ -473,6 +486,20 @@ mod tests {
     #[should_panic(expected = "unknown argument")]
     fn unknown_flag_rejected() {
         let _ = Options::parse(["--bogus".to_string()]);
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        let o = Options::parse(Vec::new());
+        assert!(o.config.use_trace_replay, "replay is the default");
+        assert!(o.config.trace_cache_dir.is_none());
+        let o =
+            Options::parse(["--trace-cache", "/tmp/traces", "--no-trace-replay"].map(String::from));
+        assert!(!o.config.use_trace_replay);
+        assert_eq!(
+            o.config.trace_cache_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/traces"))
+        );
     }
 
     #[test]

@@ -1,11 +1,15 @@
 //! Ablation studies beyond the paper's tables: buffer geometry sweeps,
 //! counter parameter sweeps, context-switch sensitivity, and the static
-//! baselines from the related-work section. Each sweep evaluates all its
-//! predictor variants in a single interpreter pass per run.
+//! baselines from the related-work section.
+//!
+//! Every study is split into a *plan* (enqueue its predictors into a
+//! [`SweepBatch`]) and a *render* (format its rows from the scored
+//! statistics), so [`full_study`] can score the whole study set off a
+//! single pass over the benchmark's captured trace. The per-study entry
+//! points ([`sweep_btb_size`] & co.) remain and simply run a
+//! single-study batch.
 
 use branchlab_fsem::delayed::fill_rates;
-use branchlab_interp::run;
-use branchlab_ir::lower;
 use branchlab_predict::{
     AlwaysNotTaken, AlwaysTaken, BackwardTakenForwardNot, BranchPredictor, Cbtb, CbtbConfig,
     ContextSwitched, ForwardSemantic, Gshare, LocalHistory, OpcodeBias, PredStats,
@@ -14,8 +18,36 @@ use branchlab_predict::{
 use branchlab_profile::profile_module_with;
 use branchlab_workloads::Benchmark;
 
-use crate::harness::{eval_predictors, ExperimentConfig, ExperimentError};
+use std::sync::Arc;
+
+use branchlab_profile::Profile;
+
+use crate::batch::{PredTicket, SweepBatch};
+use crate::harness::{ExperimentConfig, ExperimentError};
 use crate::render::{pct, rho, Table};
+use crate::trace_replay::cached_profile;
+
+/// The profiling pass for a study: shared via the trace-replay cache
+/// by default, recomputed from scratch in baseline
+/// (`use_trace_replay = false`) mode so the re-interpretation baseline
+/// keeps its original cost profile.
+fn study_profile(
+    bench: &Benchmark,
+    config: &ExperimentConfig,
+) -> Result<Arc<Profile>, ExperimentError> {
+    if config.use_trace_replay {
+        return cached_profile(bench, config);
+    }
+    let module = bench.compile()?;
+    Ok(Arc::new(profile_module_with(
+        &module,
+        &bench.runs(config.scale, config.seed),
+        &branchlab_interp::ExecConfig {
+            max_insts: config.max_insts_per_run,
+            ..Default::default()
+        },
+    )?))
+}
 
 /// Sweep SBTB and CBTB total size (fully associative) on one benchmark.
 ///
@@ -26,6 +58,13 @@ pub fn sweep_btb_size(
     config: &ExperimentConfig,
     sizes: &[usize],
 ) -> Result<Table, ExperimentError> {
+    let mut batch = SweepBatch::new(bench, config);
+    let ticket = plan_btb_size(&mut batch, sizes);
+    let results = batch.run()?;
+    Ok(render_btb_size(bench, sizes, results.stats(ticket)))
+}
+
+fn plan_btb_size(batch: &mut SweepBatch<'_>, sizes: &[usize]) -> PredTicket {
     let mut preds: Vec<Box<dyn BranchPredictor>> = Vec::new();
     for &s in sizes {
         preds.push(Box::new(Sbtb::new(SbtbConfig {
@@ -38,7 +77,10 @@ pub fn sweep_btb_size(
             ..CbtbConfig::paper()
         })));
     }
-    let stats = eval_predictors(bench, config, preds)?;
+    batch.eval(preds)
+}
+
+fn render_btb_size(bench: &Benchmark, sizes: &[usize], stats: &[PredStats]) -> Table {
     let mut t = Table::new(
         format!("BTB size sweep ({}, fully associative)", bench.name),
         &["Entries", "rho_SBTB", "A_SBTB", "rho_CBTB", "A_CBTB"],
@@ -54,7 +96,7 @@ pub fn sweep_btb_size(
             pct(cb.accuracy()),
         ]);
     }
-    Ok(t)
+    t
 }
 
 /// Sweep associativity at fixed capacity (the paper notes full
@@ -69,15 +111,41 @@ pub fn sweep_associativity(
     entries: usize,
     ways_list: &[usize],
 ) -> Result<Table, ExperimentError> {
-    let mut preds: Vec<Box<dyn BranchPredictor>> = Vec::new();
-    for &w in ways_list {
-        preds.push(Box::new(Cbtb::new(CbtbConfig {
-            entries,
-            ways: w,
-            ..CbtbConfig::paper()
-        })));
-    }
-    let stats = eval_predictors(bench, config, preds)?;
+    let mut batch = SweepBatch::new(bench, config);
+    let ticket = plan_associativity(&mut batch, entries, ways_list);
+    let results = batch.run()?;
+    Ok(render_associativity(
+        bench,
+        entries,
+        ways_list,
+        results.stats(ticket),
+    ))
+}
+
+fn plan_associativity(
+    batch: &mut SweepBatch<'_>,
+    entries: usize,
+    ways_list: &[usize],
+) -> PredTicket {
+    let preds: Vec<Box<dyn BranchPredictor>> = ways_list
+        .iter()
+        .map(|&w| {
+            Box::new(Cbtb::new(CbtbConfig {
+                entries,
+                ways: w,
+                ..CbtbConfig::paper()
+            })) as Box<dyn BranchPredictor>
+        })
+        .collect();
+    batch.eval(preds)
+}
+
+fn render_associativity(
+    bench: &Benchmark,
+    entries: usize,
+    ways_list: &[usize],
+    stats: &[PredStats],
+) -> Table {
     let mut t = Table::new(
         format!(
             "CBTB associativity sweep ({}, {entries} entries)",
@@ -92,7 +160,7 @@ pub fn sweep_associativity(
             pct(stats[i].accuracy()),
         ]);
     }
-    Ok(t)
+    t
 }
 
 /// Sweep counter width and threshold of the CBTB (J. E. Smith observed
@@ -105,6 +173,13 @@ pub fn sweep_counters(
     config: &ExperimentConfig,
     variants: &[(u8, u8)],
 ) -> Result<Table, ExperimentError> {
+    let mut batch = SweepBatch::new(bench, config);
+    let ticket = plan_counters(&mut batch, variants);
+    let results = batch.run()?;
+    Ok(render_counters(bench, variants, results.stats(ticket)))
+}
+
+fn plan_counters(batch: &mut SweepBatch<'_>, variants: &[(u8, u8)]) -> PredTicket {
     let preds: Vec<Box<dyn BranchPredictor>> = variants
         .iter()
         .map(|&(bits, threshold)| {
@@ -115,7 +190,10 @@ pub fn sweep_counters(
             })) as Box<dyn BranchPredictor>
         })
         .collect();
-    let stats = eval_predictors(bench, config, preds)?;
+    batch.eval(preds)
+}
+
+fn render_counters(bench: &Benchmark, variants: &[(u8, u8)], stats: &[PredStats]) -> Table {
     let mut t = Table::new(
         format!("CBTB counter sweep ({})", bench.name),
         &["Bits", "Threshold", "A_CBTB"],
@@ -127,7 +205,7 @@ pub fn sweep_counters(
             pct(stats[i].accuracy()),
         ]);
     }
-    Ok(t)
+    t
 }
 
 /// Context-switch sensitivity (§3/§4 discussion): flush the hardware
@@ -141,15 +219,21 @@ pub fn context_switch_study(
     config: &ExperimentConfig,
     intervals: &[u64],
 ) -> Result<Table, ExperimentError> {
-    let module = bench.compile()?;
-    let profile = profile_module_with(
-        &module,
-        &bench.runs(config.scale, config.seed),
-        &branchlab_interp::ExecConfig {
-            max_insts: config.max_insts_per_run,
-            ..Default::default()
-        },
-    )?;
+    let mut batch = SweepBatch::new(bench, config);
+    let ticket = plan_context_switch(&mut batch, intervals)?;
+    let results = batch.run()?;
+    Ok(render_context_switch(
+        bench,
+        intervals,
+        results.stats(ticket),
+    ))
+}
+
+fn plan_context_switch(
+    batch: &mut SweepBatch<'_>,
+    intervals: &[u64],
+) -> Result<PredTicket, ExperimentError> {
+    let profile = study_profile(batch.bench(), batch.config())?;
     let mut preds: Vec<Box<dyn BranchPredictor>> = Vec::new();
     for &iv in intervals {
         preds.push(Box::new(ContextSwitched::new(Sbtb::paper(), iv)));
@@ -159,7 +243,10 @@ pub fn context_switch_study(
             iv,
         )));
     }
-    let stats = eval_predictors(bench, config, preds)?;
+    Ok(batch.eval(preds))
+}
+
+fn render_context_switch(bench: &Benchmark, intervals: &[u64], stats: &[PredStats]) -> Table {
     let mut t = Table::new(
         format!("Context-switch sensitivity ({})", bench.name),
         &["Flush interval", "A_SBTB", "A_CBTB", "A_FS"],
@@ -172,7 +259,7 @@ pub fn context_switch_study(
             pct(stats[3 * i + 2].accuracy()),
         ]);
     }
-    Ok(t)
+    t
 }
 
 /// The related-work static baselines on one benchmark: always-taken
@@ -185,16 +272,22 @@ pub fn static_baselines(
     bench: &Benchmark,
     config: &ExperimentConfig,
 ) -> Result<Table, ExperimentError> {
-    let stats = eval_predictors(
-        bench,
-        config,
-        vec![
-            Box::new(AlwaysTaken),
-            Box::new(AlwaysNotTaken),
-            Box::new(BackwardTakenForwardNot),
-            Box::new(OpcodeBias::heuristic()),
-        ],
-    )?;
+    let mut batch = SweepBatch::new(bench, config);
+    let ticket = plan_static_baselines(&mut batch);
+    let results = batch.run()?;
+    Ok(render_static_baselines(bench, results.stats(ticket)))
+}
+
+fn plan_static_baselines(batch: &mut SweepBatch<'_>) -> PredTicket {
+    batch.eval(vec![
+        Box::new(AlwaysTaken),
+        Box::new(AlwaysNotTaken),
+        Box::new(BackwardTakenForwardNot),
+        Box::new(OpcodeBias::heuristic()),
+    ])
+}
+
+fn render_static_baselines(bench: &Benchmark, stats: &[PredStats]) -> Table {
     let mut t = Table::new(
         format!(
             "Static baselines ({}) — conditional-branch accuracy",
@@ -204,7 +297,7 @@ pub fn static_baselines(
     );
     for (name, s) in ["always-taken", "always-not-taken", "btfn", "opcode-bias"]
         .iter()
-        .zip(&stats)
+        .zip(stats)
     {
         t.row(vec![
             (*name).to_string(),
@@ -212,7 +305,7 @@ pub fn static_baselines(
             pct(s.accuracy()),
         ]);
     }
-    Ok(t)
+    t
 }
 
 /// Validate the model's return-handling assumption: a small
@@ -226,22 +319,18 @@ pub fn ras_study(
     config: &ExperimentConfig,
     depths: &[usize],
 ) -> Result<Table, ExperimentError> {
-    let module = bench.compile()?;
-    let program = lower(&module)?;
-    let exec_cfg = branchlab_interp::ExecConfig {
-        max_insts: config.max_insts_per_run,
-        ..Default::default()
-    };
+    let mut batch = SweepBatch::new(bench, config);
+    let ticket = batch.ras(depths);
+    let results = batch.run()?;
+    Ok(render_ras(bench, depths, results.ras(ticket)))
+}
+
+fn render_ras(bench: &Benchmark, depths: &[usize], stacks: &[ReturnAddressStack]) -> Table {
     let mut t = Table::new(
         format!("Return-address stack ({})", bench.name),
         &["Depth", "Returns", "Accuracy", "Overflows"],
     );
-    for &d in depths {
-        let mut ras = ReturnAddressStack::new(d);
-        for streams in bench.runs(config.scale, config.seed) {
-            let refs: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
-            run(&program, &exec_cfg, &refs, &mut ras)?;
-        }
+    for (&d, ras) in depths.iter().zip(stacks) {
         t.row(vec![
             d.to_string(),
             ras.returns.to_string(),
@@ -249,7 +338,7 @@ pub fn ras_study(
             ras.overflows.to_string(),
         ]);
     }
-    Ok(t)
+    t
 }
 
 /// Delayed-branch slot filling (McFarling & Hennessy's measurement,
@@ -266,14 +355,7 @@ pub fn delay_slot_study(
     max_slots: usize,
 ) -> Result<Table, ExperimentError> {
     let module = bench.compile()?;
-    let profile = branchlab_profile::profile_module_with(
-        &module,
-        &bench.runs(config.scale, config.seed),
-        &branchlab_interp::ExecConfig {
-            max_insts: config.max_insts_per_run,
-            ..Default::default()
-        },
-    )?;
+    let profile = study_profile(bench, config)?;
     let r = fill_rates(&module, &profile, max_slots);
     let mut t = Table::new(
         format!("Delayed-branch from-above slot filling ({})", bench.name),
@@ -295,15 +377,21 @@ pub fn delay_slot_study(
 /// # Errors
 /// Returns [`ExperimentError`] on pipeline failure.
 pub fn beyond_1989(bench: &Benchmark, config: &ExperimentConfig) -> Result<Table, ExperimentError> {
-    let stats = eval_predictors(
-        bench,
-        config,
-        vec![
-            Box::new(Cbtb::paper()),
-            Box::new(Gshare::default()),
-            Box::new(LocalHistory::default()),
-        ],
-    )?;
+    let mut batch = SweepBatch::new(bench, config);
+    let ticket = plan_beyond_1989(&mut batch);
+    let results = batch.run()?;
+    Ok(render_beyond_1989(bench, results.stats(ticket)))
+}
+
+fn plan_beyond_1989(batch: &mut SweepBatch<'_>) -> PredTicket {
+    batch.eval(vec![
+        Box::new(Cbtb::paper()),
+        Box::new(Gshare::default()),
+        Box::new(LocalHistory::default()),
+    ])
+}
+
+fn render_beyond_1989(bench: &Benchmark, stats: &[PredStats]) -> Table {
     let mut t = Table::new(
         format!(
             "Beyond 1989: two-level adaptive prediction ({})",
@@ -313,7 +401,7 @@ pub fn beyond_1989(bench: &Benchmark, config: &ExperimentConfig) -> Result<Table
     );
     for (name, s) in ["CBTB (paper)", "gshare 12/8", "local 12/6"]
         .iter()
-        .zip(&stats)
+        .zip(stats)
     {
         t.row(vec![
             (*name).to_string(),
@@ -321,7 +409,81 @@ pub fn beyond_1989(bench: &Benchmark, config: &ExperimentConfig) -> Result<Table
             pct(s.accuracy()),
         ]);
     }
-    Ok(t)
+    t
+}
+
+/// Parameters for the complete ablation study set; the defaults are the
+/// `ablation` binary's configuration.
+#[derive(Copy, Clone, Debug)]
+pub struct StudySpec<'a> {
+    /// Fully-associative BTB sizes for [`sweep_btb_size`].
+    pub btb_sizes: &'a [usize],
+    /// Capacity held fixed by [`sweep_associativity`].
+    pub assoc_entries: usize,
+    /// Way counts for [`sweep_associativity`].
+    pub assoc_ways: &'a [usize],
+    /// `(counter_bits, threshold)` variants for [`sweep_counters`].
+    pub counter_variants: &'a [(u8, u8)],
+    /// Flush intervals for [`context_switch_study`].
+    pub context_intervals: &'a [u64],
+    /// Stack depths for [`ras_study`].
+    pub ras_depths: &'a [usize],
+    /// Slot count for [`delay_slot_study`].
+    pub delay_max_slots: usize,
+}
+
+impl Default for StudySpec<'_> {
+    fn default() -> Self {
+        StudySpec {
+            btb_sizes: &[16, 64, 256, 1024],
+            assoc_entries: 256,
+            assoc_ways: &[1, 2, 4, 8, 256],
+            counter_variants: &[(1, 1), (2, 2), (3, 4), (4, 8)],
+            context_intervals: &[100, 1_000, 10_000, u64::MAX / 2],
+            ras_depths: &[4, 16, 64],
+            delay_max_slots: 2,
+        }
+    }
+}
+
+/// Run the complete ablation study set on one benchmark, scoring every
+/// sweep configuration in a *single* pass over the captured trace (one
+/// capture + one replay per benchmark; in baseline mode the batch
+/// falls back to per-study or per-point live interpretation). Tables
+/// are returned in the `ablation` binary's print order and are
+/// bit-identical to calling each study function on its own.
+///
+/// # Errors
+/// Returns [`ExperimentError`] on pipeline failure.
+pub fn full_study(
+    bench: &Benchmark,
+    config: &ExperimentConfig,
+    spec: &StudySpec<'_>,
+) -> Result<Vec<Table>, ExperimentError> {
+    let mut batch = SweepBatch::new(bench, config);
+    let size = plan_btb_size(&mut batch, spec.btb_sizes);
+    let assoc = plan_associativity(&mut batch, spec.assoc_entries, spec.assoc_ways);
+    let counters = plan_counters(&mut batch, spec.counter_variants);
+    let context = plan_context_switch(&mut batch, spec.context_intervals)?;
+    let statics = plan_static_baselines(&mut batch);
+    let ras = batch.ras(spec.ras_depths);
+    let beyond = plan_beyond_1989(&mut batch);
+    let results = batch.run()?;
+    Ok(vec![
+        render_btb_size(bench, spec.btb_sizes, results.stats(size)),
+        render_associativity(
+            bench,
+            spec.assoc_entries,
+            spec.assoc_ways,
+            results.stats(assoc),
+        ),
+        render_counters(bench, spec.counter_variants, results.stats(counters)),
+        render_context_switch(bench, spec.context_intervals, results.stats(context)),
+        render_static_baselines(bench, results.stats(statics)),
+        render_ras(bench, spec.ras_depths, results.ras(ras)),
+        delay_slot_study(bench, config, spec.delay_max_slots)?,
+        render_beyond_1989(bench, results.stats(beyond)),
+    ])
 }
 
 /// Convenience: per-scheme accuracies for a list of predictors (used by

@@ -66,6 +66,25 @@ pub struct ExperimentConfig {
     pub max_call_depth: usize,
     /// Deterministic fault injection (disabled by default).
     pub fault: FaultConfig,
+    /// Feed sweep-style evaluations ([`eval_predictors`] and the
+    /// ablation studies) from captured traces instead of
+    /// re-interpreting every configuration point. Replay is
+    /// bit-identical to live interpretation (enforced by test); turn
+    /// off only to measure the re-interpretation baseline.
+    pub use_trace_replay: bool,
+    /// Directory for the on-disk trace cache (`--trace-cache DIR`);
+    /// `None` keeps traces in memory only.
+    pub trace_cache_dir: Option<std::path::PathBuf>,
+    /// With `use_trace_replay` off, run one full compile→profile→interpret
+    /// pipeline per sweep configuration point in [`SweepBatch`]-driven
+    /// studies, instead of amortizing a study's points into one live
+    /// pass. This is the O(points × interpret) re-interpretation
+    /// methodology that trace-driven replay replaces; `replay_bench`
+    /// uses it as the measured baseline. No effect on results — every
+    /// evaluation mode is bit-identical.
+    ///
+    /// [`SweepBatch`]: crate::batch::SweepBatch
+    pub sweep_per_point: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -82,6 +101,9 @@ impl Default for ExperimentConfig {
             memory_words: exec.memory_words,
             max_call_depth: exec.max_call_depth,
             fault: FaultConfig::default(),
+            use_trace_replay: true,
+            trace_cache_dir: None,
+            sweep_per_point: false,
         }
     }
 }
@@ -96,7 +118,7 @@ impl ExperimentConfig {
         }
     }
 
-    fn exec_config(&self) -> ExecConfig {
+    pub(crate) fn exec_config(&self) -> ExecConfig {
         ExecConfig {
             max_insts: self.max_insts_per_run,
             memory_words: self.memory_words,
@@ -186,6 +208,10 @@ pub enum ExperimentError {
         /// The configured deadline.
         limit: std::time::Duration,
     },
+    /// A captured trace failed to replay (malformed buffer). Only
+    /// reachable through cache corruption that slipped past the
+    /// checksum, and deterministic given the bytes — permanent.
+    Trace(String),
 }
 
 impl ExperimentError {
@@ -204,6 +230,7 @@ impl ExperimentError {
             ExperimentError::Compile(_)
             | ExperimentError::Lower(_)
             | ExperimentError::Profile(_)
+            | ExperimentError::Trace(_)
             | ExperimentError::EquivalenceViolation { .. } => ErrorClass::Permanent,
         }
     }
@@ -226,6 +253,7 @@ impl std::fmt::Display for ExperimentError {
             ExperimentError::Timeout { limit } => {
                 write!(f, "watchdog deadline ({limit:?}) exceeded")
             }
+            ExperimentError::Trace(reason) => write!(f, "trace replay failed: {reason}"),
         }
     }
 }
@@ -317,6 +345,12 @@ pub fn run_benchmark_attempt(
         bench.compile()?
     };
     let runs = bench.runs(config.scale, config.seed);
+    // One slice table per benchmark, shared by the natural and FS
+    // evaluation loops below (previously rebuilt inside each loop).
+    let run_slices: Vec<Vec<&[u8]>> = runs
+        .iter()
+        .map(|streams| streams.iter().map(Vec::as_slice).collect())
+        .collect();
     let exec_cfg = config.exec_config();
 
     // 1. Profiling pass (instrumented layout, the paper's probe build).
@@ -360,10 +394,9 @@ pub fn run_benchmark_attempt(
     {
         let mut span = timeline.span("natural_eval");
         injector.trip("natural_eval")?;
-        for streams in &runs {
+        for refs in &run_slices {
             sinks.start_run();
-            let refs: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
-            let out = run(&natural, &exec_cfg, &refs, &mut sinks)?;
+            let out = run(&natural, &exec_cfg, refs, &mut sinks)?;
             stats.merge(&out.stats);
             natural_outcomes.push((out.exit_value, out.outputs));
         }
@@ -375,9 +408,8 @@ pub fn run_benchmark_attempt(
     {
         let mut span = timeline.span("fs_eval");
         injector.trip("fs_eval")?;
-        for (ri, streams) in runs.iter().enumerate() {
-            let refs: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
-            let out = run(&fs_bin, &exec_cfg, &refs, &mut fs_eval)?;
+        for (ri, refs) in run_slices.iter().enumerate() {
+            let out = run(&fs_bin, &exec_cfg, refs, &mut fs_eval)?;
             span.add_work(out.stats.insts);
             if config.verify_equivalence {
                 let (exit, outputs) = &natural_outcomes[ri];
@@ -490,9 +522,10 @@ pub fn mean_std(xs: &[f64]) -> (f64, f64) {
     (mean, var.sqrt())
 }
 
-/// Run the full 12-benchmark suite, one supervised thread per
-/// benchmark, with the default [`SupervisorConfig`] (panic isolation
-/// and transient-error retries, no watchdog, no checkpoint).
+/// Run the full 12-benchmark suite on a supervised worker pool (at
+/// most `available_parallelism` benchmarks in flight), with the default
+/// [`SupervisorConfig`] (panic isolation and transient-error retries,
+/// no watchdog, no checkpoint).
 ///
 /// Never aborts on a single benchmark failure: panicking or erroring
 /// benchmarks become [`SuiteResult::failures`] records and every other
@@ -503,28 +536,59 @@ pub fn run_suite(config: &ExperimentConfig) -> SuiteResult {
     run_suite_supervised(config, &SupervisorConfig::default())
 }
 
+/// All configured predictors scored off one event stream.
+struct Many {
+    evals: Vec<Evaluator<Box<dyn BranchPredictor>>>,
+}
+
+impl ExecHooks for Many {
+    fn branch(&mut self, ev: &BranchEvent) {
+        for e in &mut self.evals {
+            e.branch(ev);
+        }
+    }
+}
+
 /// Evaluate an arbitrary set of predictors over every run of a
-/// benchmark's conventional binary in a single interpreter pass per run
-/// (the ablation workhorse).
+/// benchmark's conventional binary (the ablation workhorse).
+///
+/// With [`ExperimentConfig::use_trace_replay`] set (the default), the
+/// event stream comes from the benchmark's cached trace — captured at
+/// most once per (benchmark, program, scale, seed) — and is replayed
+/// into the predictors at memory speed. Replay delivers the exact
+/// sequence live interpretation would, so the statistics are
+/// bit-identical to [`eval_predictors_live`] (enforced by the
+/// `replay_fidelity` integration test).
 ///
 /// # Errors
-/// Returns [`ExperimentError`] on compile/lower/run failure.
+/// Returns [`ExperimentError`] on compile/lower/run/replay failure.
 pub fn eval_predictors(
     bench: &Benchmark,
     config: &ExperimentConfig,
     predictors: Vec<Box<dyn BranchPredictor>>,
 ) -> Result<Vec<PredStats>, ExperimentError> {
-    struct Many {
-        evals: Vec<Evaluator<Box<dyn BranchPredictor>>>,
+    if !config.use_trace_replay {
+        return eval_predictors_live(bench, config, predictors);
     }
-    impl ExecHooks for Many {
-        fn branch(&mut self, ev: &BranchEvent) {
-            for e in &mut self.evals {
-                e.branch(ev);
-            }
-        }
-    }
+    let runs = crate::trace_replay::captured_runs(bench, config)?;
+    let mut many = Many {
+        evals: predictors.into_iter().map(Evaluator::new).collect(),
+    };
+    crate::trace_replay::replay_runs(&runs, &mut many)?;
+    Ok(many.evals.into_iter().map(|e| e.stats).collect())
+}
 
+/// [`eval_predictors`] by direct interpretation, one interpreter pass
+/// per run — the re-interpretation baseline that trace replay is
+/// measured against (and the fidelity oracle in tests).
+///
+/// # Errors
+/// Returns [`ExperimentError`] on compile/lower/run failure.
+pub fn eval_predictors_live(
+    bench: &Benchmark,
+    config: &ExperimentConfig,
+    predictors: Vec<Box<dyn BranchPredictor>>,
+) -> Result<Vec<PredStats>, ExperimentError> {
     let module = bench.compile()?;
     let program = lower(&module)?;
     let exec_cfg = config.exec_config();

@@ -11,6 +11,11 @@
 //! * [`figures`] — Figures 3–4 (cost-vs-pipelining curves + ASCII plots).
 //! * [`ablation`] — geometry/counter/context-switch/static-baseline
 //!   sweeps that extend the paper's discussion quantitatively.
+//! * [`trace_replay`] — the trace-driven engine behind the sweeps:
+//!   each benchmark's dynamic event stream is captured once (cached in
+//!   memory and optionally on disk) and replayed into every predictor
+//!   configuration at memory speed, bit-identical to live
+//!   interpretation.
 //! * [`supervisor`]/[`fault`]/[`checkpoint`] — *branchlab-guard*: the
 //!   fault-tolerance layer. Benchmarks run behind panic isolation, an
 //!   optional watchdog, and retry-with-backoff; failures degrade to
@@ -35,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod batch;
 pub mod checkpoint;
 pub mod fault;
 pub mod figures;
@@ -42,14 +48,17 @@ mod harness;
 mod render;
 pub mod supervisor;
 pub mod tables;
+pub mod trace_replay;
 
+pub use batch::{PredTicket, RasTicket, SweepBatch, SweepResults};
 pub use branchlab_interp::ErrorClass;
 pub use fault::{FaultConfig, FaultInjector};
 pub use harness::{
-    eval_predictors, mean_std, run_benchmark, run_benchmark_attempt, run_suite, BenchResult,
-    ExperimentConfig, ExperimentError, SuiteResult, PHASES,
+    eval_predictors, eval_predictors_live, mean_std, run_benchmark, run_benchmark_attempt,
+    run_suite, BenchResult, ExperimentConfig, ExperimentError, SuiteResult, PHASES,
 };
 pub use render::{f2, mcount, pct, rho, Align, Table};
 pub use supervisor::{
     run_suite_supervised, supervise, AttemptFn, BenchFailure, SupervisorConfig, SupervisorStats,
 };
+pub use trace_replay::TraceStats;

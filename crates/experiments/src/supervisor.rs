@@ -28,7 +28,7 @@ use std::sync::{Arc, Mutex, Once};
 use std::time::{Duration, Instant};
 
 use branchlab_interp::ErrorClass;
-use branchlab_workloads::SUITE;
+use branchlab_workloads::{Benchmark, SUITE};
 
 use crate::checkpoint;
 use crate::harness::{
@@ -334,35 +334,97 @@ pub fn run_suite_supervised(config: &ExperimentConfig, sup: &SupervisorConfig) -
 
     let writer = sup.checkpoint.as_deref().and_then(open_checkpoint);
 
-    let mut handles = Vec::new();
-    for bench in SUITE.iter().filter(|b| !restored.contains_key(b.name)) {
+    // A bounded worker pool: in-flight supervisor threads are capped at
+    // the machine's available parallelism instead of one thread per
+    // benchmark. Workers claim pending benchmarks through a shared
+    // cursor and write into a fixed slot per benchmark, so the
+    // assembled results are in suite order regardless of completion
+    // order (and independent of the worker count).
+    let pending: Vec<&'static Benchmark> = SUITE
+        .iter()
+        .filter(|b| !restored.contains_key(b.name))
+        .collect();
+    let n_workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(pending.len());
+    type Slot = Option<(Result<(BenchResult, u32), BenchFailure>, SupervisorStats)>;
+    let slots: Arc<Mutex<Vec<Slot>>> = Arc::new(Mutex::new(vec![None; pending.len()]));
+    let cursor = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let pending = Arc::new(pending);
+
+    let mut workers = Vec::new();
+    for _ in 0..n_workers {
         let cfg = config.clone();
         let supc = sup.clone();
         let w = writer.clone();
-        handles.push((
-            bench.name,
-            std::thread::spawn(move || {
+        let slots = Arc::clone(&slots);
+        let cursor = Arc::clone(&cursor);
+        let pending = Arc::clone(&pending);
+        workers.push(std::thread::spawn(move || loop {
+            let i = cursor.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            let Some(bench) = pending.get(i).copied() else {
+                break;
+            };
+            let cfg = cfg.clone();
+            // `supervise` already isolates benchmark panics; this outer
+            // guard keeps a supervisor-level panic (a harness bug) from
+            // killing the worker and starving the remaining benchmarks.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
                 let attempt_fn: AttemptFn<BenchResult> =
                     Arc::new(move |attempt| run_benchmark_attempt(bench, &cfg, attempt));
-                let (outcome, stats) = supervise(bench.name, &supc, attempt_fn);
-                if let (Ok((result, _)), Some(w)) = (&outcome, &w) {
-                    // A poisoned lock or full disk loses checkpointing,
-                    // never the in-memory result.
-                    if let Ok(mut file) = w.lock() {
-                        let _ = checkpoint::append(&mut *file, result);
-                        let _ = file.flush();
-                    }
+                supervise(bench.name, &supc, attempt_fn)
+            }));
+            if let (Ok((Ok((result, _)), _)), Some(w)) = (&outcome, &w) {
+                // A poisoned lock or full disk loses checkpointing,
+                // never the in-memory result.
+                if let Ok(mut file) = w.lock() {
+                    let _ = checkpoint::append(&mut *file, result);
+                    let _ = file.flush();
                 }
-                (outcome, stats)
-            }),
-        ));
+            }
+            let slot = match outcome {
+                Ok(pair) => pair,
+                Err(payload) => {
+                    let s = SupervisorStats {
+                        failed: 1,
+                        ..SupervisorStats::default()
+                    };
+                    (
+                        Err(BenchFailure {
+                            name: bench.name.to_string(),
+                            error: format!(
+                                "supervisor panicked: {}",
+                                panic_payload(payload.as_ref())
+                            ),
+                            class: ErrorClass::Transient,
+                            attempts: 0,
+                            elapsed: Duration::ZERO,
+                        }),
+                        s,
+                    )
+                }
+            };
+            if let Ok(mut slots) = slots.lock() {
+                slots[i] = Some(slot);
+            }
+        }));
+    }
+    for worker in workers {
+        let _ = worker.join();
     }
 
     let mut completed: HashMap<&'static str, BenchResult> = HashMap::new();
     let mut failed: HashMap<&'static str, BenchFailure> = HashMap::new();
-    for (name, handle) in handles {
-        match handle.join() {
-            Ok((outcome, s)) => {
+    let slots = std::mem::take(
+        &mut *slots
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+    );
+    for (i, slot) in slots.into_iter().enumerate() {
+        let name = pending[i].name;
+        match slot {
+            Some((outcome, s)) => {
                 stats.merge(&s);
                 match outcome {
                     Ok((result, _attempts)) => {
@@ -373,15 +435,16 @@ pub fn run_suite_supervised(config: &ExperimentConfig, sup: &SupervisorConfig) -
                     }
                 }
             }
-            // The supervisor thread itself panicking is a harness bug,
-            // but still must not take down the suite.
-            Err(payload) => {
+            // A worker died before filling the slot (should be
+            // unreachable given the guard above) — still a failure
+            // record, never a silently dropped benchmark.
+            None => {
                 stats.failed += 1;
                 failed.insert(
                     name,
                     BenchFailure {
                         name: name.to_string(),
-                        error: format!("supervisor panicked: {}", panic_payload(payload.as_ref())),
+                        error: "supervisor worker lost before completing".to_string(),
                         class: ErrorClass::Transient,
                         attempts: 0,
                         elapsed: Duration::ZERO,

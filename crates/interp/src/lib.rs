@@ -225,7 +225,10 @@ impl std::fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
-struct Frame {
+/// A caller's state parked while a callee runs. The *current* frame's
+/// registers live in a local of [`run`]'s hot loop, so per-instruction
+/// register access never goes through the frame stack.
+struct Suspended {
     regs: Vec<i64>,
     ret_pc: u32,
     ret_dst: Option<Reg>,
@@ -274,32 +277,35 @@ pub fn run<H: ExecHooks>(
         return Err(ExecError::StackOverflow { at: program.entry });
     }
 
-    let mut frames = vec![Frame {
-        regs: vec![0i64; entry_info.num_regs as usize],
-        ret_pc: u32::MAX,
-        ret_dst: None,
-        saved_fp: fp0,
-        saved_sp: sp0,
-    }];
+    // The current activation's registers live in this local; suspended
+    // callers are parked on `stack`. Keeping `regs` out of the frame
+    // vector removes a bounds-checked `last_mut()` from every operand
+    // access in the loop below.
+    let mut regs = vec![0i64; entry_info.num_regs as usize];
+    let mut stack: Vec<Suspended> = Vec::new();
     let mut fp = fp0;
     let mut sp = sp0;
     let mut pc = program.entry.0;
 
     let mut in_pos = [0usize; NUM_STREAMS];
-    let mut outputs = vec![Vec::new(); NUM_STREAMS];
+    // Output volume tracks input volume for stream-processing programs;
+    // pre-sizing (bounded) avoids repeated regrowth in `putc` loops.
+    let out_cap = inputs
+        .iter()
+        .map(|data| data.len())
+        .sum::<usize>()
+        .clamp(64, 1 << 16);
+    let mut outputs: Vec<Vec<u8>> = (0..NUM_STREAMS)
+        .map(|_| Vec::with_capacity(out_cap))
+        .collect();
     let mut stats = ExecStats::default();
     let code = &program.code;
     let meta = &program.meta;
 
-    macro_rules! regs {
-        () => {
-            frames.last_mut().expect("frame stack never empty").regs
-        };
-    }
     macro_rules! val {
         ($op:expr) => {
             match $op {
-                Operand::Reg(r) => regs!()[r.0 as usize],
+                Operand::Reg(r) => regs[r.0 as usize],
                 Operand::Imm(v) => v,
             }
         };
@@ -317,17 +323,17 @@ pub fn run<H: ExecHooks>(
         match inst {
             Inst::Alu { op, dst, a, b } => {
                 let (a, b) = (val!(*a), val!(*b));
-                regs!()[dst.0 as usize] = op.eval(a, b);
+                regs[dst.0 as usize] = op.eval(a, b);
                 pc += 1;
             }
             Inst::Cmp { cond, dst, a, b } => {
                 let (a, b) = (val!(*a), val!(*b));
-                regs!()[dst.0 as usize] = i64::from(cond.eval(a, b));
+                regs[dst.0 as usize] = i64::from(cond.eval(a, b));
                 pc += 1;
             }
             Inst::Mov { dst, src } => {
                 let v = val!(*src);
-                regs!()[dst.0 as usize] = v;
+                regs[dst.0 as usize] = v;
                 pc += 1;
             }
             Inst::Ld { dst, base, offset } => {
@@ -335,7 +341,7 @@ pub fn run<H: ExecHooks>(
                 let Some(&v) = usize::try_from(addr).ok().and_then(|a| mem.get(a)) else {
                     return Err(ExecError::MemoryFault { at: Addr(pc), addr });
                 };
-                regs!()[dst.0 as usize] = v;
+                regs[dst.0 as usize] = v;
                 pc += 1;
             }
             Inst::St { src, base, offset } => {
@@ -348,7 +354,7 @@ pub fn run<H: ExecHooks>(
                 pc += 1;
             }
             Inst::FrameAddr { dst, offset } => {
-                regs!()[dst.0 as usize] = fp.wrapping_add(*offset);
+                regs[dst.0 as usize] = fp.wrapping_add(*offset);
                 pc += 1;
             }
             Inst::In { dst, stream } => {
@@ -361,7 +367,7 @@ pub fn run<H: ExecHooks>(
                 if byte >= 0 {
                     in_pos[s] += 1;
                 }
-                regs!()[dst.0 as usize] = byte;
+                regs[dst.0 as usize] = byte;
                 pc += 1;
             }
             Inst::Out { src, stream } => {
@@ -429,26 +435,25 @@ pub fn run<H: ExecHooks>(
                 pc = target.0;
             }
             Inst::Call { func, args, dst } => {
-                if frames.len() >= config.max_call_depth {
+                // `stack` holds suspended callers only, so current depth
+                // is `stack.len() + 1` (the original frame-vector length).
+                if stack.len() + 1 >= config.max_call_depth {
                     return Err(ExecError::CallDepthExceeded { at: Addr(pc) });
                 }
                 stats.calls += 1;
                 hooks.call(Addr(pc), *func);
                 let info = &program.funcs[func.0 as usize];
-                let mut regs = vec![0i64; info.num_regs as usize];
-                {
-                    let caller = &frames.last().expect("frame stack never empty").regs;
-                    for (i, r) in args.iter().enumerate() {
-                        regs[i] = caller[r.0 as usize];
-                    }
+                let mut callee_regs = vec![0i64; info.num_regs as usize];
+                for (i, r) in args.iter().enumerate() {
+                    callee_regs[i] = regs[r.0 as usize];
                 }
                 let new_fp = sp;
                 let new_sp = sp + i64::from(info.frame_words);
                 if new_sp > config.memory_words as i64 {
                     return Err(ExecError::StackOverflow { at: Addr(pc) });
                 }
-                frames.push(Frame {
-                    regs,
+                stack.push(Suspended {
+                    regs: std::mem::replace(&mut regs, callee_regs),
                     ret_pc: pc + 1,
                     ret_dst: *dst,
                     saved_fp: fp,
@@ -463,19 +468,19 @@ pub fn run<H: ExecHooks>(
                     Some(op) => val!(*op),
                     None => 0,
                 };
-                let frame = frames.pop().expect("frame stack never empty");
-                fp = frame.saved_fp;
-                sp = frame.saved_sp;
-                if frames.is_empty() {
+                let Some(caller) = stack.pop() else {
                     // `main` returned: the machine halts; this is program
                     // termination, not a control transfer, so no ret hook.
                     break v;
+                };
+                fp = caller.saved_fp;
+                sp = caller.saved_sp;
+                hooks.ret(Addr(pc), Addr(caller.ret_pc));
+                regs = caller.regs;
+                if let Some(dst) = caller.ret_dst {
+                    regs[dst.0 as usize] = v;
                 }
-                hooks.ret(Addr(pc), Addr(frame.ret_pc));
-                if let Some(dst) = frame.ret_dst {
-                    regs!()[dst.0 as usize] = v;
-                }
-                pc = frame.ret_pc;
+                pc = caller.ret_pc;
             }
             Inst::Nop => pc += 1,
             Inst::Halt => break 0,

@@ -3,6 +3,50 @@
 //! fully associative) is `AssocBuffer::fully_associative(256)`; the
 //! ablation benches sweep sizes and associativities.
 
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
+
+/// Sets wider than this keep a key→way hash index so lookups stay O(1);
+/// narrower sets are scanned linearly (cheaper than any hash for a
+/// handful of entries). The fully-associative paper configs (256–1024
+/// ways) are the ones the index exists for.
+const INDEXED_WAYS_MIN: usize = 8;
+
+/// Multiply-xorshift hasher for small integer keys (branch addresses,
+/// site ids) — `SipHash`'s keyed setup costs more than the whole probe
+/// for these tiny keys. Shared by every per-event hash lookup in the
+/// crate.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct KeyHasher(u64);
+
+impl Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u32(u32::from(b));
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        let x = (self.0 ^ u64::from(v)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = x ^ (x >> 29);
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+pub(crate) struct BuildKeyHasher;
+
+impl BuildHasher for BuildKeyHasher {
+    type Hasher = KeyHasher;
+
+    fn build_hasher(&self) -> KeyHasher {
+        KeyHasher::default()
+    }
+}
+
 /// A set-associative, true-LRU key→value buffer keyed by `u32` (branch
 /// instruction addresses).
 #[derive(Clone, Debug)]
@@ -11,6 +55,9 @@ pub struct AssocBuffer<V> {
     ways: usize,
     set_mask: u32,
     stamp: u64,
+    /// key → way position inside its set (the set itself is derived
+    /// from the key). `None` for narrow sets, which scan instead.
+    index: Option<HashMap<u32, u32, BuildKeyHasher>>,
 }
 
 #[derive(Clone, Debug)]
@@ -34,6 +81,8 @@ impl<V> AssocBuffer<V> {
             ways,
             set_mask: (sets - 1) as u32,
             stamp: 0,
+            index: (ways > INDEXED_WAYS_MIN)
+                .then(|| HashMap::with_capacity_and_hasher(sets * ways, BuildKeyHasher)),
         }
     }
 
@@ -68,25 +117,61 @@ impl<V> AssocBuffer<V> {
         (key & self.set_mask) as usize
     }
 
+    /// Way position of `key` inside its set, if resident.
+    fn find_way(&self, set: usize, key: u32) -> Option<usize> {
+        match &self.index {
+            Some(idx) => idx.get(&key).map(|&w| w as usize),
+            None => self.sets[set].iter().position(|e| e.key == key),
+        }
+    }
+
     /// Look up `key`, refreshing its LRU position on a hit.
     pub fn lookup(&mut self, key: u32) -> Option<&mut V> {
         self.stamp += 1;
         let stamp = self.stamp;
         let set = self.set_index(key);
-        self.sets[set].iter_mut().find(|e| e.key == key).map(|e| {
-            e.stamp = stamp;
-            &mut e.value
-        })
+        let way = self.find_way(set, key)?;
+        let e = &mut self.sets[set][way];
+        e.stamp = stamp;
+        Some(&mut e.value)
+    }
+
+    /// Like [`Self::lookup`], but also returns the entry's way position
+    /// so the caller can come back via [`Self::touch`] /
+    /// [`Self::remove_at`] without paying a second search. The position
+    /// stays valid until the next operation that moves entries
+    /// (insert-with-eviction, remove, flush).
+    pub fn lookup_pos(&mut self, key: u32) -> Option<(u32, &mut V)> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set = self.set_index(key);
+        let way = self.find_way(set, key)?;
+        let e = &mut self.sets[set][way];
+        e.stamp = stamp;
+        Some((way as u32, &mut e.value))
+    }
+
+    /// Revisit the entry a prior [`Self::lookup_pos`] found, refreshing
+    /// its LRU stamp exactly as `lookup` would — without searching.
+    /// Returns `None` (and leaves LRU state untouched) if `way` no
+    /// longer holds `key`.
+    pub fn touch(&mut self, key: u32, way: u32) -> Option<&mut V> {
+        let set = self.set_index(key);
+        let e = self.sets[set].get_mut(way as usize)?;
+        if e.key != key {
+            return None;
+        }
+        self.stamp += 1;
+        e.stamp = self.stamp;
+        Some(&mut e.value)
     }
 
     /// Look up `key` without touching LRU state.
     #[must_use]
     pub fn peek(&self, key: u32) -> Option<&V> {
         let set = self.set_index(key);
-        self.sets[set]
-            .iter()
-            .find(|e| e.key == key)
-            .map(|e| &e.value)
+        let way = self.find_way(set, key)?;
+        Some(&self.sets[set][way].value)
     }
 
     /// Insert or overwrite `key`, evicting the least-recently-used entry
@@ -95,16 +180,22 @@ impl<V> AssocBuffer<V> {
         self.stamp += 1;
         let stamp = self.stamp;
         let set_idx = self.set_index(key);
-        let set = &mut self.sets[set_idx];
-        if let Some(e) = set.iter_mut().find(|e| e.key == key) {
+        if let Some(way) = self.find_way(set_idx, key) {
+            let e = &mut self.sets[set_idx][way];
             e.value = value;
             e.stamp = stamp;
             return None;
         }
+        let set = &mut self.sets[set_idx];
         if set.len() < self.ways {
+            if let Some(idx) = &mut self.index {
+                idx.insert(key, set.len() as u32);
+            }
             set.push(Entry { key, value, stamp });
             return None;
         }
+        // Capacity miss: the LRU scan is O(ways), but runs only on the
+        // (rare) eviction path — hits and fills never reach it.
         let victim = set
             .iter()
             .enumerate()
@@ -112,21 +203,50 @@ impl<V> AssocBuffer<V> {
             .map(|(i, _)| i)
             .expect("full set is nonempty");
         let old = std::mem::replace(&mut set[victim], Entry { key, value, stamp });
+        if let Some(idx) = &mut self.index {
+            idx.remove(&old.key);
+            idx.insert(key, victim as u32);
+        }
         Some((old.key, old.value))
     }
 
     /// Remove `key`, returning its value if present.
     pub fn remove(&mut self, key: u32) -> Option<V> {
         let set_idx = self.set_index(key);
+        let pos = self.find_way(set_idx, key)?;
+        Some(self.remove_entry(set_idx, pos))
+    }
+
+    /// Remove the entry a prior [`Self::lookup_pos`] found, without
+    /// searching. Returns `None` if `way` no longer holds `key`.
+    pub fn remove_at(&mut self, key: u32, way: u32) -> Option<V> {
+        let set_idx = self.set_index(key);
+        let pos = way as usize;
+        if self.sets[set_idx].get(pos)?.key != key {
+            return None;
+        }
+        Some(self.remove_entry(set_idx, pos))
+    }
+
+    fn remove_entry(&mut self, set_idx: usize, pos: usize) -> V {
         let set = &mut self.sets[set_idx];
-        let pos = set.iter().position(|e| e.key == key)?;
-        Some(set.swap_remove(pos).value)
+        let removed = set.swap_remove(pos);
+        if let Some(idx) = &mut self.index {
+            idx.remove(&removed.key);
+            if let Some(moved) = set.get(pos) {
+                idx.insert(moved.key, pos as u32);
+            }
+        }
+        removed.value
     }
 
     /// Discard all entries (context switch).
     pub fn flush(&mut self) {
         for set in &mut self.sets {
             set.clear();
+        }
+        if let Some(idx) = &mut self.index {
+            idx.clear();
         }
     }
 }
@@ -215,5 +335,61 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_sets_rejected() {
         let _ = AssocBuffer::<()>::new(3, 2);
+    }
+
+    #[test]
+    fn lookup_pos_touch_and_remove_at_reuse_the_found_way() {
+        let mut b = AssocBuffer::fully_associative(2);
+        b.insert(1, 10);
+        b.insert(2, 20);
+        let (way, v) = b.lookup_pos(1).unwrap();
+        assert_eq!(*v, 10);
+        *b.touch(1, way).unwrap() = 11;
+        assert_eq!(b.peek(1), Some(&11));
+        // touch refreshed 1's stamp, so 2 is now the LRU victim.
+        assert_eq!(b.insert(3, 30), Some((2, 20)));
+        // Stale positions are rejected, not misattributed.
+        assert_eq!(b.touch(2, way), None);
+        let (way1, _) = b.lookup_pos(1).unwrap();
+        assert_eq!(b.remove_at(1, way1), Some(11));
+        assert_eq!(b.remove_at(1, way1), None);
+        assert_eq!(b.peek(3), Some(&30));
+    }
+
+    // 16 ways crosses INDEXED_WAYS_MIN, so these exercise the hash-index
+    // fast path; the LRU outcomes must match the scanned semantics above.
+
+    #[test]
+    fn indexed_wide_set_preserves_lru_order() {
+        let mut b = AssocBuffer::fully_associative(16);
+        for k in 0..16 {
+            b.insert(k, k);
+        }
+        for k in 1..16 {
+            b.lookup(k); // key 0 is now the unique LRU entry
+        }
+        assert_eq!(b.insert(100, 100), Some((0, 0)));
+        assert_eq!(b.peek(100), Some(&100));
+        assert_eq!(b.peek(0), None);
+        assert_eq!(b.len(), 16);
+    }
+
+    #[test]
+    fn indexed_remove_keeps_index_consistent() {
+        let mut b = AssocBuffer::fully_associative(16);
+        for k in 0..10 {
+            b.insert(k, k);
+        }
+        // Removing from the middle swap-moves the last entry into the
+        // hole; the moved key must stay findable through the index.
+        assert_eq!(b.remove(3), Some(3));
+        assert_eq!(b.lookup(9), Some(&mut 9));
+        assert_eq!(b.remove(9), Some(9));
+        assert_eq!(b.remove(9), None);
+        assert_eq!(b.len(), 8);
+        b.flush();
+        assert!(b.is_empty());
+        assert!(b.insert(3, 3).is_none());
+        assert_eq!(b.peek(3), Some(&3));
     }
 }

@@ -79,6 +79,9 @@ pub struct Cbtb<S: TelemetrySink = NoopSink> {
     buf: AssocBuffer<CbtbEntry>,
     config: CbtbConfig,
     sink: S,
+    /// `(pc, way)` of the entry the last `predict` hit, so `update` can
+    /// revisit it without a second buffer search.
+    last_hit: Option<(u32, u32)>,
 }
 
 impl Cbtb {
@@ -123,6 +126,7 @@ impl<S: TelemetrySink> Cbtb<S> {
             buf: AssocBuffer::new(config.entries / config.ways, config.ways),
             config,
             sink,
+            last_hit: None,
         }
     }
 
@@ -172,11 +176,12 @@ impl<S: TelemetrySink> BranchPredictor for Cbtb<S> {
     }
 
     fn predict(&mut self, ev: &BranchEvent) -> Prediction {
-        // Split borrows: compute the direction from the entry, then drop it.
-        let hit = self.buf.peek(ev.pc.0).copied();
+        // One search serves lookup, LRU refresh, and (via the remembered
+        // way) the counter update that follows.
+        let hit = self.buf.lookup_pos(ev.pc.0).map(|(way, e)| (way, *e));
+        self.last_hit = hit.map(|(way, _)| (ev.pc.0, way));
         match hit {
-            Some(entry) => {
-                let _ = self.buf.lookup(ev.pc.0); // refresh LRU
+            Some((_, entry)) => {
                 self.probe(ev.pc.0, ProbeKind::Hit);
                 Prediction {
                     taken: self.predicts_taken(entry.counter),
@@ -224,7 +229,12 @@ impl<S: TelemetrySink> BranchPredictor for Cbtb<S> {
             }
         }
         let max = self.config.counter_max();
-        if let Some(entry) = self.buf.lookup(ev.pc.0) {
+        let entry = match self.last_hit.take() {
+            // predict already found this entry; revisit it directly.
+            Some((pc, way)) if pc == ev.pc.0 => self.buf.touch(pc, way),
+            _ => self.buf.lookup(ev.pc.0),
+        };
+        if let Some(entry) = entry {
             if ev.taken {
                 entry.counter = (entry.counter + 1).min(max);
                 entry.target = ev.target;
@@ -251,6 +261,7 @@ impl<S: TelemetrySink> BranchPredictor for Cbtb<S> {
 
     fn flush(&mut self) {
         self.buf.flush();
+        self.last_hit = None;
     }
 }
 

@@ -82,6 +82,22 @@ pub trait BranchPredictor {
     /// Discard volatile state (context switch). Default: no-op, which is
     /// exactly right for compiler-based schemes.
     fn flush(&mut self) {}
+
+    /// Score a block of events into `stats` — per event the exact
+    /// predict → tally → update sequence of [`Evaluator::branch`].
+    ///
+    /// The default body is the only implementation; it lives on the
+    /// trait so every concrete predictor gets a monomorphized loop with
+    /// `predict`/`update` statically dispatched and inlined. Driving a
+    /// `dyn BranchPredictor` block-wise therefore costs one virtual
+    /// call per block instead of two per event.
+    fn eval_block(&mut self, events: &[BranchEvent], stats: &mut PredStats) {
+        for ev in events {
+            let pred = self.predict(ev);
+            stats.tally(ev, &pred);
+            self.update(ev, &pred);
+        }
+    }
 }
 
 impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
@@ -96,6 +112,9 @@ impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
     }
     fn flush(&mut self) {
         (**self).flush()
+    }
+    fn eval_block(&mut self, events: &[BranchEvent], stats: &mut PredStats) {
+        (**self).eval_block(events, stats)
     }
 }
 
@@ -134,6 +153,24 @@ impl PredStats {
     #[must_use]
     pub fn miss_ratio(&self) -> f64 {
         ratio(self.btb_misses, self.btb_lookups)
+    }
+
+    /// Score one resolved prediction (the accounting half of
+    /// [`Evaluator::branch`], shared with
+    /// [`BranchPredictor::eval_block`]).
+    #[inline]
+    pub fn tally(&mut self, ev: &BranchEvent, pred: &Prediction) {
+        let correct = pred.is_correct(ev);
+        self.events += 1;
+        self.correct += u64::from(correct);
+        if ev.kind == BranchKind::Cond {
+            self.cond_events += 1;
+            self.cond_correct += u64::from(correct);
+        }
+        if let Some(hit) = pred.hit {
+            self.btb_lookups += 1;
+            self.btb_misses += u64::from(!hit);
+        }
     }
 
     /// Merge another run's statistics.
@@ -177,20 +214,18 @@ impl<P: BranchPredictor> Evaluator<P> {
     }
 }
 
+impl<P: BranchPredictor> Evaluator<P> {
+    /// Score a whole block of events in one predictor call (see
+    /// [`BranchPredictor::eval_block`]).
+    pub fn branch_block(&mut self, events: &[BranchEvent]) {
+        self.predictor.eval_block(events, &mut self.stats);
+    }
+}
+
 impl<P: BranchPredictor> ExecHooks for Evaluator<P> {
     fn branch(&mut self, ev: &BranchEvent) {
         let pred = self.predictor.predict(ev);
-        let correct = pred.is_correct(ev);
-        self.stats.events += 1;
-        self.stats.correct += u64::from(correct);
-        if ev.kind == BranchKind::Cond {
-            self.stats.cond_events += 1;
-            self.stats.cond_correct += u64::from(correct);
-        }
-        if let Some(hit) = pred.hit {
-            self.stats.btb_lookups += 1;
-            self.stats.btb_misses += u64::from(!hit);
-        }
+        self.stats.tally(ev, &pred);
         self.predictor.update(ev, &pred);
     }
 }

@@ -48,6 +48,9 @@ impl Default for SbtbConfig {
 pub struct Sbtb<S: TelemetrySink = NoopSink> {
     buf: AssocBuffer<Addr>,
     sink: S,
+    /// `(pc, way)` of the entry the last `predict` hit, so `update` can
+    /// revisit it without a second buffer search.
+    last_hit: Option<(u32, u32)>,
 }
 
 impl Sbtb {
@@ -83,6 +86,7 @@ impl<S: TelemetrySink> Sbtb<S> {
         Sbtb {
             buf: AssocBuffer::new(config.entries / config.ways, config.ways),
             sink,
+            last_hit: None,
         }
     }
 
@@ -124,7 +128,9 @@ impl<S: TelemetrySink> BranchPredictor for Sbtb<S> {
     }
 
     fn predict(&mut self, ev: &BranchEvent) -> Prediction {
-        match self.buf.lookup(ev.pc.0).copied() {
+        let hit = self.buf.lookup_pos(ev.pc.0).map(|(way, t)| (way, *t));
+        self.last_hit = hit.map(|(way, _)| (ev.pc.0, way));
+        match hit.map(|(_, t)| t) {
             Some(target) => {
                 self.probe(ev.pc.0, ProbeKind::Hit);
                 Prediction {
@@ -172,19 +178,33 @@ impl<S: TelemetrySink> BranchPredictor for Sbtb<S> {
                 }
             }
         }
+        let cached_way = match self.last_hit.take() {
+            Some((pc, way)) if pc == ev.pc.0 => Some(way),
+            _ => None,
+        };
         if ev.taken {
-            // Remember (or refresh) the taken branch and its target.
+            // Remember (or refresh) the taken branch and its target; a
+            // predict-time hit already knows the way, skipping the search.
+            if let Some(way) = cached_way {
+                if let Some(target) = self.buf.touch(ev.pc.0, way) {
+                    *target = ev.target;
+                    return;
+                }
+            }
             if let Some((victim, _)) = self.buf.insert(ev.pc.0, ev.target) {
                 self.probe(victim, ProbeKind::Evict);
             }
         } else if pred.hit == Some(true) {
             // Predicted taken but fell through: delete the entry (§2.2).
-            self.buf.remove(ev.pc.0);
+            if cached_way.is_none_or(|way| self.buf.remove_at(ev.pc.0, way).is_none()) {
+                self.buf.remove(ev.pc.0);
+            }
         }
     }
 
     fn flush(&mut self) {
         self.buf.flush();
+        self.last_hit = None;
     }
 }
 

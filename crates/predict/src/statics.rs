@@ -16,6 +16,7 @@ use std::collections::HashMap;
 use branchlab_ir::{BranchId, Cond};
 use branchlab_trace::{BranchEvent, BranchKind, SiteStats};
 
+use crate::assoc::BuildKeyHasher;
 use crate::predictor::{BranchPredictor, Prediction, TargetInfo};
 
 /// Follows the likely bit *encoded in the executing instruction* — the
@@ -228,14 +229,16 @@ impl branchlab_trace::ExecHooks for OpcodeCounts {
 /// scheme at all.
 #[derive(Clone, Debug, Default)]
 pub struct ForwardSemantic {
-    likely: HashMap<BranchId, bool>,
+    likely: HashMap<BranchId, bool, BuildKeyHasher>,
 }
 
 impl ForwardSemantic {
     /// Build from explicit likely bits.
     #[must_use]
     pub fn new(likely: HashMap<BranchId, bool>) -> Self {
-        ForwardSemantic { likely }
+        ForwardSemantic {
+            likely: likely.into_iter().collect(),
+        }
     }
 
     /// Derive likely bits from profile data: a site is likely-taken when

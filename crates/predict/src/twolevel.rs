@@ -20,6 +20,7 @@ use branchlab_ir::Addr;
 use branchlab_telemetry::{NoopSink, ProbeEvent, ProbeKind, TelemetrySink};
 use branchlab_trace::{BranchEvent, BranchKind};
 
+use crate::assoc::BuildKeyHasher;
 use crate::predictor::{BranchPredictor, Prediction, TargetInfo};
 
 /// Shared 2-bit-counter pattern table.
@@ -56,7 +57,7 @@ impl PatternTable {
 /// *direction* prediction improvement).
 #[derive(Clone, Debug, Default)]
 struct TargetMap {
-    targets: HashMap<u32, Addr>,
+    targets: HashMap<u32, Addr, BuildKeyHasher>,
 }
 
 impl TargetMap {

@@ -1,0 +1,294 @@
+//! On-disk trace cache format.
+//!
+//! One file per (benchmark, program content, scale, seed) holds all of
+//! that benchmark's per-run [`TraceBuf`]s. The file embeds a digest of
+//! its [`TraceKey`] and an FNV-1a checksum of the payload, so a stale
+//! entry (the program or inputs changed) or a damaged file is detected
+//! on load and the caller degrades to re-capturing the trace.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic    8 bytes  "BLTRACE1"
+//! digest   u64      TraceKey::digest() of the writer's key
+//! runs     u32      number of per-run buffers
+//! per run: events u64, len u64, <len> encoded bytes
+//! checksum u64      FNV-1a over everything above
+//! ```
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::replay::TraceBuf;
+
+const MAGIC: &[u8; 8] = b"BLTRACE1";
+
+/// FNV-1a over a byte stream (the workspace's standard content hash).
+#[must_use]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+/// Identity of a cached trace: which benchmark, which program content,
+/// and which input-generation parameters produced it.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TraceKey {
+    /// Benchmark name.
+    pub bench: String,
+    /// Hash of the program source the trace was captured from; a
+    /// source edit invalidates the cache entry.
+    pub program_hash: u64,
+    /// Input scale (`test`/`small`/`paper`).
+    pub scale: String,
+    /// Input-generation seed.
+    pub seed: u64,
+}
+
+impl TraceKey {
+    /// A digest of every key field, embedded in the file and validated
+    /// on load.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut acc = Vec::with_capacity(self.bench.len() + self.scale.len() + 18);
+        acc.extend_from_slice(self.bench.as_bytes());
+        acc.push(0);
+        acc.extend_from_slice(&self.program_hash.to_le_bytes());
+        acc.extend_from_slice(self.scale.as_bytes());
+        acc.push(0);
+        acc.extend_from_slice(&self.seed.to_le_bytes());
+        hash_bytes(&acc)
+    }
+
+    /// Cache file name for this key.
+    #[must_use]
+    pub fn file_name(&self) -> String {
+        format!(
+            "{}-{}-{}-{:016x}.trace",
+            self.bench, self.scale, self.seed, self.program_hash
+        )
+    }
+}
+
+struct ChecksumWriter<W> {
+    inner: W,
+    hash: u64,
+}
+
+impl<W: Write> ChecksumWriter<W> {
+    fn new(inner: W) -> Self {
+        ChecksumWriter {
+            inner,
+            hash: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    fn put(&mut self, bytes: &[u8]) -> io::Result<()> {
+        for &b in bytes {
+            self.hash = (self.hash ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.inner.write_all(bytes)
+    }
+}
+
+/// Write a benchmark's per-run trace buffers to `path` (atomically via
+/// a sibling temp file, so readers never observe a half-written entry).
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn save_trace(path: &Path, key: &TraceKey, runs: &[TraceBuf]) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let tmp = path.with_extension("trace.tmp");
+    {
+        let file = std::fs::File::create(&tmp)?;
+        let mut w = ChecksumWriter::new(io::BufWriter::new(file));
+        w.put(MAGIC)?;
+        w.put(&key.digest().to_le_bytes())?;
+        w.put(
+            &u32::try_from(runs.len())
+                .map_err(io::Error::other)?
+                .to_le_bytes(),
+        )?;
+        for run in runs {
+            w.put(&run.events().to_le_bytes())?;
+            w.put(&(run.byte_len() as u64).to_le_bytes())?;
+            w.put(run.as_bytes())?;
+        }
+        let checksum = w.hash;
+        w.inner.write_all(&checksum.to_le_bytes())?;
+        w.inner.flush()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+fn invalid(reason: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, reason.to_string())
+}
+
+/// Load a benchmark's trace buffers from `path`, validating the magic,
+/// the key digest, and the payload checksum.
+///
+/// Returns `Ok(None)` when the file does not exist (a cache miss).
+///
+/// # Errors
+/// Returns an [`io::ErrorKind::InvalidData`] error for a stale key,
+/// bad magic, or checksum mismatch — callers treat any error as an
+/// invalid entry and re-capture.
+pub fn load_trace(path: &Path, key: &TraceKey) -> io::Result<Option<Vec<TraceBuf>>> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    if bytes.len() < MAGIC.len() + 8 + 4 + 8 {
+        return Err(invalid("trace file truncated"));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored_checksum = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+    if hash_bytes(body) != stored_checksum {
+        return Err(invalid("trace checksum mismatch"));
+    }
+    let mut r = body;
+    let mut take = |n: usize| -> io::Result<&[u8]> {
+        if r.len() < n {
+            return Err(invalid("trace file truncated"));
+        }
+        let (head, rest) = r.split_at(n);
+        r = rest;
+        Ok(head)
+    };
+    if take(MAGIC.len())? != MAGIC {
+        return Err(invalid("bad trace magic"));
+    }
+    let digest = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
+    if digest != key.digest() {
+        return Err(invalid("stale trace key"));
+    }
+    let run_count = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes"));
+    let mut runs = Vec::with_capacity(run_count as usize);
+    for _ in 0..run_count {
+        let events = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
+        let len = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
+        let len = usize::try_from(len).map_err(|_| invalid("run length overflow"))?;
+        runs.push(TraceBuf::from_parts(take(len)?.to_vec(), events));
+    }
+    if !r.is_empty() {
+        return Err(invalid("trailing bytes after last run"));
+    }
+    Ok(Some(runs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::Capture;
+    use crate::{BranchEvent, BranchKind, ExecHooks};
+    use branchlab_ir::{Addr, BlockId, BranchId, Cond, FuncId};
+
+    fn sample_runs() -> Vec<TraceBuf> {
+        let mut runs = Vec::new();
+        for r in 0..3u32 {
+            let mut cap = Capture::new();
+            for i in 0..5u32 {
+                cap.branch(&BranchEvent {
+                    pc: Addr(10 + i),
+                    kind: BranchKind::Cond,
+                    taken: (i + r) % 2 == 0,
+                    target: Addr(50),
+                    fallthrough: Addr(11 + i),
+                    branch: BranchId {
+                        func: FuncId(0),
+                        block: BlockId(i),
+                    },
+                    likely: false,
+                    cond: Some(Cond::Ne),
+                });
+            }
+            cap.call(Addr(99), FuncId(1));
+            runs.push(cap.into_buf());
+        }
+        runs
+    }
+
+    fn key() -> TraceKey {
+        TraceKey {
+            bench: "wc".into(),
+            program_hash: 0xdead_beef,
+            scale: "test".into(),
+            seed: 1989,
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("bltrace-test-{}", std::process::id()));
+        let path = dir.join(key().file_name());
+        let runs = sample_runs();
+        save_trace(&path, &key(), &runs).unwrap();
+        let loaded = load_trace(&path, &key()).unwrap().unwrap();
+        assert_eq!(loaded, runs);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_miss() {
+        let path = std::env::temp_dir().join("bltrace-does-not-exist.trace");
+        assert!(load_trace(&path, &key()).unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_payload_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("bltrace-corrupt-{}", std::process::id()));
+        let path = dir.join(key().file_name());
+        save_trace(&path, &key(), &sample_runs()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_trace(&path, &key()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_key_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("bltrace-stale-{}", std::process::id()));
+        let path = dir.join(key().file_name());
+        save_trace(&path, &key(), &sample_runs()).unwrap();
+        let stale = TraceKey {
+            program_hash: 0x1234,
+            ..key()
+        };
+        let err = load_trace(&path, &stale).unwrap_err();
+        assert!(err.to_string().contains("stale"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn key_digest_covers_every_field() {
+        let base = key();
+        for other in [
+            TraceKey {
+                bench: "grep".into(),
+                ..base.clone()
+            },
+            TraceKey {
+                program_hash: 1,
+                ..base.clone()
+            },
+            TraceKey {
+                scale: "small".into(),
+                ..base.clone()
+            },
+            TraceKey {
+                seed: 7,
+                ..base.clone()
+            },
+        ] {
+            assert_ne!(other.digest(), base.digest(), "{other:?}");
+        }
+    }
+}

@@ -13,11 +13,20 @@
 //! * [`SiteStats`]: per-site taken/total counts — the raw material for
 //!   profile-guided (Forward Semantic) prediction.
 //! * [`TraceRecorder`]: bounded event recording for tests.
+//! * [`TraceBuf`]/[`Capture`]/[`replay`]: compact capture of the full
+//!   dynamic event stream and memory-speed replay into any sink —
+//!   the trace-driven engine behind the sweep experiments.
+//! * [`TraceKey`]/[`save_trace`]/[`load_trace`]: hash-validated
+//!   on-disk trace caching.
 
 #![warn(missing_docs)]
 
+mod cache;
 mod event;
+mod replay;
 mod stats;
 
+pub use cache::{hash_bytes, load_trace, save_trace, TraceKey};
 pub use event::{BranchEvent, BranchKind, ExecHooks};
+pub use replay::{replay, Capture, ReplayError, TraceBuf};
 pub use stats::{BranchMix, SiteCounts, SiteStats, TraceRecorder};

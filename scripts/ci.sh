@@ -78,4 +78,40 @@ assert metrics.get("suite.retries") == 1, metrics.get("suite.retries")
 print("fault smoke OK: 11/12 benchmarks survived certain injection on wc")
 EOF
 
+echo "==> replay smoke: capture -> replay -> compare stats (replay_bench --scale test)"
+replay_out="$(mktemp -d)"
+trap 'rm -rf "$out" "$fault_out" "$replay_out"' EXIT
+cargo run --release -p branchlab-bench --bin replay_bench -- \
+    --scale test --trace-cache "$replay_out/trace-cache" \
+    --out "$replay_out/BENCH_replay.json" 2>"$replay_out/stderr.txt" \
+    || { echo "replay smoke failed" >&2; cat "$replay_out/stderr.txt" >&2; exit 1; }
+
+# Second run must hit the on-disk trace cache instead of re-capturing.
+cargo run --release -p branchlab-bench --bin replay_bench -- \
+    --scale test --trace-cache "$replay_out/trace-cache" \
+    --out "$replay_out/BENCH_replay2.json" 2>>"$replay_out/stderr.txt" \
+    || { echo "replay smoke (cached) failed" >&2; cat "$replay_out/stderr.txt" >&2; exit 1; }
+
+python3 - "$replay_out/BENCH_replay.json" "$replay_out/BENCH_replay2.json" <<'EOF'
+import json, sys
+cold = json.load(open(sys.argv[1]))
+warm = json.load(open(sys.argv[2]))
+assert cold["tool"] == "replay_bench", cold["tool"]
+assert cold["stats_match"] is True, "replayed tables differ from re-interpreted tables"
+assert cold["trace"]["captures"] >= 1, cold["trace"]
+assert cold["trace"]["events_replayed"] > 0, cold["trace"]
+for b in cold["benches"]:
+    assert b["stats_match"] is True, b["name"]
+assert warm["stats_match"] is True
+assert warm["trace"]["disk_hits"] >= 1, ("no disk-cache hit on warm run", warm["trace"])
+phases = {p["name"] for p in cold["phases"]}
+assert {"trace_capture", "trace_replay"} <= phases, phases
+print(f"replay smoke OK: {cold['trace']['events_replayed']} events replayed, "
+      f"tables identical, warm run served from disk cache")
+EOF
+
+# Keep the perf-trajectory artifact where future PRs can diff it.
+cp "$replay_out/BENCH_replay.json" BENCH_replay.test.json
+echo "==> replay artifact: BENCH_replay.test.json"
+
 echo "==> ci green"
