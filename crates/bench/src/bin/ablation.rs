@@ -4,8 +4,11 @@
 //! All studies on one benchmark are planned into a single
 //! [`ablation::full_study`] batch, so the whole set is scored in one
 //! pass over the captured trace (one capture + one replay per
-//! benchmark). A failing benchmark is reported on stderr and the
-//! binary exits non-zero after the surviving benchmarks have printed
+//! benchmark), and the benchmarks run through
+//! [`ablation::full_study_suite`], which overlaps the next
+//! benchmark's trace capture with the current one's sweep scoring.
+//! A failing benchmark is reported on stderr and the binary exits
+//! non-zero after the surviving benchmarks have printed
 //! (partial-result degradation, like the suite binaries).
 use branchlab::experiments::ablation::{self, StudySpec};
 use branchlab::workloads::benchmark;
@@ -15,13 +18,18 @@ fn main() {
     let cfg = &options.config;
     let spec = StudySpec::default();
     let mut failed = 0u32;
+    let mut benches = Vec::new();
     for name in ["compress", "cccp"] {
-        let Some(b) = benchmark(name) else {
-            eprintln!("ablation: benchmark {name} missing from suite");
-            failed += 1;
-            continue;
-        };
-        match ablation::full_study(b, cfg, &spec) {
+        match benchmark(name) {
+            Some(b) => benches.push(b),
+            None => {
+                eprintln!("ablation: benchmark {name} missing from suite");
+                failed += 1;
+            }
+        }
+    }
+    for (name, result) in ablation::full_study_suite(&benches, cfg, &spec) {
+        match result {
             Ok(tables) => {
                 for t in &tables {
                     println!("{}", options.render(t));

@@ -8,9 +8,20 @@
 //! wall-clock and the measured speedup so the perf trajectory is
 //! tracked PR over PR.
 //!
+//! A second phase measures the parallel sweep executor on the
+//! now-warm traces: each benchmark's study set is scored on one thread
+//! and on `--sweep-threads N` threads (default: available
+//! parallelism, floored at 4 so the executor's chunking and merge are
+//! always exercised), the tables are verified byte-identical, and the
+//! wall-clock plus `suite.sweep.parallel.*` counters land in
+//! `BENCH_sweep_parallel.json` (`--sweep-out`). The file records
+//! `available_parallelism` so a ~1x "speedup" on a single-core runner
+//! is self-explaining.
+//!
 //! Usage:
 //! `replay_bench [--scale test|small|paper] [--seed N] [--out FILE]
-//! [--trace-cache DIR] [--benches A,B,...]`
+//! [--sweep-out FILE] [--sweep-threads N] [--trace-cache DIR]
+//! [--benches A,B,...]`
 //!
 //! (Own argument parser: this binary needs `--out`/`--benches`, which
 //! the shared suite `Options` intentionally does not know about.)
@@ -18,7 +29,7 @@
 use std::time::Instant;
 
 use branchlab::experiments::ablation::{full_study, StudySpec};
-use branchlab::experiments::{ExperimentConfig, ExperimentError, Table, TraceStats};
+use branchlab::experiments::{ExperimentConfig, ExperimentError, SweepStats, Table, TraceStats};
 use branchlab::telemetry::JsonValue;
 use branchlab::workloads::{benchmark, Scale};
 
@@ -41,14 +52,18 @@ fn tables_csv(tables: &[Table]) -> String {
 struct Args {
     config: ExperimentConfig,
     out: std::path::PathBuf,
+    sweep_out: std::path::PathBuf,
+    sweep_threads: Option<usize>,
     benches: Vec<String>,
 }
 
 fn parse_args() -> Args {
     const USAGE: &str = "usage: replay_bench [--scale test|small|paper] [--seed N] \
-[--out FILE] [--trace-cache DIR] [--benches A,B,...]";
+[--out FILE] [--sweep-out FILE] [--sweep-threads N] [--trace-cache DIR] [--benches A,B,...]";
     let mut config = ExperimentConfig::default();
     let mut out = std::path::PathBuf::from("BENCH_replay.json");
+    let mut sweep_out = std::path::PathBuf::from("BENCH_sweep_parallel.json");
+    let mut sweep_threads = None;
     let mut benches: Vec<String> = vec!["compress".into(), "cccp".into()];
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -68,6 +83,17 @@ fn parse_args() -> Args {
                     .expect("--seed needs an integer");
             }
             "--out" => out = args.next().expect("--out needs a file path").into(),
+            "--sweep-out" => {
+                sweep_out = args.next().expect("--sweep-out needs a file path").into();
+            }
+            "--sweep-threads" => {
+                sweep_threads = Some(
+                    args.next()
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .expect("--sweep-threads needs an integer")
+                        .max(1),
+                );
+            }
             "--trace-cache" => {
                 config.trace_cache_dir =
                     Some(args.next().expect("--trace-cache needs a directory").into());
@@ -82,8 +108,121 @@ fn parse_args() -> Args {
     Args {
         config,
         out,
+        sweep_out,
+        sweep_threads,
         benches,
     }
+}
+
+/// Phase two: serial-vs-parallel sweep scoring on warm traces, written
+/// to `--sweep-out`. Returns whether every parallel table matched its
+/// serial twin.
+fn sweep_parallel_phase(args: &Args) -> bool {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    // Floor at 4 so chunking, batch stealing, and the plan-order merge
+    // are exercised even on small runners; the report records `cores`
+    // so a ~1x speedup there is self-explaining.
+    let threads = args.sweep_threads.unwrap_or_else(|| cores.max(4));
+    let serial_cfg = ExperimentConfig {
+        sweep_threads: Some(1),
+        ..args.config.clone()
+    };
+    let parallel_cfg = ExperimentConfig {
+        sweep_threads: Some(threads),
+        ..args.config.clone()
+    };
+
+    let mut per_bench = Vec::new();
+    let mut total_serial = 0.0f64;
+    let mut total_parallel = 0.0f64;
+    let mut all_match = true;
+    let run_started = SweepStats::snapshot();
+
+    for name in &args.benches {
+        let bench =
+            benchmark(name).unwrap_or_else(|| panic!("benchmark `{name}` missing from suite"));
+
+        // Traces are warm from phase one (same scale/seed), so both
+        // timings below are pure sweep scoring, not capture.
+        let started = Instant::now();
+        let serial = study_set(bench, &serial_cfg)
+            .unwrap_or_else(|e| panic!("{name}: serial sweep failed: {e}"));
+        let serial_s = started.elapsed().as_secs_f64();
+
+        let before = SweepStats::snapshot();
+        let started = Instant::now();
+        let parallel = study_set(bench, &parallel_cfg)
+            .unwrap_or_else(|e| panic!("{name}: parallel sweep failed: {e}"));
+        let parallel_s = started.elapsed().as_secs_f64();
+        let delta = SweepStats::snapshot().since(&before);
+
+        let tables_match = tables_csv(&serial) == tables_csv(&parallel);
+        all_match &= tables_match;
+        let speedup = if parallel_s > 0.0 {
+            serial_s / parallel_s
+        } else {
+            f64::INFINITY
+        };
+        total_serial += serial_s;
+        total_parallel += parallel_s;
+        eprintln!(
+            "{name}: serial sweep {serial_s:.2}s, {threads}-thread sweep {parallel_s:.2}s \
+             ({speedup:.1}x, {} points in {} batches, match: {tables_match})",
+            delta.points, delta.batches,
+        );
+
+        per_bench.push(JsonValue::obj(vec![
+            ("name", name.as_str().into()),
+            ("serial_s", serial_s.into()),
+            ("parallel_s", parallel_s.into()),
+            ("speedup", speedup.into()),
+            ("tables_match", tables_match.into()),
+            ("sweep", delta.to_json_value()),
+        ]));
+    }
+
+    let sweep = SweepStats::snapshot().since(&run_started);
+    let speedup = if total_parallel > 0.0 {
+        total_serial / total_parallel
+    } else {
+        f64::INFINITY
+    };
+    let report = JsonValue::obj(vec![
+        ("tool", "replay_bench/sweep_parallel".into()),
+        ("threads", (threads as u64).into()),
+        ("available_parallelism", (cores as u64).into()),
+        (
+            "scale",
+            format!("{:?}", args.config.scale).to_lowercase().into(),
+        ),
+        ("seed", args.config.seed.into()),
+        ("tables_match", all_match.into()),
+        ("serial_s", total_serial.into()),
+        ("parallel_s", total_parallel.into()),
+        ("speedup", speedup.into()),
+        ("benches", JsonValue::Arr(per_bench)),
+        ("sweep", sweep.to_json_value()),
+        (
+            "phases",
+            JsonValue::Arr(
+                sweep
+                    .phase_spans()
+                    .iter()
+                    .map(branchlab::telemetry::PhaseSpan::to_json_value)
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(&args.sweep_out, report.to_json_pretty() + "\n")
+        .unwrap_or_else(|e| panic!("writing {} failed: {e}", args.sweep_out.display()));
+    eprintln!(
+        "replay_bench: serial sweep {total_serial:.2}s vs {threads}-thread sweep \
+         {total_parallel:.2}s ({speedup:.1}x on {cores} cores) -> {}",
+        args.sweep_out.display()
+    );
+    all_match
 }
 
 fn main() {
@@ -182,8 +321,13 @@ fn main() {
          {total_replay:.2}s ({speedup:.1}x) -> {}",
         args.out.display()
     );
+    let sweep_match = sweep_parallel_phase(&args);
     if !all_match {
         eprintln!("replay_bench: MISMATCH between replayed and re-interpreted tables");
+        std::process::exit(1);
+    }
+    if !sweep_match {
+        eprintln!("replay_bench: MISMATCH between serial and parallel sweep tables");
         std::process::exit(1);
     }
 }

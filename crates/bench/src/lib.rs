@@ -19,6 +19,9 @@
 //!   (hash-validated; stale or corrupt entries degrade to re-capture)
 //! * `--no-trace-replay` — re-interpret every sweep point instead of
 //!   replaying captured traces (the slow baseline)
+//! * `--sweep-threads N` — score sweep points on N worker threads
+//!   (default: `BRANCHLAB_SWEEP_THREADS`, else the machine's available
+//!   parallelism); results are bit-identical at any thread count
 
 #![warn(missing_docs)]
 
@@ -65,7 +68,8 @@ pub struct Options {
 
 const USAGE: &str =
     "usage: [--scale test|small|paper] [--seed N] [--markdown|--csv] [--no-verify] \
-[--telemetry-out DIR] [--trace-cache DIR] [--no-trace-replay] [--max-attempts N] \
+[--telemetry-out DIR] [--trace-cache DIR] [--no-trace-replay] [--sweep-threads N] \
+[--max-attempts N] \
 [--backoff-ms N] [--watchdog-ms N] [--checkpoint FILE] [--resume] [--fault-exec-rate R] \
 [--fault-panic-rate R] [--fault-delay-rate R] [--fault-delay-ms N] [--fault-seed N] \
 [--fault-benches A,B,...]";
@@ -130,6 +134,10 @@ impl Options {
                     config.trace_cache_dir = Some(PathBuf::from(dir));
                 }
                 "--no-trace-replay" => config.use_trace_replay = false,
+                "--sweep-threads" => {
+                    config.sweep_threads =
+                        Some((next_u64(&mut args, "--sweep-threads") as usize).max(1));
+                }
                 "--max-attempts" => {
                     supervisor.max_attempts = next_u64(&mut args, "--max-attempts").max(1) as u32;
                 }
@@ -327,6 +335,21 @@ pub fn write_telemetry(
     let trace = branchlab::experiments::TraceStats::snapshot();
     trace.export(&registry);
     manifest.set_section("trace", trace.to_json_value());
+    let sweep = branchlab::experiments::SweepStats::snapshot();
+    sweep.export(&registry);
+    let mut sweep_json = sweep.to_json_value();
+    if let JsonValue::Obj(fields) = &mut sweep_json {
+        fields.push((
+            "configured_threads".to_string(),
+            JsonValue::from(cfg.resolved_sweep_threads() as u64),
+        ));
+    }
+    manifest.set_section("sweep_parallel", sweep_json);
+    for span in sweep.phase_spans() {
+        registry
+            .counter(&format!("suite.sweep.parallel.phase.{}.wall_us", span.name))
+            .add(span.wall.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
     manifest.set_section(
         "supervisor",
         JsonValue::Obj(
@@ -486,6 +509,20 @@ mod tests {
     #[should_panic(expected = "unknown argument")]
     fn unknown_flag_rejected() {
         let _ = Options::parse(["--bogus".to_string()]);
+    }
+
+    #[test]
+    fn sweep_threads_flag_parses_and_clamps() {
+        let o = Options::parse(Vec::new());
+        assert!(
+            o.config.sweep_threads.is_none(),
+            "default defers to env/cores"
+        );
+        let o = Options::parse(["--sweep-threads", "6"].map(String::from));
+        assert_eq!(o.config.sweep_threads, Some(6));
+        assert_eq!(o.config.resolved_sweep_threads(), 6);
+        let o = Options::parse(["--sweep-threads", "0"].map(String::from));
+        assert_eq!(o.config.sweep_threads, Some(1), "0 clamps to serial");
     }
 
     #[test]

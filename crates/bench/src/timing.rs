@@ -1,7 +1,7 @@
 //! A minimal std-only timing harness for the `benches/` binaries.
 //!
 //! Each bench is a plain `fn main()` (the `[[bench]]` entries set
-//! `harness = false`): call [`bench`] per case and it prints one line
+//! `harness = false`): call [`bench()`] per case and it prints one line
 //! with the median, min, and max wall-clock over the measured
 //! iterations. Use [`std::hint::black_box`] inside the closure to keep
 //! the optimizer honest.

@@ -486,6 +486,56 @@ pub fn full_study(
     ])
 }
 
+/// [`full_study`] over a list of benchmarks with capture/score overlap:
+/// a producer thread runs the capture+profile pipeline for benchmark
+/// *i + 1* (warming the process-wide trace and profile caches) while
+/// the current thread scores benchmark *i* off its freshly cached
+/// trace. The handoff is a zero-capacity rendezvous channel, so the
+/// pipeline is bounded at two slots — one benchmark being captured, one
+/// being scored — and never buffers more than one trace ahead.
+///
+/// Prefetch errors are deliberately swallowed: the scoring side re-runs
+/// the failed pipeline stage itself (a cache miss) and reports the
+/// error in its own result slot, keeping per-benchmark error
+/// attribution identical to the sequential path. Tables are
+/// bit-identical to calling [`full_study`] per benchmark in order.
+///
+/// In baseline (`use_trace_replay = false`) mode there is no trace to
+/// prefetch and the suite degrades to the plain sequential loop.
+pub fn full_study_suite(
+    benches: &[&Benchmark],
+    config: &ExperimentConfig,
+    spec: &StudySpec<'_>,
+) -> Vec<(&'static str, Result<Vec<Table>, ExperimentError>)> {
+    if !config.use_trace_replay || benches.len() < 2 {
+        return benches
+            .iter()
+            .map(|b| (b.name, full_study(b, config, spec)))
+            .collect();
+    }
+    std::thread::scope(|s| {
+        let (ready_tx, ready_rx) = std::sync::mpsc::sync_channel::<()>(0);
+        s.spawn(move || {
+            for b in benches {
+                let _ = crate::trace_replay::captured_runs(b, config);
+                let _ = cached_profile(b, config);
+                if ready_tx.send(()).is_err() {
+                    return; // consumer gone; stop prefetching
+                }
+            }
+        });
+        benches
+            .iter()
+            .map(|b| {
+                // Wait for this benchmark's prefetch slot; a dead
+                // producer only costs the overlap, never the result.
+                let _ = ready_rx.recv();
+                (b.name, full_study(b, config, spec))
+            })
+            .collect()
+    })
+}
+
 /// Convenience: per-scheme accuracies for a list of predictors (used by
 /// the criterion benches).
 #[must_use]
@@ -574,6 +624,28 @@ mod tests {
         let cbtb = parse(&t.rows[0][2]);
         let gshare = parse(&t.rows[1][2]);
         assert!(gshare > cbtb - 5.0, "gshare {gshare} vs cbtb {cbtb}");
+    }
+
+    #[test]
+    fn full_study_suite_matches_sequential_studies() {
+        let cfg = cfg();
+        let spec = StudySpec {
+            btb_sizes: &[16, 64],
+            assoc_entries: 64,
+            assoc_ways: &[1, 64],
+            counter_variants: &[(2, 2)],
+            context_intervals: &[1_000],
+            ras_depths: &[8],
+            delay_max_slots: 1,
+        };
+        let benches = [benchmark("wc").unwrap(), benchmark("cmp").unwrap()];
+        let piped = full_study_suite(&benches, &cfg, &spec);
+        assert_eq!(piped.len(), 2);
+        for (name, result) in piped {
+            let solo = full_study(benchmark(name).unwrap(), &cfg, &spec).unwrap();
+            let tables = result.unwrap();
+            assert_eq!(format!("{tables:?}"), format!("{solo:?}"), "{name}");
+        }
     }
 
     #[test]

@@ -12,16 +12,37 @@
 //! full compile→profile→interpret pipeline per configuration point —
 //! the O(points × interpret) re-interpretation baseline that
 //! `replay_bench` measures trace replay against.
+//!
+//! ## Parallel scoring
+//!
+//! With more than one sweep thread resolved
+//! ([`ExperimentConfig::resolved_sweep_threads`]), the replay pass
+//! shards its sweep points across `std::thread::scope` workers. The
+//! captured [`TraceBuf`]s are shared read-only; each work batch (a
+//! chunk of predictors, or the return-address-stack set) re-decodes
+//! the stream through its own [`BlockIter`], so every sweep point
+//! still observes the complete event sequence in capture order — which
+//! makes the merged results **bit-identical to the serial path by
+//! construction**, independent of worker count and scheduling. Workers
+//! claim batches from a shared queue (dynamic load balancing; the
+//! claims beyond each worker's first are counted as
+//! `stolen_batches`), and results are merged back in plan order.
+//!
+//! [`TraceBuf`]: branchlab_trace::TraceBuf
+
+use std::sync::Mutex;
+use std::time::Instant;
 
 use branchlab_interp::run;
 use branchlab_ir::{lower, Addr, FuncId};
 use branchlab_predict::{BranchPredictor, Evaluator, PredStats, ReturnAddressStack};
 use branchlab_profile::profile_module_with;
-use branchlab_trace::{BranchEvent, ExecHooks};
+use branchlab_trace::{BlockIter, BranchEvent, CallRet, ExecHooks, TraceBuf};
 use branchlab_workloads::Benchmark;
 
 use crate::harness::{eval_predictors_live, ExperimentConfig, ExperimentError};
-use crate::trace_replay::{captured_runs, replay_runs};
+use crate::sweep_stats::{note_sweep, SweepStats};
+use crate::trace_replay::{captured_runs, note_replay, replay_runs};
 
 /// Handle to one enqueued predictor group (one study's sweep points);
 /// redeem with [`SweepResults::stats`].
@@ -37,6 +58,30 @@ pub struct RasTicket {
 }
 
 /// A deferred evaluation over one benchmark's event stream.
+///
+/// Enqueue predictor groups and return-address stacks, then score
+/// everything in one pass over the benchmark's captured trace:
+///
+/// ```
+/// use branchlab_experiments::{ExperimentConfig, SweepBatch};
+/// use branchlab_predict::{Cbtb, Sbtb};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let bench = branchlab_workloads::benchmark("wc").unwrap();
+/// let config = ExperimentConfig::test();
+///
+/// let mut batch = SweepBatch::new(bench, &config);
+/// let btbs = batch.eval(vec![Box::new(Sbtb::paper()), Box::new(Cbtb::paper())]);
+/// let stacks = batch.ras(&[8]);
+///
+/// let results = batch.run()?;
+/// let stats = results.stats(btbs);
+/// assert_eq!(stats.len(), 2);
+/// assert!(stats[0].accuracy() > 0.5);
+/// assert!(results.ras(stacks)[0].returns > 0);
+/// # Ok(())
+/// # }
+/// ```
 pub struct SweepBatch<'a> {
     bench: &'a Benchmark,
     config: &'a ExperimentConfig,
@@ -101,7 +146,9 @@ impl<'a> SweepBatch<'a> {
         }
     }
 
-    /// One replay pass feeds every evaluator and stack at once.
+    /// One replay pass feeds every evaluator and stack at once — on one
+    /// thread, or sharded across sweep workers (see the module docs);
+    /// the results are bit-identical either way.
     fn run_replay(self) -> Result<SweepResults, ExperimentError> {
         let runs = captured_runs(self.bench, self.config)?;
         let group_sizes: Vec<usize> = self.groups.iter().map(Vec::len).collect();
@@ -112,7 +159,10 @@ impl<'a> SweepBatch<'a> {
             .map(Evaluator::new)
             .collect();
         let mut ras = self.ras;
-        {
+        let threads = self.config.resolved_sweep_threads();
+        if threads > 1 && evals.len() + usize::from(!ras.is_empty()) > 1 {
+            (evals, ras) = score_parallel(&runs, evals, ras, threads)?;
+        } else {
             let mut sink = BatchSink {
                 evals: &mut evals,
                 ras: &mut ras,
@@ -244,6 +294,187 @@ impl ExecHooks for BatchSink<'_> {
     }
 }
 
+/// The flattened evaluator list the executor shards and reassembles.
+type BoxedEvals = Vec<Evaluator<Box<dyn BranchPredictor>>>;
+
+/// One unit of parallel sweep work. Each item owns its sinks and
+/// re-decodes the shared trace through its own [`BlockIter`], so items
+/// never contend on anything but the queue lock.
+enum WorkItem {
+    /// A chunk of the flattened evaluator list, with the index of its
+    /// first evaluator for plan-order reassembly.
+    Preds { start: usize, evals: BoxedEvals },
+    /// The full return-address-stack set (stacks consume only the
+    /// call/return half of the stream, so they travel as one item).
+    Ras { stacks: Vec<ReturnAddressStack> },
+}
+
+/// What a worker hands back after scoring an item.
+enum DoneItem {
+    Preds { start: usize, evals: BoxedEvals },
+    Ras { stacks: Vec<ReturnAddressStack> },
+}
+
+/// Score one work item over the shared trace. Every item consumes the
+/// complete event stream in capture order, so its statistics are
+/// independent of which worker runs it and when.
+fn score_item(runs: &[TraceBuf], item: WorkItem) -> Result<DoneItem, ExperimentError> {
+    let started = Instant::now();
+    let mut iter = BlockIter::with_block_events(runs, EVENT_BLOCK);
+    let done = match item {
+        WorkItem::Preds { start, mut evals } => {
+            while let Some(block) = iter
+                .next_block()
+                .map_err(|e| ExperimentError::Trace(e.to_string()))?
+            {
+                for e in &mut evals {
+                    e.branch_block(block.branches);
+                }
+            }
+            DoneItem::Preds { start, evals }
+        }
+        WorkItem::Ras { mut stacks } => {
+            while let Some(block) = iter
+                .next_block()
+                .map_err(|e| ExperimentError::Trace(e.to_string()))?
+            {
+                for &cr in block.callrets {
+                    for r in &mut stacks {
+                        match cr {
+                            CallRet::Call { from, callee } => r.call(from, callee),
+                            CallRet::Ret { from, to } => r.ret(from, to),
+                        }
+                    }
+                }
+            }
+            DoneItem::Ras { stacks }
+        }
+    };
+    note_replay(
+        iter.delivered(),
+        started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+    );
+    Ok(done)
+}
+
+/// The parallel sweep executor: shard the evaluators (plus the RAS set)
+/// into work items, score them on `threads` scoped workers claiming
+/// from a shared queue, and merge the results back into the original
+/// flattened order.
+///
+/// Chunking targets ~3 batches per worker so a slow chunk can be
+/// balanced out by the queue, without paying a per-point decode.
+fn score_parallel(
+    runs: &[TraceBuf],
+    evals: BoxedEvals,
+    ras: Vec<ReturnAddressStack>,
+    threads: usize,
+) -> Result<(BoxedEvals, Vec<ReturnAddressStack>), ExperimentError> {
+    let n_points = evals.len();
+    let chunk = n_points.div_ceil(threads * 3).max(1);
+    let mut queue: Vec<WorkItem> = Vec::new();
+    if !ras.is_empty() {
+        queue.push(WorkItem::Ras { stacks: ras });
+    }
+    let mut rest = evals;
+    let mut start = 0;
+    while !rest.is_empty() {
+        let tail = rest.split_off(chunk.min(rest.len()));
+        queue.push(WorkItem::Preds { start, evals: rest });
+        start += chunk;
+        rest = tail;
+    }
+    let n_batches = queue.len() as u64;
+    let workers = threads.min(queue.len()).max(1);
+
+    let queue = Mutex::new(queue);
+    let done: Mutex<Vec<DoneItem>> = Mutex::new(Vec::new());
+    let first_error: Mutex<Option<ExperimentError>> = Mutex::new(None);
+    let stolen = std::sync::atomic::AtomicU64::new(0);
+    let busy_us = std::sync::atomic::AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let started = Instant::now();
+                let mut claims = 0u64;
+                loop {
+                    if first_error.lock().is_ok_and(|e| e.is_some()) {
+                        break;
+                    }
+                    let item = queue.lock().ok().and_then(|mut q| q.pop());
+                    let Some(item) = item else { break };
+                    claims += 1;
+                    match score_item(runs, item) {
+                        Ok(result) => {
+                            if let Ok(mut d) = done.lock() {
+                                d.push(result);
+                            }
+                        }
+                        Err(e) => {
+                            if let Ok(mut slot) = first_error.lock() {
+                                slot.get_or_insert(e);
+                            }
+                            break;
+                        }
+                    }
+                }
+                stolen.fetch_add(
+                    claims.saturating_sub(1),
+                    std::sync::atomic::Ordering::Relaxed,
+                );
+                busy_us.fetch_add(
+                    started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+                    std::sync::atomic::Ordering::Relaxed,
+                );
+            });
+        }
+    });
+
+    if let Some(e) = first_error
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    {
+        return Err(e);
+    }
+
+    let merge_started = Instant::now();
+    let done = done
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut out_evals: Vec<Option<Evaluator<Box<dyn BranchPredictor>>>> = Vec::new();
+    out_evals.resize_with(n_points, || None);
+    let mut out_ras = Vec::new();
+    for item in done {
+        match item {
+            DoneItem::Preds { start, evals } => {
+                for (i, e) in evals.into_iter().enumerate() {
+                    out_evals[start + i] = Some(e);
+                }
+            }
+            DoneItem::Ras { stacks } => out_ras = stacks,
+        }
+    }
+    let out_evals: Vec<_> = out_evals
+        .into_iter()
+        .map(|e| e.expect("every scored work item was merged"))
+        .collect();
+
+    note_sweep(&SweepStats {
+        sweeps: 1,
+        workers: workers as u64,
+        points: n_points as u64,
+        batches: n_batches,
+        stolen_batches: stolen.into_inner(),
+        busy_us: busy_us.into_inner(),
+        merge_us: merge_started
+            .elapsed()
+            .as_micros()
+            .min(u128::from(u64::MAX)) as u64,
+    });
+    Ok((out_evals, out_ras))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +505,51 @@ mod tests {
         assert_eq!(ras.len(), 2);
         assert!(ras[0].returns > 0);
         assert!(ras[1].accuracy() >= ras[0].accuracy());
+    }
+
+    #[test]
+    fn parallel_replay_is_bit_identical_to_serial() {
+        let bench = benchmark("grep").unwrap();
+        fn plan<'a>(
+            bench: &'a Benchmark,
+            cfg: &'a ExperimentConfig,
+        ) -> (SweepBatch<'a>, PredTicket, PredTicket, RasTicket) {
+            let mut batch = SweepBatch::new(bench, cfg);
+            let a = batch.eval(vec![
+                Box::new(Sbtb::paper()) as Box<dyn BranchPredictor>,
+                Box::new(Cbtb::paper()),
+                Box::new(AlwaysTaken),
+            ]);
+            let b = batch.eval(vec![Box::new(Cbtb::paper()) as Box<dyn BranchPredictor>]);
+            let r = batch.ras(&[4, 64]);
+            (batch, a, b, r)
+        }
+        let serial_cfg = ExperimentConfig {
+            sweep_threads: Some(1),
+            ..ExperimentConfig::test()
+        };
+        let (batch, sa, sb, sr) = plan(bench, &serial_cfg);
+        let serial = batch.run().unwrap();
+        for threads in [2, 3, 7] {
+            let cfg = ExperimentConfig {
+                sweep_threads: Some(threads),
+                ..ExperimentConfig::test()
+            };
+            let before = SweepStats::snapshot();
+            let (batch, pa, pb, pr) = plan(bench, &cfg);
+            let parallel = batch.run().unwrap();
+            assert_eq!(parallel.stats(pa), serial.stats(sa), "threads={threads}");
+            assert_eq!(parallel.stats(pb), serial.stats(sb), "threads={threads}");
+            let (ser, par) = (serial.ras(sr), parallel.ras(pr));
+            assert_eq!(par.len(), ser.len());
+            for (p, s) in par.iter().zip(ser) {
+                assert_eq!((p.returns, p.correct), (s.returns, s.correct));
+            }
+            let delta = SweepStats::snapshot().since(&before);
+            assert_eq!(delta.sweeps, 1, "threads={threads}");
+            assert_eq!(delta.points, 4, "threads={threads}");
+            assert!(delta.batches >= 2, "threads={threads} {delta:?}");
+        }
     }
 
     #[test]

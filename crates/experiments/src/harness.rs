@@ -85,6 +85,17 @@ pub struct ExperimentConfig {
     ///
     /// [`SweepBatch`]: crate::batch::SweepBatch
     pub sweep_per_point: bool,
+    /// Worker threads for parallel sweep scoring in [`SweepBatch`]-driven
+    /// studies (`--sweep-threads N`). `None` consults the
+    /// `BRANCHLAB_SWEEP_THREADS` environment variable, then falls back
+    /// to `available_parallelism`; an explicit value may exceed the core
+    /// count (useful for scheduling experiments). Results are
+    /// bit-identical at every thread count — each sweep point consumes
+    /// the complete event stream in capture order regardless of which
+    /// worker scores it.
+    ///
+    /// [`SweepBatch`]: crate::batch::SweepBatch
+    pub sweep_threads: Option<usize>,
 }
 
 impl Default for ExperimentConfig {
@@ -104,6 +115,7 @@ impl Default for ExperimentConfig {
             use_trace_replay: true,
             trace_cache_dir: None,
             sweep_per_point: false,
+            sweep_threads: None,
         }
     }
 }
@@ -116,6 +128,27 @@ impl ExperimentConfig {
             scale: Scale::Test,
             ..ExperimentConfig::default()
         }
+    }
+
+    /// The effective sweep worker count: [`ExperimentConfig::sweep_threads`]
+    /// if set, else the `BRANCHLAB_SWEEP_THREADS` environment variable,
+    /// else `available_parallelism`. Always at least 1. Only the
+    /// automatic fallback is capped by the machine's core count; an
+    /// explicit request is honored as given.
+    #[must_use]
+    pub fn resolved_sweep_threads(&self) -> usize {
+        if let Some(n) = self.sweep_threads {
+            return n.max(1);
+        }
+        if let Some(n) = std::env::var("BRANCHLAB_SWEEP_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            return n.max(1);
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
     }
 
     pub(crate) fn exec_config(&self) -> ExecConfig {

@@ -47,6 +47,7 @@ pub mod figures;
 mod harness;
 mod render;
 pub mod supervisor;
+mod sweep_stats;
 pub mod tables;
 pub mod trace_replay;
 
@@ -61,4 +62,5 @@ pub use render::{f2, mcount, pct, rho, Align, Table};
 pub use supervisor::{
     run_suite_supervised, supervise, AttemptFn, BenchFailure, SupervisorConfig, SupervisorStats,
 };
+pub use sweep_stats::SweepStats;
 pub use trace_replay::TraceStats;

@@ -348,6 +348,15 @@ pub fn run_suite_supervised(config: &ExperimentConfig, sup: &SupervisorConfig) -
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
         .min(pending.len());
+    // Divide the sweep-thread budget across the supervisor workers:
+    // each in-flight benchmark gets an equal share (at least 1), so
+    // supervisor threads × sweep workers never exceeds the configured
+    // budget — without this, every concurrent benchmark would spawn a
+    // full complement of sweep workers and oversubscribe the machine.
+    let config = &ExperimentConfig {
+        sweep_threads: Some((config.resolved_sweep_threads() / n_workers.max(1)).max(1)),
+        ..config.clone()
+    };
     type Slot = Option<(Result<(BenchResult, u32), BenchFailure>, SupervisorStats)>;
     let slots: Arc<Mutex<Vec<Slot>>> = Arc::new(Mutex::new(vec![None; pending.len()]));
     let cursor = Arc::new(std::sync::atomic::AtomicUsize::new(0));

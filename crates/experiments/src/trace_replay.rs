@@ -283,6 +283,17 @@ pub fn replay_runs<H: ExecHooks>(runs: &[TraceBuf], hooks: &mut H) -> Result<u64
     Ok(events)
 }
 
+/// Credit the trace counters for a replay pass performed outside
+/// [`replay_runs`] — the parallel sweep executor decodes the shared
+/// buffers itself (one streaming decode per work batch) and reports
+/// its decode traffic here so `suite.trace.*` stays an honest account
+/// of replay work.
+pub(crate) fn note_replay(events: u64, wall_us: u64) {
+    bump(&counter_cells::replays, 1);
+    bump(&counter_cells::events_replayed, events);
+    bump(&counter_cells::replay_us, wall_us);
+}
+
 /// The benchmark's profiling pass (instrumented layout), computed once
 /// per [`TraceKey`] and shared — `context_switch_study` and
 /// `delay_slot_study` both need it, and under replay neither should

@@ -1,0 +1,63 @@
+//! Parallel sweep fidelity: for every suite benchmark, the full
+//! ablation study set must render byte-identical tables whether its
+//! sweep points are scored on 1 thread (the serial path), 2 threads,
+//! or more threads than the machine has cores.
+//!
+//! This is the executor's core guarantee — each sweep point consumes
+//! the complete event stream in capture order regardless of which
+//! worker scores it, so worker count and scheduling cannot perturb any
+//! statistic.
+
+use branchlab_experiments::ablation::{full_study, StudySpec};
+use branchlab_experiments::{ExperimentConfig, SweepStats};
+use branchlab_workloads::{Scale, SUITE};
+
+fn config(threads: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        scale: Scale::Test,
+        sweep_threads: Some(threads),
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Render a study set to one comparable byte string.
+fn rendered(tables: &[branchlab_experiments::Table]) -> String {
+    tables
+        .iter()
+        .map(branchlab_experiments::Table::to_csv)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn tables_are_byte_identical_across_thread_counts() {
+    let spec = StudySpec::default();
+    // More workers than any realistic core count, to exercise the
+    // worker cap and uneven chunking.
+    let many = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .max(4)
+        + 3;
+    let before = SweepStats::snapshot();
+    for bench in SUITE {
+        let serial = rendered(&full_study(bench, &config(1), &spec).unwrap());
+        for threads in [2, many] {
+            let parallel = rendered(&full_study(bench, &config(threads), &spec).unwrap());
+            assert_eq!(
+                parallel, serial,
+                "{} diverged at sweep_threads={threads}",
+                bench.name
+            );
+        }
+    }
+    let delta = SweepStats::snapshot().since(&before);
+    // Two parallel passes per suite benchmark actually took the
+    // parallel path and scored every predictor point there.
+    assert_eq!(delta.sweeps, 2 * SUITE.len() as u64, "{delta:?}");
+    assert!(
+        delta.points > 0 && delta.batches >= delta.sweeps,
+        "{delta:?}"
+    );
+    assert!(delta.workers >= 2 * delta.sweeps, "{delta:?}");
+}

@@ -74,6 +74,28 @@ struct CbtbEntry {
 /// Generic over a [`TelemetrySink`]; the default [`NoopSink`] keeps
 /// `enabled()` constant-false, so the uninstrumented predictor
 /// monomorphizes with no probe code on the hot path.
+///
+/// Construct with the paper's parameters and score it over a live run
+/// via [`Evaluator`](crate::Evaluator):
+///
+/// ```
+/// use branchlab_predict::{Cbtb, Evaluator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let module = branchlab_minic::compile(
+///     "int main() { int i; int s = 0; for (i = 0; i < 100; i++) { s += i; } return s; }",
+/// )?;
+/// let program = branchlab_ir::lower(&module)?;
+///
+/// let mut eval = Evaluator::new(Cbtb::paper());
+/// branchlab_interp::run(&program, &Default::default(), &[], &mut eval)?;
+///
+/// // The 2-bit counters hold the loop branch at "taken" through its
+/// // single not-taken exit, so accuracy stays high.
+/// assert!(eval.stats.accuracy() > 0.9);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Clone, Debug)]
 pub struct Cbtb<S: TelemetrySink = NoopSink> {
     buf: AssocBuffer<CbtbEntry>,

@@ -65,7 +65,11 @@ impl Prediction {
 }
 
 /// A branch prediction scheme.
-pub trait BranchPredictor {
+///
+/// `Send` is a supertrait so a boxed `dyn BranchPredictor` can be moved
+/// to a sweep worker thread; every predictor is plain owned data, so the
+/// bound costs implementors nothing.
+pub trait BranchPredictor: Send {
     /// Scheme name for reports.
     fn name(&self) -> &'static str;
 

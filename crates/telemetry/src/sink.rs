@@ -39,7 +39,11 @@ pub struct ProbeEvent {
 }
 
 /// Receives predictor probe events.
-pub trait TelemetrySink {
+///
+/// `Send` is a supertrait so predictors generic over a sink stay `Send`
+/// and can be scored on sweep worker threads; every sink is plain owned
+/// data (or a `&mut` to it), so the bound costs implementors nothing.
+pub trait TelemetrySink: Send {
     /// Whether events are being collected. Callers may skip building
     /// events when this is `false`; implementations should make it a
     /// constant or a cheap flag read.

@@ -18,15 +18,20 @@
 //!   the trace-driven engine behind the sweep experiments.
 //! * [`TraceKey`]/[`save_trace`]/[`load_trace`]: hash-validated
 //!   on-disk trace caching.
+//! * [`TraceReader`]/[`TraceEvent`]/[`BlockIter`]/[`EventBlock`]:
+//!   streaming decode of shared read-only trace buffers, one event or
+//!   one block at a time — the substrate of the parallel sweep executor.
 
 #![warn(missing_docs)]
 
+mod blocks;
 mod cache;
 mod event;
 mod replay;
 mod stats;
 
+pub use blocks::{BlockIter, CallRet, EventBlock, DEFAULT_BLOCK_EVENTS};
 pub use cache::{hash_bytes, load_trace, save_trace, TraceKey};
 pub use event::{BranchEvent, BranchKind, ExecHooks};
-pub use replay::{replay, Capture, ReplayError, TraceBuf};
+pub use replay::{replay, Capture, ReplayError, TraceBuf, TraceEvent, TraceReader};
 pub use stats::{BranchMix, SiteCounts, SiteStats, TraceRecorder};

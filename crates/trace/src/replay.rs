@@ -296,23 +296,80 @@ impl Reader<'_> {
     }
 }
 
-/// Replay a recorded run into `hooks`, reconstructing the exact event
-/// stream the interpreter produced at capture time. Returns the number
-/// of events delivered.
+/// One decoded trace record, as yielded by [`TraceReader`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// An executed branch (any [`BranchKind`]).
+    Branch(BranchEvent),
+    /// An executed call instruction.
+    Call {
+        /// Address of the call instruction.
+        from: Addr,
+        /// The function called into.
+        callee: FuncId,
+    },
+    /// An executed return instruction.
+    Ret {
+        /// Address of the return instruction.
+        from: Addr,
+        /// The address control returns to.
+        to: Addr,
+    },
+}
+
+/// Streaming decoder over one [`TraceBuf`]'s records.
 ///
-/// # Errors
-/// Returns [`ReplayError`] on a truncated or corrupt buffer (the event
-/// count must also match the stream).
-pub fn replay<H: ExecHooks>(buf: &TraceBuf, hooks: &mut H) -> Result<u64, ReplayError> {
-    let mut r = Reader {
-        bytes: &buf.bytes,
-        pos: 0,
-    };
-    let mut last_pc = 0i64;
-    let mut delivered = 0u64;
-    while r.pos < r.bytes.len() {
+/// Pull one event at a time with [`TraceReader::next_event`]; the final
+/// `Ok(None)` also validates the buffer's recorded event count. Several
+/// readers can decode the same shared `&TraceBuf` concurrently — the
+/// buffer is never mutated — which is what the parallel sweep executor
+/// in `branchlab-experiments` relies on.
+pub struct TraceReader<'a> {
+    r: Reader<'a>,
+    last_pc: i64,
+    delivered: u64,
+    expected: u64,
+}
+
+impl<'a> TraceReader<'a> {
+    /// A reader positioned at the first record of `buf`.
+    #[must_use]
+    pub fn new(buf: &'a TraceBuf) -> Self {
+        TraceReader {
+            r: Reader {
+                bytes: &buf.bytes,
+                pos: 0,
+            },
+            last_pc: 0,
+            delivered: 0,
+            expected: buf.events,
+        }
+    }
+
+    /// Events decoded so far.
+    #[must_use]
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Decode the next record, or `Ok(None)` at a clean end of stream.
+    ///
+    /// # Errors
+    /// Returns [`ReplayError`] on a truncated or corrupt buffer,
+    /// including an event count that does not match the stream.
+    pub fn next_event(&mut self) -> Result<Option<TraceEvent>, ReplayError> {
+        let r = &mut self.r;
+        if r.pos >= r.bytes.len() {
+            if self.delivered != self.expected {
+                return Err(ReplayError {
+                    offset: r.bytes.len(),
+                    reason: "event count mismatch",
+                });
+            }
+            return Ok(None);
+        }
         let tag = r.byte()?;
-        match tag {
+        let event = match tag {
             TAG_COND | TAG_UNCOND_DIRECT | TAG_UNCOND_INDIRECT => {
                 let (kind, taken, likely, cond) = if tag == TAG_COND {
                     let flags = r.byte()?;
@@ -329,8 +386,8 @@ pub fn replay<H: ExecHooks>(buf: &TraceBuf, hooks: &mut H) -> Result<u64, Replay
                     (BranchKind::UncondIndirect, true, false, None)
                 };
                 let pc_delta = r.svarint()?;
-                let pc = r.addr_from(last_pc, pc_delta)?;
-                last_pc = i64::from(pc.0);
+                let pc = r.addr_from(self.last_pc, pc_delta)?;
+                self.last_pc = i64::from(pc.0);
                 let slots = r.varint()?;
                 let fallthrough = r.addr_from(i64::from(pc.0) + 1, slots as i64)?;
                 let target_delta = r.svarint()?;
@@ -338,7 +395,7 @@ pub fn replay<H: ExecHooks>(buf: &TraceBuf, hooks: &mut H) -> Result<u64, Replay
                 let func = u32::try_from(r.varint()?).map_err(|_| r.err("func id out of range"))?;
                 let block =
                     u32::try_from(r.varint()?).map_err(|_| r.err("block id out of range"))?;
-                hooks.branch(&BranchEvent {
+                TraceEvent::Branch(BranchEvent {
                     pc,
                     kind,
                     taken,
@@ -350,35 +407,73 @@ pub fn replay<H: ExecHooks>(buf: &TraceBuf, hooks: &mut H) -> Result<u64, Replay
                     },
                     likely,
                     cond,
-                });
+                })
             }
             TAG_CALL => {
                 let pc_delta = r.svarint()?;
-                let from = r.addr_from(last_pc, pc_delta)?;
-                last_pc = i64::from(from.0);
+                let from = r.addr_from(self.last_pc, pc_delta)?;
+                self.last_pc = i64::from(from.0);
                 let callee =
                     u32::try_from(r.varint()?).map_err(|_| r.err("callee id out of range"))?;
-                hooks.call(from, FuncId(callee));
+                TraceEvent::Call {
+                    from,
+                    callee: FuncId(callee),
+                }
             }
             TAG_RET => {
                 let pc_delta = r.svarint()?;
-                let from = r.addr_from(last_pc, pc_delta)?;
-                last_pc = i64::from(from.0);
+                let from = r.addr_from(self.last_pc, pc_delta)?;
+                self.last_pc = i64::from(from.0);
                 let to_delta = r.svarint()?;
                 let to = r.addr_from(i64::from(from.0), to_delta)?;
-                hooks.ret(from, to);
+                TraceEvent::Ret { from, to }
             }
             _ => return Err(r.err("unknown event tag")),
+        };
+        self.delivered += 1;
+        Ok(Some(event))
+    }
+}
+
+/// Replay a recorded run into `hooks`, reconstructing the exact event
+/// stream the interpreter produced at capture time. Returns the number
+/// of events delivered.
+///
+/// ```
+/// use branchlab_trace::{replay, BranchMix, Capture, ExecHooks};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Capture a live run once …
+/// let module = branchlab_minic::compile(
+///     "int main() { int i; int s = 0; for (i = 0; i < 10; i++) { s += i; } return s; }",
+/// )?;
+/// let program = branchlab_ir::lower(&module)?;
+/// let mut cap = Capture::new();
+/// branchlab_interp::run(&program, &Default::default(), &[], &mut cap)?;
+/// let buf = cap.into_buf();
+///
+/// // … then replay it into any sink, bit-identical to the live pass.
+/// let mut mix = BranchMix::new();
+/// let delivered = replay(&buf, &mut mix)?;
+/// assert_eq!(delivered, buf.events());
+/// assert!(mix.cond_total() > 0);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+/// Returns [`ReplayError`] on a truncated or corrupt buffer (the event
+/// count must also match the stream).
+pub fn replay<H: ExecHooks>(buf: &TraceBuf, hooks: &mut H) -> Result<u64, ReplayError> {
+    let mut reader = TraceReader::new(buf);
+    while let Some(event) = reader.next_event()? {
+        match event {
+            TraceEvent::Branch(ev) => hooks.branch(&ev),
+            TraceEvent::Call { from, callee } => hooks.call(from, callee),
+            TraceEvent::Ret { from, to } => hooks.ret(from, to),
         }
-        delivered += 1;
     }
-    if delivered != buf.events {
-        return Err(ReplayError {
-            offset: buf.bytes.len(),
-            reason: "event count mismatch",
-        });
-    }
-    Ok(delivered)
+    Ok(reader.delivered())
 }
 
 #[cfg(test)]

@@ -9,11 +9,17 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (telemetry + bench, warnings are errors)"
 cargo clippy -p branchlab-telemetry -p branchlab-bench --all-targets -- -D warnings
 
+echo "==> cargo doc (workspace, warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 
 echo "==> cargo test"
 cargo test --workspace -q
+
+echo "==> cargo test --doc (runnable examples in the API docs)"
+cargo test --workspace --doc -q
 
 echo "==> telemetry smoke: report --scale test --telemetry-out"
 out="$(mktemp -d)"
@@ -83,13 +89,15 @@ replay_out="$(mktemp -d)"
 trap 'rm -rf "$out" "$fault_out" "$replay_out"' EXIT
 cargo run --release -p branchlab-bench --bin replay_bench -- \
     --scale test --trace-cache "$replay_out/trace-cache" \
-    --out "$replay_out/BENCH_replay.json" 2>"$replay_out/stderr.txt" \
+    --out "$replay_out/BENCH_replay.json" \
+    --sweep-out "$replay_out/BENCH_sweep_parallel.json" 2>"$replay_out/stderr.txt" \
     || { echo "replay smoke failed" >&2; cat "$replay_out/stderr.txt" >&2; exit 1; }
 
 # Second run must hit the on-disk trace cache instead of re-capturing.
 cargo run --release -p branchlab-bench --bin replay_bench -- \
     --scale test --trace-cache "$replay_out/trace-cache" \
-    --out "$replay_out/BENCH_replay2.json" 2>>"$replay_out/stderr.txt" \
+    --out "$replay_out/BENCH_replay2.json" \
+    --sweep-out "$replay_out/BENCH_sweep_parallel2.json" 2>>"$replay_out/stderr.txt" \
     || { echo "replay smoke (cached) failed" >&2; cat "$replay_out/stderr.txt" >&2; exit 1; }
 
 python3 - "$replay_out/BENCH_replay.json" "$replay_out/BENCH_replay2.json" <<'EOF'
@@ -110,8 +118,35 @@ print(f"replay smoke OK: {cold['trace']['events_replayed']} events replayed, "
       f"tables identical, warm run served from disk cache")
 EOF
 
-# Keep the perf-trajectory artifact where future PRs can diff it.
+echo "==> parallel-sweep smoke: serial vs parallel tables + counters"
+python3 - "$replay_out/BENCH_sweep_parallel.json" <<'EOF'
+import json, sys
+s = json.load(open(sys.argv[1]))
+assert s["tool"] == "replay_bench/sweep_parallel", s["tool"]
+assert s["tables_match"] is True, "parallel sweep tables diverged from serial"
+for b in s["benches"]:
+    assert b["tables_match"] is True, b["name"]
+sweep = s["sweep"]
+assert sweep["sweeps"] >= len(s["benches"]), sweep
+assert sweep["points"] > 0 and sweep["batches"] >= sweep["sweeps"], sweep
+assert sweep["workers"] >= 2 * sweep["sweeps"], ("parallel passes under-provisioned", sweep)
+phases = {p["name"] for p in s["phases"]}
+assert {"sweep_score", "sweep_merge"} <= phases, phases
+# The speedup gate only means something with real cores under the
+# workers; single-core runners still verify structure and fidelity.
+if s["available_parallelism"] >= 4:
+    assert s["speedup"] >= 1.2, (s["speedup"], s["available_parallelism"])
+    verdict = f"{s['speedup']:.1f}x on {s['available_parallelism']} cores"
+else:
+    verdict = (f"{s['speedup']:.1f}x (only {s['available_parallelism']} core(s); "
+               "speedup gate skipped)")
+print(f"parallel-sweep smoke OK: {sweep['points']} points, "
+      f"{sweep['batches']} batches, {verdict}")
+EOF
+
+# Keep the perf-trajectory artifacts where future PRs can diff them.
 cp "$replay_out/BENCH_replay.json" BENCH_replay.test.json
-echo "==> replay artifact: BENCH_replay.test.json"
+cp "$replay_out/BENCH_sweep_parallel.json" BENCH_sweep_parallel.test.json
+echo "==> replay artifacts: BENCH_replay.test.json, BENCH_sweep_parallel.test.json"
 
 echo "==> ci green"
