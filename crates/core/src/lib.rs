@@ -24,6 +24,7 @@
 //! | [`pipeline`] | `branchlab-pipeline` | Cost model + cycle simulator |
 //! | [`workloads`] | `branchlab-workloads` | The 12 MiniC benchmarks |
 //! | [`experiments`] | `branchlab-experiments` | Tables 1–5, Figures 3–4, ablations |
+//! | [`server`] | `branchlab-server` | `branchlabd`: sweeps as an HTTP service |
 //! | [`telemetry`] | `branchlab-telemetry` | Metrics, span timers, probes, manifests |
 //!
 //! ## Quickstart
@@ -67,6 +68,7 @@ pub use branchlab_minic as minic;
 pub use branchlab_pipeline as pipeline;
 pub use branchlab_predict as predict;
 pub use branchlab_profile as profile;
+pub use branchlab_server as server;
 pub use branchlab_telemetry as telemetry;
 pub use branchlab_trace as trace;
 pub use branchlab_workloads as workloads;

@@ -102,6 +102,86 @@ pub fn append(w: &mut impl Write, result: &BenchResult) -> io::Result<()> {
     writeln!(w, "{}", to_line(result))
 }
 
+/// A crash-safe JSONL checkpoint file.
+///
+/// Plain `O_APPEND` + `flush` leaves two windows where a kill can
+/// poison a later `--resume`: a torn final line (tolerated by
+/// [`load`], but the record is lost) and a page-cache-only write that
+/// never reaches disk at all. `CheckpointFile` closes both: every
+/// append rewrites the full line set to `<path>.tmp`, fsyncs it, and
+/// renames it over `path`, so the on-disk checkpoint atomically steps
+/// from one complete, durable state to the next. Checkpoints are a few
+/// KiB and append once per *benchmark*, so the rewrite is noise next
+/// to the run it records.
+#[derive(Debug)]
+pub struct CheckpointFile {
+    path: std::path::PathBuf,
+    lines: Vec<String>,
+}
+
+impl CheckpointFile {
+    /// Open `path`, carrying over any lines a previous run left there
+    /// (a missing file is an empty checkpoint). Pre-existing torn or
+    /// alien lines are kept verbatim — [`load`] skips them — so
+    /// opening never destroys bytes it didn't write.
+    ///
+    /// # Errors
+    /// Propagates read errors other than "not found".
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let lines = match std::fs::read_to_string(path) {
+            Ok(text) => text.lines().map(String::from).collect(),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        Ok(CheckpointFile {
+            path: path.to_path_buf(),
+            lines,
+        })
+    }
+
+    /// Append `result` and atomically publish the updated checkpoint.
+    ///
+    /// # Errors
+    /// Propagates write/fsync/rename errors; on error the previous
+    /// on-disk checkpoint is still intact.
+    pub fn append_result(&mut self, result: &BenchResult) -> io::Result<()> {
+        self.lines.push(to_line(result));
+        self.write_atomic()
+    }
+
+    /// Records currently held (including carried-over ones).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Is the checkpoint empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    fn write_atomic(&self) -> io::Result<()> {
+        let tmp = self.path.with_extension("jsonl.tmp");
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            for line in &self.lines {
+                writeln!(file, "{line}")?;
+            }
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        // Make the rename itself durable where possible; failure here
+        // only narrows the crash window, it doesn't corrupt anything.
+        if let Some(parent) = self.path.parent() {
+            if let Ok(dir) = std::fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+        Ok(())
+    }
+}
+
 fn u(v: &JsonValue, key: &str) -> Option<u64> {
     v.get(key)?.as_int().and_then(|i| u64::try_from(i).ok())
 }
@@ -259,6 +339,54 @@ mod tests {
         let loaded = load(&path).unwrap();
         assert_eq!(loaded.len(), 1);
         assert_eq!(loaded[0].name, "wc");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_file_is_complete_after_every_append() {
+        let dir = std::env::temp_dir().join(format!("bl-ckpt-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.jsonl");
+
+        let r = sample();
+        let mut ckpt = CheckpointFile::open(&path).unwrap();
+        assert!(ckpt.is_empty());
+        for i in 0..3 {
+            ckpt.append_result(&r).unwrap();
+            // After each append, the on-disk state is a complete,
+            // parseable checkpoint — never a torn intermediate — and
+            // the temp file has been renamed away.
+            let text = std::fs::read_to_string(&path).unwrap();
+            assert_eq!(text.lines().count(), i + 1);
+            assert!(text.ends_with('\n'));
+            assert!(load(&path).unwrap().iter().all(|b| b.name == r.name));
+            assert!(!path.with_extension("jsonl.tmp").exists());
+        }
+        assert_eq!(ckpt.len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopening_preserves_existing_lines_and_neutralizes_torn_tails() {
+        let dir = std::env::temp_dir().join(format!("bl-ckpt-reopen-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.jsonl");
+
+        let r = sample();
+        // A previous run: one good record, then a kill mid-append left
+        // a torn tail with no trailing newline.
+        std::fs::write(&path, format!("{}\n{{\"bench\": \"wc", to_line(&r))).unwrap();
+
+        let mut ckpt = CheckpointFile::open(&path).unwrap();
+        assert_eq!(ckpt.len(), 2); // good line + torn tail, carried verbatim
+        ckpt.append_result(&r).unwrap();
+
+        // The rewrite newline-terminates the torn tail, so the new
+        // record is NOT glued onto it: both good records load.
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.len(), 1); // same bench, last wins
+        assert_eq!(loaded[0].name, r.name);
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 3);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

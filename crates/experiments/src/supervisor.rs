@@ -20,7 +20,6 @@
 //!   `--resume` rerun only re-executes what previously failed.
 
 use std::collections::HashMap;
-use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::mpsc::{self, RecvTimeoutError};
@@ -287,15 +286,12 @@ pub fn supervise<T: Send + 'static>(
     )
 }
 
-/// Shared handle to the append-mode checkpoint file.
-type CheckpointWriter = Arc<Mutex<std::fs::File>>;
+/// Shared handle to the crash-safe checkpoint file (each append
+/// publishes a complete, fsynced snapshot via temp-file + rename).
+type CheckpointWriter = Arc<Mutex<checkpoint::CheckpointFile>>;
 
 fn open_checkpoint(path: &std::path::Path) -> Option<CheckpointWriter> {
-    match std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(path)
-    {
+    match checkpoint::CheckpointFile::open(path) {
         Ok(f) => Some(Arc::new(Mutex::new(f))),
         Err(e) => {
             eprintln!(
@@ -388,8 +384,7 @@ pub fn run_suite_supervised(config: &ExperimentConfig, sup: &SupervisorConfig) -
                 // A poisoned lock or full disk loses checkpointing,
                 // never the in-memory result.
                 if let Ok(mut file) = w.lock() {
-                    let _ = checkpoint::append(&mut *file, result);
-                    let _ = file.flush();
+                    let _ = file.append_result(result);
                 }
             }
             let slot = match outcome {

@@ -39,7 +39,10 @@ use branchlab_workloads::{Benchmark, Scale};
 
 use crate::harness::{ExperimentConfig, ExperimentError};
 
-fn scale_str(scale: Scale) -> &'static str {
+/// The canonical short name for a scale (`"test"` / `"small"` /
+/// `"paper"`), as used in trace keys and request canonicalization.
+#[must_use]
+pub fn scale_name(scale: Scale) -> &'static str {
     match scale {
         Scale::Test => "test",
         Scale::Small => "small",
@@ -54,7 +57,7 @@ pub fn trace_key(bench: &Benchmark, config: &ExperimentConfig) -> TraceKey {
     TraceKey {
         bench: bench.name.to_string(),
         program_hash: hash_bytes(bench.source.as_bytes()),
-        scale: scale_str(config.scale).to_string(),
+        scale: scale_name(config.scale).to_string(),
         seed: config.seed,
     }
 }

@@ -1,0 +1,294 @@
+//! A minimal HTTP/1.1 layer over `std::net::TcpStream`.
+//!
+//! Just enough of the protocol for `branchlabd`: request-line +
+//! header parsing, `Content-Length` bodies, keep-alive with explicit
+//! `Connection: close`, and response serialization. No chunked
+//! encoding, no TLS, no HTTP/2 — the daemon speaks plain JSON over
+//! plain sockets so the whole stack stays `std`-only.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Largest accepted header block (request line + headers).
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Largest accepted request body.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+/// Once the first byte of a request has arrived, the rest of it must
+/// arrive within this budget.
+const PARTIAL_REQUEST_DEADLINE: Duration = Duration::from_secs(5);
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path with any query string stripped.
+    pub path: String,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lowercase), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Did the client ask to drop the connection after this exchange?
+    #[must_use]
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why [`read_request`] returned without a request.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request was parsed.
+    Request(Request),
+    /// The read timed out with no partial request buffered — the
+    /// connection is idle; the caller decides whether to keep waiting.
+    Idle,
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+}
+
+/// A request-level protocol error (the connection should be dropped
+/// after a 400).
+#[derive(Debug)]
+pub struct ProtocolError(pub String);
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Read one request from `stream`, carrying leftover bytes between
+/// calls in `buf` (keep-alive clients may pipeline).
+///
+/// The stream's read timeout bounds each `read` call; a timeout while
+/// nothing is buffered reports [`ReadOutcome::Idle`] so the caller can
+/// poll its shutdown flag, while a timeout mid-request keeps reading
+/// until `PARTIAL_REQUEST_DEADLINE` elapses.
+///
+/// # Errors
+/// `Ok(Err(ProtocolError))` for malformed or oversized requests (the
+/// caller should answer 400 and close); `Err` for transport errors.
+pub fn read_request(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+) -> io::Result<Result<ReadOutcome, ProtocolError>> {
+    let mut partial_since: Option<Instant> = None;
+    loop {
+        if let Some(end) = header_end(buf) {
+            return parse_request(stream, buf, end);
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Ok(Err(ProtocolError("header block too large".into())));
+        }
+        if let Some(t0) = partial_since {
+            if t0.elapsed() > PARTIAL_REQUEST_DEADLINE {
+                return Ok(Err(ProtocolError("partial request timed out".into())));
+            }
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    Ok(Ok(ReadOutcome::Closed))
+                } else {
+                    Ok(Err(ProtocolError("connection closed mid-request".into())))
+                };
+            }
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                partial_since.get_or_insert_with(Instant::now);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if buf.is_empty() {
+                    return Ok(Ok(ReadOutcome::Idle));
+                }
+                partial_since.get_or_insert_with(Instant::now);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Offset just past the `\r\n\r\n` terminating the header block.
+fn header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// Parse the buffered header block, then read the body to completion.
+fn parse_request(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    header_len: usize,
+) -> io::Result<Result<ReadOutcome, ProtocolError>> {
+    let head = match std::str::from_utf8(&buf[..header_len - 4]) {
+        Ok(h) => h.to_string(),
+        Err(_) => return Ok(Err(ProtocolError("non-UTF-8 header block".into()))),
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = (
+        parts.next().unwrap_or_default(),
+        parts.next().unwrap_or_default(),
+        parts.next().unwrap_or_default(),
+    );
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
+        return Ok(Err(ProtocolError(format!(
+            "malformed request line `{request_line}`"
+        ))));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Ok(Err(ProtocolError(format!("malformed header `{line}`"))));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        None => 0usize,
+        Some((_, v)) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return Ok(Err(ProtocolError("bad Content-Length".into()))),
+        },
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Ok(Err(ProtocolError(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        ))));
+    }
+
+    let deadline = Instant::now() + PARTIAL_REQUEST_DEADLINE;
+    while buf.len() < header_len + content_length {
+        if Instant::now() > deadline {
+            return Ok(Err(ProtocolError("body read timed out".into())));
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(Err(ProtocolError("connection closed mid-body".into()))),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+
+    let body = buf[header_len..header_len + content_length].to_vec();
+    buf.drain(..header_len + content_length);
+    Ok(Ok(ReadOutcome::Request(Request {
+        method: method.to_string(),
+        path: target.split('?').next().unwrap_or(target).to_string(),
+        headers,
+        body,
+    })))
+}
+
+/// A response under construction.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Extra headers beyond the standard set.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    #[must_use]
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    #[must_use]
+    pub fn text(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// Add one header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// The standard reason phrase for this status.
+    #[must_use]
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            504 => "Gateway Timeout",
+            _ => "Unknown",
+        }
+    }
+}
+
+/// Serialize `resp` onto the stream; `close` adds `Connection: close`.
+///
+/// # Errors
+/// Propagates transport errors.
+pub fn write_response(stream: &mut TcpStream, resp: &Response, close: bool) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        resp.status,
+        resp.reason(),
+        resp.content_type,
+        resp.body.len(),
+        if close { "close" } else { "keep-alive" },
+    );
+    for (name, value) in &resp.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}

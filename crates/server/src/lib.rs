@@ -1,0 +1,633 @@
+//! `branchlab-server` — a `std`-only evaluation daemon for predictor
+//! sweeps.
+//!
+//! `branchlabd` keeps every suite benchmark's branch trace resident in
+//! memory and answers predictor-evaluation requests over plain
+//! HTTP/1.1 + JSON, so a sweep that would cost a full
+//! capture-compile-execute pipeline from a cold start instead costs a
+//! single replay pass over an in-memory trace — and repeated or
+//! concurrent identical requests cost even less:
+//!
+//! - **Batching**: one request carries many predictor configurations
+//!   and RAS depths; they are planned into one
+//!   [`SweepBatch`](branchlab_experiments::SweepBatch) and scored in a
+//!   single replay pass.
+//! - **Coalescing**: concurrent requests with the same canonical
+//!   identity share one computation — followers block on the leader's
+//!   slot instead of replaying again.
+//! - **Caching**: rendered responses land in an LRU keyed by
+//!   `(bench, program hash, scale, seed, predictor configs, ras)`.
+//! - **Backpressure**: the worker queue is bounded; when it is full
+//!   the daemon sheds load with `503` + `Retry-After` instead of
+//!   queueing without bound, and every request carries a deadline
+//!   (`504` when it expires).
+//! - **Observability**: `GET /metrics` serves Prometheus text from
+//!   the in-process [`MetricsRegistry`], including queue depth,
+//!   coalesce/cache hit counters, and request-latency histograms.
+//!
+//! Responses are deterministic down to the byte: computed, coalesced,
+//! and cached answers are indistinguishable on the wire (provenance
+//! travels in the `X-Branchlab-Source` header).
+//!
+//! ```text
+//!            POST /v1/sweep
+//!                 │
+//!        parse → canonical key
+//!                 │
+//!        ┌── LRU cache hit? ──► 200 (source: cache)
+//!        │
+//!        ├── identical sweep in flight? ──► wait on its slot
+//!        │                                  (source: coalesced)
+//!        └── leader: try_submit ──► worker pool ──► SweepBatch
+//!                 │                                  │
+//!              queue full                      render + cache
+//!                 │                                  │
+//!           503 + Retry-After              200 (source: computed)
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod lru;
+pub mod metrics;
+pub mod pool;
+
+use std::collections::{BTreeMap, HashMap};
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use branchlab_experiments::trace_replay::{captured_runs, TraceStats};
+use branchlab_experiments::{ExperimentConfig, SweepStats};
+use branchlab_telemetry::{JsonValue, MetricsRegistry};
+use branchlab_workloads::{benchmark, Scale, SUITE};
+
+use api::{ApiError, SweepRequest};
+use http::{read_request, write_response, ProtocolError, ReadOutcome, Request, Response};
+use lru::LruCache;
+use metrics::ServerMetrics;
+use pool::{SubmitError, WorkerPool};
+
+/// How the daemon is wired together.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Sweep worker threads.
+    pub workers: usize,
+    /// Most sweeps queued awaiting a worker before load is shed.
+    pub queue_cap: usize,
+    /// LRU result-cache capacity (entries; 0 disables).
+    pub cache_cap: usize,
+    /// Default per-request deadline (clients may shorten it with
+    /// `deadline_ms`).
+    pub default_deadline: Duration,
+    /// How long shutdown waits for open connections to finish.
+    pub drain_timeout: Duration,
+    /// Base experiment configuration; per-request `scale` / `seed`
+    /// override its respective fields.
+    pub experiment: ExperimentConfig,
+    /// Benchmarks to make resident at startup (empty = whole suite).
+    pub warm_benches: Vec<String>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:8787".to_string(),
+            workers: 2,
+            queue_cap: 32,
+            cache_cap: 256,
+            default_deadline: Duration::from_secs(60),
+            drain_timeout: Duration::from_secs(10),
+            // Workers provide the parallelism; each sweep replays
+            // serially so concurrent requests don't oversubscribe.
+            experiment: ExperimentConfig {
+                sweep_threads: Some(1),
+                ..ExperimentConfig::test()
+            },
+            warm_benches: Vec::new(),
+        }
+    }
+}
+
+/// One in-flight computation that concurrent identical requests
+/// rendezvous on. The leader fills it exactly once; followers wait
+/// with a deadline.
+struct Slot {
+    state: Mutex<Option<Result<Arc<str>, ApiError>>>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Self> {
+        Arc::new(Slot {
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, result: Result<Arc<str>, ApiError>) {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if state.is_none() {
+            *state = Some(result);
+        }
+        drop(state);
+        self.cv.notify_all();
+    }
+
+    /// Wait for the result until `deadline`; `None` means it expired.
+    fn wait_until(&self, deadline: Instant) -> Option<Result<Arc<str>, ApiError>> {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(result) = state.as_ref() {
+                return Some(result.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state = guard;
+        }
+    }
+}
+
+/// Warm-residency info for one benchmark, reported by
+/// `GET /v1/benchmarks`.
+#[derive(Clone, Copy, Debug)]
+struct WarmInfo {
+    runs: usize,
+    events: u64,
+    bytes: usize,
+}
+
+/// Everything the connection handlers share.
+struct State {
+    config: ServerConfig,
+    metrics: ServerMetrics,
+    pool: WorkerPool,
+    cache: Mutex<LruCache>,
+    inflight: Mutex<HashMap<String, Arc<Slot>>>,
+    warm: Mutex<BTreeMap<&'static str, WarmInfo>>,
+    ready: AtomicBool,
+    shutdown: AtomicBool,
+}
+
+/// The running daemon. Dropping the handle does **not** stop it; call
+/// [`ServerHandle::shutdown_and_join`].
+pub struct ServerHandle {
+    state: Arc<State>,
+    addr: std::net::SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// The daemon's entry point.
+pub struct Server;
+
+impl Server {
+    /// Bind, start the warmup pass and the accept loop, and return a
+    /// handle to the running daemon.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let registry = Arc::new(MetricsRegistry::new());
+        let metrics = ServerMetrics::new(registry);
+        let pool = WorkerPool::new(
+            config.workers,
+            config.queue_cap,
+            Arc::clone(&metrics.queue_depth),
+        );
+        let state = Arc::new(State {
+            metrics,
+            pool,
+            cache: Mutex::new(LruCache::new(config.cache_cap)),
+            inflight: Mutex::new(HashMap::new()),
+            warm: Mutex::new(BTreeMap::new()),
+            ready: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+
+        let warm_state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("bld-warmup".to_string())
+            .spawn(move || warmup(&warm_state))
+            .expect("spawn warmup thread");
+
+        let accept_state = Arc::clone(&state);
+        let accept_thread = std::thread::Builder::new()
+            .name("bld-accept".to_string())
+            .spawn(move || accept_loop(&listener, &accept_state))
+            .expect("spawn accept thread");
+
+        Ok(ServerHandle {
+            state,
+            addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound listen address (useful with an ephemeral port).
+    #[must_use]
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Has the warmup pass finished?
+    #[must_use]
+    pub fn is_ready(&self) -> bool {
+        self.state.ready.load(Ordering::SeqCst)
+    }
+
+    /// Signal shutdown: stop accepting, drain open connections and
+    /// queued sweeps, then stop the workers.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Block until the accept loop (and with it the drain) finishes.
+    pub fn join(&mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// [`shutdown`](Self::shutdown) then [`join`](Self::join).
+    pub fn shutdown_and_join(&mut self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+/// Make every configured benchmark's trace resident, then mark ready.
+fn warmup(state: &State) {
+    let names: Vec<&'static str> = if state.config.warm_benches.is_empty() {
+        SUITE.iter().map(|b| b.name).collect()
+    } else {
+        state
+            .config
+            .warm_benches
+            .iter()
+            .filter_map(|n| benchmark(n).map(|b| b.name))
+            .collect()
+    };
+    for name in names {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Some(bench) = benchmark(name) else {
+            continue;
+        };
+        match captured_runs(bench, &state.config.experiment) {
+            Ok(traces) => {
+                let info = WarmInfo {
+                    runs: traces.len(),
+                    events: traces.iter().map(branchlab_trace::TraceBuf::events).sum(),
+                    bytes: traces.iter().map(branchlab_trace::TraceBuf::byte_len).sum(),
+                };
+                state.metrics.warm_benches.inc();
+                state.metrics.warm_events.add(info.events);
+                state
+                    .warm
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .insert(bench.name, info);
+            }
+            Err(e) => {
+                // A bench that fails to warm stays cold; requests for
+                // it will surface the error per-sweep.
+                eprintln!("branchlabd: warmup of `{name}` failed: {e}");
+            }
+        }
+    }
+    state.ready.store(true, Ordering::SeqCst);
+    state.metrics.ready.set(1);
+}
+
+/// Poll-accept connections until shutdown, then drain.
+fn accept_loop(listener: &TcpListener, state: &Arc<State>) {
+    while !state.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                state.metrics.connections_total.inc();
+                state.metrics.connections_active.add(1);
+                let conn_state = Arc::clone(state);
+                let _ = std::thread::Builder::new()
+                    .name("bld-conn".to_string())
+                    .spawn(move || {
+                        handle_connection(stream, &conn_state);
+                        conn_state.metrics.connections_active.add(-1);
+                    });
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    // Drain: wait for open connections to finish their in-flight
+    // exchanges (handlers see the shutdown flag and close), then stop
+    // the workers — the pool itself drains every admitted job.
+    let deadline = Instant::now() + state.config.drain_timeout;
+    while state.metrics.connections_active.get() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    state.pool.shutdown();
+}
+
+/// Serve one connection until it closes, errors, or shutdown.
+fn handle_connection(mut stream: TcpStream, state: &Arc<State>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_nodelay(true);
+    let mut buf = Vec::new();
+    loop {
+        let outcome = match read_request(&mut stream, &mut buf) {
+            Ok(outcome) => outcome,
+            Err(_) => return,
+        };
+        let request = match outcome {
+            Ok(ReadOutcome::Request(request)) => request,
+            Ok(ReadOutcome::Idle) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Ok(ReadOutcome::Closed) => return,
+            Err(ProtocolError(message)) => {
+                let resp = error_response(&ApiError::BadRequest(message));
+                state.metrics.count_response(resp.status);
+                let _ = write_response(&mut stream, &resp, true);
+                return;
+            }
+        };
+        let close = request.wants_close() || state.shutdown.load(Ordering::SeqCst);
+        let response = route(state, &request);
+        state.metrics.count_response(response.status);
+        if write_response(&mut stream, &response, close).is_err() || close {
+            return;
+        }
+    }
+}
+
+fn error_response(err: &ApiError) -> Response {
+    let body = JsonValue::obj(vec![("error", err.message().into())]).to_json();
+    let resp = Response::json(err.status(), body);
+    if matches!(err, ApiError::Overloaded) {
+        resp.with_header("Retry-After", "1")
+    } else {
+        resp
+    }
+}
+
+/// Dispatch one parsed request.
+fn route(state: &Arc<State>, request: &Request) -> Response {
+    state.metrics.requests.inc();
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/sweep") => handle_sweep(state, request),
+        ("GET", "/v1/benchmarks") => handle_benchmarks(state),
+        ("GET", "/healthz") => Response::text(200, "ok\n".to_string()),
+        ("GET", "/readyz") => {
+            if state.ready.load(Ordering::SeqCst) {
+                Response::text(200, "ready\n".to_string())
+            } else {
+                Response::text(503, "warming\n".to_string())
+            }
+        }
+        ("GET", "/metrics") => Response::text(200, render_metrics(state)),
+        (_, "/v1/sweep" | "/v1/benchmarks" | "/healthz" | "/readyz" | "/metrics") => {
+            Response::json(
+                405,
+                JsonValue::obj(vec![("error", "method not allowed".into())]).to_json(),
+            )
+        }
+        _ => Response::json(
+            404,
+            JsonValue::obj(vec![("error", "no such endpoint".into())]).to_json(),
+        ),
+    }
+}
+
+/// The full `/v1/sweep` path: parse → cache → coalesce → compute.
+fn handle_sweep(state: &Arc<State>, request: &Request) -> Response {
+    let started = Instant::now();
+    state.metrics.sweep_requests.inc();
+    let result = sweep_result(state, request, started);
+    state
+        .metrics
+        .latency_us
+        .observe(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+    match result {
+        Ok((body, source)) => {
+            Response::json(200, body.to_string()).with_header("X-Branchlab-Source", source)
+        }
+        Err(err) => error_response(&err),
+    }
+}
+
+fn sweep_result(
+    state: &Arc<State>,
+    request: &Request,
+    started: Instant,
+) -> Result<(Arc<str>, &'static str), ApiError> {
+    let req = SweepRequest::parse(&request.body, &state.config.experiment)?;
+    let deadline = started
+        + req
+            .deadline_ms
+            .map_or(state.config.default_deadline, Duration::from_millis);
+    let key = req.canonical_key();
+
+    // 1. Result cache.
+    if let Some(body) = state
+        .cache
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .get(&key)
+    {
+        state.metrics.cache_hits.inc();
+        return Ok((body, "cache"));
+    }
+    state.metrics.cache_misses.inc();
+
+    // 2. Coalesce onto an identical in-flight computation, or become
+    //    the leader for this key.
+    let (slot, leader) = {
+        let mut inflight = state
+            .inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match inflight.get(&key) {
+            Some(slot) => (Arc::clone(slot), false),
+            None => {
+                let slot = Slot::new();
+                inflight.insert(key.clone(), Arc::clone(&slot));
+                (Arc::clone(&slot), true)
+            }
+        }
+    };
+
+    if leader {
+        let job_state = Arc::clone(state);
+        let job_slot = Arc::clone(&slot);
+        let job_key = key.clone();
+        let submitted = state.pool.try_submit(move || {
+            let result = if Instant::now() >= deadline {
+                // Shed stale work cheaply: the client stopped waiting
+                // before a worker ever picked this up.
+                job_state.metrics.deadline_expired.inc();
+                Err(ApiError::DeadlineExpired)
+            } else {
+                compute_sweep(&job_state, &req, &job_key)
+            };
+            job_state
+                .inflight
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .remove(&job_key);
+            job_slot.fill(result);
+        });
+        if let Err(err) = submitted {
+            state
+                .inflight
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .remove(&key);
+            slot.fill(Err(ApiError::Overloaded));
+            if err == SubmitError::QueueFull {
+                state.metrics.queue_rejected.inc();
+            }
+            return Err(ApiError::Overloaded);
+        }
+    } else {
+        state.metrics.coalesce_hits.inc();
+    }
+
+    match slot.wait_until(deadline) {
+        Some(Ok(body)) => Ok((body, if leader { "computed" } else { "coalesced" })),
+        Some(Err(err)) => Err(err),
+        None => {
+            state.metrics.deadline_expired.inc();
+            Err(ApiError::DeadlineExpired)
+        }
+    }
+}
+
+/// Run the sweep on a worker and publish the rendered body.
+fn compute_sweep(state: &State, req: &SweepRequest, key: &str) -> Result<Arc<str>, ApiError> {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        api::evaluate(req, &state.config.experiment)
+    }));
+    let body = match outcome {
+        Ok(result) => result?,
+        Err(_) => return Err(ApiError::Internal("sweep worker panicked".to_string())),
+    };
+    state.metrics.sweeps_computed.inc();
+    state
+        .cache
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .put(key, Arc::clone(&body));
+    Ok(body)
+}
+
+/// `GET /v1/benchmarks`: the suite, with warm-residency info.
+fn handle_benchmarks(state: &Arc<State>) -> Response {
+    let warm = state
+        .warm
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
+    let benches = SUITE
+        .iter()
+        .map(|b| {
+            let mut fields = vec![
+                ("name", JsonValue::from(b.name)),
+                ("input", b.input_description.into()),
+                ("paper_runs", b.paper_runs.into()),
+                ("source_lines", b.source_lines().into()),
+                ("in_main_tables", b.in_main_tables.into()),
+                ("resident", warm.contains_key(b.name).into()),
+            ];
+            if let Some(info) = warm.get(b.name) {
+                fields.push(("trace_runs", info.runs.into()));
+                fields.push(("trace_events", info.events.into()));
+                fields.push(("trace_bytes", info.bytes.into()));
+            }
+            JsonValue::obj(fields)
+        })
+        .collect();
+    let body = JsonValue::obj(vec![
+        ("scale", scale_field(state)),
+        ("seed", state.config.experiment.seed.into()),
+        ("ready", state.ready.load(Ordering::SeqCst).into()),
+        ("benchmarks", JsonValue::Arr(benches)),
+    ]);
+    Response::json(200, body.to_json())
+}
+
+fn scale_field(state: &Arc<State>) -> JsonValue {
+    branchlab_experiments::trace_replay::scale_name(state.config.experiment.scale).into()
+}
+
+/// `GET /metrics`: the server registry merged with a fresh export of
+/// the process-wide trace/sweep counters, as Prometheus text.
+///
+/// The trace and sweep stats are cumulative process counters, so they
+/// are exported into a throwaway registry each scrape instead of being
+/// re-added to the long-lived one (which would double-count).
+fn render_metrics(state: &Arc<State>) -> String {
+    let scratch = MetricsRegistry::new();
+    TraceStats::snapshot().export(&scratch);
+    SweepStats::snapshot().export(&scratch);
+    let mut snap = state.metrics.registry.snapshot();
+    snap.merge(&scratch.snapshot());
+    snap.to_prometheus()
+}
+
+/// Convenience: run one request against a batch directly, bypassing
+/// HTTP. Used by tools that want server-identical results in-process.
+///
+/// # Errors
+/// Same failure modes as the server's compute path.
+pub fn evaluate_direct(req: &SweepRequest, base: &ExperimentConfig) -> Result<Arc<str>, ApiError> {
+    api::evaluate(req, base)
+}
+
+/// Parse a `--scale` argument (`test` / `small` / `paper`).
+#[must_use]
+pub fn parse_scale_arg(s: &str) -> Option<Scale> {
+    match s {
+        "test" => Some(Scale::Test),
+        "small" => Some(Scale::Small),
+        "paper" => Some(Scale::Paper),
+        _ => None,
+    }
+}

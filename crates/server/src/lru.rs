@@ -1,0 +1,116 @@
+//! A small LRU cache for rendered sweep responses.
+//!
+//! Keys are the canonical request strings from
+//! [`SweepRequest::canonical_key`](crate::api::SweepRequest::canonical_key),
+//! values the rendered response bodies (shared `Arc<str>` so cache
+//! hits never copy). Recency is tracked with a monotonic tick; the
+//! evict scan is O(capacity), which is irrelevant at the daemon's
+//! cache sizes (hundreds) next to the cost of one sweep.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A least-recently-used map from canonical request keys to rendered
+/// response bodies.
+#[derive(Debug)]
+pub struct LruCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<String, (u64, Arc<str>)>,
+}
+
+impl LruCache {
+    /// An empty cache holding at most `capacity` entries (0 disables
+    /// caching entirely).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &str) -> Option<Arc<str>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(at, body)| {
+            *at = tick;
+            Arc::clone(body)
+        })
+    }
+
+    /// Insert (or refresh) `key`, evicting the least-recently-used
+    /// entry if the cache is full.
+    pub fn put(&mut self, key: &str, body: Arc<str>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.map.contains_key(key) && self.map.len() >= self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (at, _))| *at)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key.to_string(), (self.tick, body));
+    }
+
+    /// Entries currently cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the cache empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    #[test]
+    fn get_refreshes_recency() {
+        let mut lru = LruCache::new(2);
+        lru.put("a", body("A"));
+        lru.put("b", body("B"));
+        assert_eq!(lru.get("a").as_deref(), Some("A"));
+        lru.put("c", body("C")); // "b" is now the oldest
+        assert!(lru.get("b").is_none());
+        assert_eq!(lru.get("a").as_deref(), Some("A"));
+        assert_eq!(lru.get("c").as_deref(), Some("C"));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_evicting() {
+        let mut lru = LruCache::new(2);
+        lru.put("a", body("A1"));
+        lru.put("b", body("B"));
+        lru.put("a", body("A2"));
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get("a").as_deref(), Some("A2"));
+        assert_eq!(lru.get("b").as_deref(), Some("B"));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut lru = LruCache::new(0);
+        lru.put("a", body("A"));
+        assert!(lru.is_empty());
+        assert!(lru.get("a").is_none());
+    }
+}

@@ -1,0 +1,200 @@
+//! A bounded worker pool with explicit backpressure.
+//!
+//! Requests are admitted with [`WorkerPool::try_submit`], which fails
+//! *immediately* when the queue is at capacity — the HTTP layer turns
+//! that into `503` + `Retry-After` instead of queueing without bound.
+//! Shutdown is graceful by construction: workers drain every job that
+//! was admitted before exiting, so no accepted request is ever
+//! silently dropped.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use branchlab_telemetry::Gauge;
+
+/// A queued unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    capacity: usize,
+    shutdown: AtomicBool,
+    depth: Arc<Gauge>,
+}
+
+/// A fixed set of worker threads pulling jobs from a bounded queue.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` threads servicing a queue of at most `capacity`
+    /// pending jobs; `depth` tracks the live queue length.
+    #[must_use]
+    pub fn new(workers: usize, capacity: usize, depth: Arc<Gauge>) -> Self {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+            shutdown: AtomicBool::new(false),
+            depth,
+        });
+        let mut handles = Vec::new();
+        for i in 0..workers.max(1) {
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("bld-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn pool worker");
+            handles.push(handle);
+        }
+        WorkerPool {
+            shared,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Admit one job, or reject it without blocking when the queue is
+    /// full or the pool is shutting down.
+    ///
+    /// # Errors
+    /// Returns [`SubmitError`] naming the rejection reason.
+    pub fn try_submit<F: FnOnce() + Send + 'static>(&self, job: F) -> Result<(), SubmitError> {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let mut queue = self
+            .shared
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if queue.len() >= self.shared.capacity {
+            return Err(SubmitError::QueueFull);
+        }
+        queue.push_back(Box::new(job));
+        self.shared.depth.set(queue.len() as i64);
+        drop(queue);
+        self.shared.available.notify_one();
+        Ok(())
+    }
+
+    /// Stop admitting jobs, let the workers drain everything already
+    /// queued, and join them.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+        let handles = std::mem::take(
+            &mut *self
+                .workers
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Why [`WorkerPool::try_submit`] rejected a job.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity — the caller should shed load.
+    QueueFull,
+    /// The pool is draining for shutdown.
+    ShuttingDown,
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut queue = shared
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    shared.depth.set(queue.len() as i64);
+                    break Some(job);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        match job {
+            Some(job) => job(),
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    fn gauge() -> Arc<Gauge> {
+        branchlab_telemetry::MetricsRegistry::new().gauge("q")
+    }
+
+    #[test]
+    fn jobs_run_and_drain_on_shutdown() {
+        let pool = WorkerPool::new(2, 16, gauge());
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let done = Arc::clone(&done);
+            pool.try_submit(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let pool = WorkerPool::new(1, 1, gauge());
+        // Park the lone worker so the queue backs up deterministically.
+        let (tx, rx) = mpsc::channel::<()>();
+        pool.try_submit(move || {
+            let _ = rx.recv_timeout(Duration::from_secs(10));
+        })
+        .unwrap();
+        // Wait for the worker to claim the parked job.
+        let t0 = std::time::Instant::now();
+        loop {
+            let occupied = pool
+                .shared
+                .queue
+                .lock()
+                .map(|q| q.is_empty())
+                .unwrap_or(false);
+            if occupied || t0.elapsed() > Duration::from_secs(5) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        pool.try_submit(|| {}).unwrap(); // fills the 1-slot queue
+        assert_eq!(pool.try_submit(|| {}), Err(SubmitError::QueueFull));
+        tx.send(()).unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_rejects_new_jobs() {
+        let pool = WorkerPool::new(1, 4, gauge());
+        pool.shutdown();
+        assert_eq!(pool.try_submit(|| {}), Err(SubmitError::ShuttingDown));
+    }
+}

@@ -42,6 +42,15 @@ impl JsonValue {
         }
     }
 
+    /// The value as a boolean, if it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as an integer, if it is one.
     #[must_use]
     pub fn as_int(&self) -> Option<i64> {

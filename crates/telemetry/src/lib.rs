@@ -33,7 +33,7 @@ pub mod span;
 
 pub use json::JsonValue;
 pub use manifest::RunManifest;
-pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, Snapshot};
+pub use metrics::{prometheus_name, Counter, Gauge, Histogram, MetricsRegistry, Snapshot};
 pub use rng::Rng;
 pub use sink::{NoopSink, ProbeEvent, ProbeKind, SiteCounters, SiteProbe, TelemetrySink};
 pub use span::{PhaseSpan, SpanGuard, Timeline};

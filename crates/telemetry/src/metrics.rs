@@ -451,10 +451,9 @@ impl Snapshot {
     /// Prometheus exposition text.
     #[must_use]
     pub fn to_prometheus(&self) -> String {
-        let mangle = |name: &str| name.replace(['.', '-'], "_");
         let mut out = String::new();
         for s in &self.samples {
-            let pname = mangle(&s.name);
+            let pname = prometheus_name(&s.name);
             match &s.value {
                 SampleValue::Counter(v) => {
                     let _ = writeln!(out, "# TYPE {pname} counter\n{pname} {v}");
@@ -485,6 +484,71 @@ impl Snapshot {
         }
         out
     }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) of histogram `name`
+    /// from its buckets, interpolating linearly within the bucket the
+    /// quantile falls in (the same estimate Prometheus's
+    /// `histogram_quantile` computes). Observations above the last
+    /// finite bound clamp to it. `None` for unknown names,
+    /// non-histograms, and empty histograms.
+    #[must_use]
+    pub fn histogram_quantile(&self, name: &str, q: f64) -> Option<f64> {
+        let sample = self.samples.iter().find(|s| s.name == name)?;
+        let SampleValue::Histogram {
+            bounds,
+            buckets,
+            count,
+            ..
+        } = &sample.value
+        else {
+            return None;
+        };
+        if *count == 0 {
+            return None;
+        }
+        let rank = q.clamp(0.0, 1.0) * (*count as f64);
+        let mut cumulative = 0u64;
+        for (i, bucket) in buckets.iter().enumerate() {
+            let lower = cumulative as f64;
+            cumulative += bucket;
+            if (cumulative as f64) < rank || *bucket == 0 {
+                continue;
+            }
+            let Some(&upper_bound) = bounds.get(i) else {
+                // Overflow bucket: clamp to the last finite bound.
+                return Some(bounds.last().copied().unwrap_or(0) as f64);
+            };
+            let lower_bound = if i == 0 { 0 } else { bounds[i - 1] };
+            let fraction = ((rank - lower) / (*bucket as f64)).clamp(0.0, 1.0);
+            return Some(lower_bound as f64 + (upper_bound - lower_bound) as f64 * fraction);
+        }
+        Some(bounds.last().copied().unwrap_or(0) as f64)
+    }
+}
+
+/// Mangle a metric name into a valid Prometheus identifier: every
+/// character outside `[A-Za-z0-9_:]` becomes `_`, and a leading digit
+/// gets a `_` prefix. (The old mangle only handled `.` and `-`, so a
+/// name like `sweep/wc.lat` rendered as an invalid exposition line.)
+#[must_use]
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '_' | ':' => out.push(c),
+            '0'..='9' => {
+                if i == 0 {
+                    out.push('_');
+                }
+                out.push(c);
+            }
+            _ => out.push('_'),
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
 }
 
 #[cfg(test)]
@@ -542,6 +606,127 @@ mod tests {
         let prom = snap.to_prometheus();
         assert!(prom.contains("# TYPE a_first counter"), "{prom}");
         assert!(prom.contains("a_first 2"), "{prom}");
+    }
+
+    #[test]
+    fn prometheus_names_are_always_valid_identifiers() {
+        assert_eq!(prometheus_name("server.queue.depth"), "server_queue_depth");
+        assert_eq!(prometheus_name("sweep/wc-1.lat"), "sweep_wc_1_lat");
+        assert_eq!(prometheus_name("2xx responses"), "_2xx_responses");
+        assert_eq!(prometheus_name("ns:metric"), "ns:metric");
+        assert_eq!(prometheus_name(""), "_");
+        for name in ["server.responses.2xx", "héllo→metric", "a b\tc"] {
+            let mangled = prometheus_name(name);
+            let mut chars = mangled.chars();
+            assert!(
+                chars.next().is_some_and(|c| !c.is_ascii_digit()),
+                "{mangled}"
+            );
+            assert!(
+                mangled
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "{mangled}"
+            );
+        }
+        // The full exposition path uses the mangle.
+        let reg = MetricsRegistry::new();
+        reg.counter("server.responses.2xx").inc();
+        let prom = reg.snapshot().to_prometheus();
+        assert!(prom.contains("server_responses_2xx 1"), "{prom}");
+    }
+
+    #[test]
+    fn counters_are_monotonic_across_snapshots() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("mono");
+        let h = reg.histogram("mono.lat", &[10, 100]);
+        let mut last_count = 0u64;
+        let mut last_hist = 0u64;
+        for round in 1..=5u64 {
+            c.add(round);
+            h.observe(round * 7);
+            let snap = reg.snapshot();
+            let count = snap
+                .samples
+                .iter()
+                .find(|s| s.name == "mono")
+                .and_then(|s| match s.value {
+                    SampleValue::Counter(v) => Some(v),
+                    _ => None,
+                })
+                .unwrap();
+            let hist_count = snap
+                .samples
+                .iter()
+                .find(|s| s.name == "mono.lat")
+                .and_then(|s| match &s.value {
+                    SampleValue::Histogram { count, .. } => Some(*count),
+                    _ => None,
+                })
+                .unwrap();
+            assert!(count > last_count, "counter went backwards at {round}");
+            assert!(hist_count > last_hist, "histogram count fell at {round}");
+            last_count = count;
+            last_hist = hist_count;
+        }
+        assert_eq!(last_count, 1 + 2 + 3 + 4 + 5);
+        assert_eq!(last_hist, 5);
+    }
+
+    #[test]
+    fn concurrent_registration_shares_one_counter() {
+        let reg = std::sync::Arc::new(MetricsRegistry::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let reg = std::sync::Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    // Each thread re-registers the same name; all must
+                    // resolve to the same underlying metric.
+                    for _ in 0..1000 {
+                        reg.counter("contended").inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(reg.counter("contended").get(), 8 * 1000);
+        // Exactly one sample, not eight.
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.samples
+                .iter()
+                .filter(|s| s.name == "contended")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate_and_clamp() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", &[10, 100, 1000]);
+        for v in [5, 5, 50, 50, 50, 50, 500, 500, 500, 5000] {
+            h.observe(v);
+        }
+        let snap = reg.snapshot();
+        let q = |p| snap.histogram_quantile("lat", p).unwrap();
+        // p20 falls exactly at the end of the ≤10 bucket (2 of 10).
+        assert!((q(0.2) - 10.0).abs() < 1e-9, "{}", q(0.2));
+        // p50 is midway through the (10, 100] bucket: 10 + 3/4 span? No:
+        // rank 5 of bucket holding ranks 3..=6 → fraction 3/4.
+        assert!((q(0.5) - (10.0 + 90.0 * 0.75)).abs() < 1e-9, "{}", q(0.5));
+        // Quantiles never decrease.
+        assert!(q(0.5) <= q(0.9) && q(0.9) <= q(0.99));
+        // The overflow observation clamps to the last finite bound.
+        assert!((q(1.0) - 1000.0).abs() < 1e-9);
+        // Degenerate cases.
+        assert!(snap.histogram_quantile("nope", 0.5).is_none());
+        let empty = MetricsRegistry::new();
+        let _ = empty.histogram("lat", &[10]);
+        assert!(empty.snapshot().histogram_quantile("lat", 0.5).is_none());
     }
 
     #[test]

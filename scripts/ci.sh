@@ -6,8 +6,8 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> cargo clippy (telemetry + bench, warnings are errors)"
-cargo clippy -p branchlab-telemetry -p branchlab-bench --all-targets -- -D warnings
+echo "==> cargo clippy (telemetry + server + bench, warnings are errors)"
+cargo clippy -p branchlab-telemetry -p branchlab-server -p branchlab-bench --all-targets -- -D warnings
 
 echo "==> cargo doc (workspace, warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
@@ -144,9 +144,75 @@ print(f"parallel-sweep smoke OK: {sweep['points']} points, "
       f"{sweep['batches']} batches, {verdict}")
 EOF
 
+echo "==> serve smoke: branchlabd boot -> probe -> load -> graceful SIGTERM"
+serve_out="$(mktemp -d)"
+trap 'rm -rf "$out" "$fault_out" "$replay_out" "$serve_out"' EXIT
+./target/release/branchlabd \
+    --listen 127.0.0.1:0 --addr-file "$serve_out/addr" \
+    --scale test --workers 2 --warm wc,cmp,grep \
+    2>"$serve_out/branchlabd.log" &
+serve_pid=$!
+
+for _ in $(seq 1 200); do
+    [[ -s "$serve_out/addr" ]] && break
+    kill -0 "$serve_pid" 2>/dev/null || {
+        echo "serve smoke: branchlabd died during startup" >&2
+        cat "$serve_out/branchlabd.log" >&2
+        exit 1
+    }
+    sleep 0.05
+done
+[[ -s "$serve_out/addr" ]] || { echo "serve smoke: no addr file" >&2; exit 1; }
+serve_addr="$(cat "$serve_out/addr")"
+
+# Probe (healthz, readyz poll, benchmark list, metrics) with the
+# std-only client, then a load run against the same daemon.
+./target/release/serve_bench --url "$serve_addr" --probe \
+    || { echo "serve smoke: probe failed" >&2; cat "$serve_out/branchlabd.log" >&2; exit 1; }
+./target/release/serve_bench --url "$serve_addr" \
+    --connections 4 --requests 120 --distinct 12 \
+    --out "$serve_out/BENCH_serve.json" \
+    || { echo "serve smoke: load run failed" >&2; cat "$serve_out/branchlabd.log" >&2; exit 1; }
+
+python3 - "$serve_out/BENCH_serve.json" <<'EOF'
+import json, sys
+s = json.load(open(sys.argv[1]))
+assert s["tool"] == "serve_bench", s["tool"]
+assert s["errors"] == 0, s["errors"]
+assert s["ok"] == s["requests"] == 120, (s["ok"], s["requests"])
+lat = s["latency_us"]
+assert 0 < lat["p50"] <= lat["p99"] <= lat["max"], lat
+src = s["sources"]
+assert src["computed"] + src["cache"] + src["coalesced"] == s["ok"], src
+# 120 requests over 12 distinct bodies: most must be absorbed without
+# a replay pass (cache or coalesce).
+assert src["cache"] + src["coalesced"] >= s["ok"] // 2, src
+ctr = s["server_counters"]
+assert ctr["server_sweeps_computed"] <= s["requests"], ctr
+assert ctr["server_ready"] == 1, ctr
+print(f"serve load OK: {s['throughput_rps']:.0f} req/s, "
+      f"p50 {lat['p50']}us p99 {lat['p99']}us, "
+      f"{src['cache']} cached / {src['coalesced']} coalesced / "
+      f"{src['computed']} computed")
+EOF
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$serve_pid"
+set +e
+wait "$serve_pid"
+serve_status=$?
+set -e
+[[ $serve_status -eq 0 ]] || {
+    echo "serve smoke: branchlabd exit code $serve_status after SIGTERM" >&2
+    cat "$serve_out/branchlabd.log" >&2
+    exit 1
+}
+echo "serve smoke OK: graceful shutdown, exit 0"
+cp "$serve_out/BENCH_serve.json" BENCH_serve.test.json
+
 # Keep the perf-trajectory artifacts where future PRs can diff them.
 cp "$replay_out/BENCH_replay.json" BENCH_replay.test.json
 cp "$replay_out/BENCH_sweep_parallel.json" BENCH_sweep_parallel.test.json
-echo "==> replay artifacts: BENCH_replay.test.json, BENCH_sweep_parallel.test.json"
+echo "==> replay artifacts: BENCH_replay.test.json, BENCH_sweep_parallel.test.json, BENCH_serve.test.json"
 
 echo "==> ci green"
