@@ -10,13 +10,18 @@
 //! A failing benchmark is reported on stderr and the binary exits
 //! non-zero after the surviving benchmarks have printed
 //! (partial-result degradation, like the suite binaries).
+//! `--trace-out FILE` drops the run's capture/replay/scoring phase
+//! timing as Chrome trace-event JSON (open at ui.perfetto.dev).
 use branchlab::experiments::ablation::{self, StudySpec};
+use branchlab::experiments::{SweepStats, TraceStats};
 use branchlab::workloads::benchmark;
 
 fn main() {
     let options = branchlab_bench::Options::from_args();
     let cfg = &options.config;
     let spec = StudySpec::default();
+    let trace_before = TraceStats::snapshot();
+    let sweep_before = SweepStats::snapshot();
     let mut failed = 0u32;
     let mut benches = Vec::new();
     for name in ["compress", "cccp"] {
@@ -40,6 +45,24 @@ fn main() {
                 failed += 1;
             }
         }
+    }
+    // Written even on partial failure, so a degraded run's timing is
+    // still inspectable.
+    if let Some(path) = &options.trace_out {
+        let groups = vec![
+            (
+                "ablation: trace capture/replay".to_string(),
+                TraceStats::snapshot().since(&trace_before).phase_spans(),
+            ),
+            (
+                "ablation: sweep scoring".to_string(),
+                SweepStats::snapshot().since(&sweep_before).phase_spans(),
+            ),
+        ];
+        let chrome = branchlab::telemetry::phases_chrome_trace("ablation", &groups);
+        std::fs::write(path, chrome.to_json_pretty())
+            .unwrap_or_else(|e| panic!("writing Chrome trace to {} failed: {e}", path.display()));
+        eprintln!("ablation: Chrome trace written to {}", path.display());
     }
     if failed > 0 {
         eprintln!("ablation: {failed} benchmarks failed");

@@ -21,7 +21,11 @@
 //! Usage:
 //! `replay_bench [--scale test|small|paper] [--seed N] [--out FILE]
 //! [--sweep-out FILE] [--sweep-threads N] [--trace-cache DIR]
-//! [--benches A,B,...]`
+//! [--trace-out FILE] [--benches A,B,...]`
+//!
+//! `--trace-out FILE` additionally drops the run's per-phase timing as
+//! Chrome trace-event JSON (open at ui.perfetto.dev); tracing is off
+//! unless requested, so benchmark numbers are unperturbed.
 //!
 //! (Own argument parser: this binary needs `--out`/`--benches`, which
 //! the shared suite `Options` intentionally does not know about.)
@@ -54,16 +58,19 @@ struct Args {
     out: std::path::PathBuf,
     sweep_out: std::path::PathBuf,
     sweep_threads: Option<usize>,
+    trace_out: Option<std::path::PathBuf>,
     benches: Vec<String>,
 }
 
 fn parse_args() -> Args {
     const USAGE: &str = "usage: replay_bench [--scale test|small|paper] [--seed N] \
-[--out FILE] [--sweep-out FILE] [--sweep-threads N] [--trace-cache DIR] [--benches A,B,...]";
+[--out FILE] [--sweep-out FILE] [--sweep-threads N] [--trace-cache DIR] \
+[--trace-out FILE] [--benches A,B,...]";
     let mut config = ExperimentConfig::default();
     let mut out = std::path::PathBuf::from("BENCH_replay.json");
     let mut sweep_out = std::path::PathBuf::from("BENCH_sweep_parallel.json");
     let mut sweep_threads = None;
+    let mut trace_out = None;
     let mut benches: Vec<String> = vec!["compress".into(), "cccp".into()];
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -98,6 +105,9 @@ fn parse_args() -> Args {
                 config.trace_cache_dir =
                     Some(args.next().expect("--trace-cache needs a directory").into());
             }
+            "--trace-out" => {
+                trace_out = Some(args.next().expect("--trace-out needs a file path").into());
+            }
             "--benches" => {
                 let list = args.next().expect("--benches needs a comma list");
                 benches = list.split(',').map(str::trim).map(String::from).collect();
@@ -110,14 +120,16 @@ fn parse_args() -> Args {
         out,
         sweep_out,
         sweep_threads,
+        trace_out,
         benches,
     }
 }
 
 /// Phase two: serial-vs-parallel sweep scoring on warm traces, written
 /// to `--sweep-out`. Returns whether every parallel table matched its
-/// serial twin.
-fn sweep_parallel_phase(args: &Args) -> bool {
+/// serial twin, plus the phase's sweep-counter delta (for the
+/// `--trace-out` export).
+fn sweep_parallel_phase(args: &Args) -> (bool, SweepStats) {
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
@@ -222,7 +234,7 @@ fn sweep_parallel_phase(args: &Args) -> bool {
          {total_parallel:.2}s ({speedup:.1}x on {cores} cores) -> {}",
         args.sweep_out.display()
     );
-    all_match
+    (all_match, sweep)
 }
 
 fn main() {
@@ -321,7 +333,19 @@ fn main() {
          {total_replay:.2}s ({speedup:.1}x) -> {}",
         args.out.display()
     );
-    let sweep_match = sweep_parallel_phase(&args);
+    let (sweep_match, sweep) = sweep_parallel_phase(&args);
+    if let Some(path) = &args.trace_out {
+        // Phase spans carry durations, not wall timestamps, so the
+        // exporter lays each group out sequentially on its own row.
+        let groups = vec![
+            ("replay: trace replay".to_string(), trace.phase_spans()),
+            ("replay: parallel sweep".to_string(), sweep.phase_spans()),
+        ];
+        let chrome = branchlab::telemetry::phases_chrome_trace("replay_bench", &groups);
+        std::fs::write(path, chrome.to_json_pretty())
+            .unwrap_or_else(|e| panic!("writing Chrome trace to {} failed: {e}", path.display()));
+        eprintln!("replay_bench: Chrome trace written to {}", path.display());
+    }
     if !all_match {
         eprintln!("replay_bench: MISMATCH between replayed and re-interpreted tables");
         std::process::exit(1);

@@ -22,6 +22,10 @@
 //! * `--sweep-threads N` — score sweep points on N worker threads
 //!   (default: `BRANCHLAB_SWEEP_THREADS`, else the machine's available
 //!   parallelism); results are bit-identical at any thread count
+//! * `--trace-out FILE` — write the run's per-benchmark phase
+//!   timelines as Chrome trace-event JSON (open in Perfetto or
+//!   `chrome://tracing`); off by default, so benchmark numbers are
+//!   never perturbed by tracing
 
 #![warn(missing_docs)]
 
@@ -64,11 +68,15 @@ pub struct Options {
     /// Directory for the run manifest and metrics snapshots; also turns
     /// on per-site predictor telemetry.
     pub telemetry_out: Option<PathBuf>,
+    /// File for the run's Chrome trace-event export (phase timelines
+    /// per benchmark; `None` disables the export).
+    pub trace_out: Option<PathBuf>,
 }
 
 const USAGE: &str =
     "usage: [--scale test|small|paper] [--seed N] [--markdown|--csv] [--no-verify] \
-[--telemetry-out DIR] [--trace-cache DIR] [--no-trace-replay] [--sweep-threads N] \
+[--telemetry-out DIR] [--trace-out FILE] [--trace-cache DIR] [--no-trace-replay] \
+[--sweep-threads N] \
 [--max-attempts N] \
 [--backoff-ms N] [--watchdog-ms N] [--checkpoint FILE] [--resume] [--fault-exec-rate R] \
 [--fault-panic-rate R] [--fault-delay-rate R] [--fault-delay-ms N] [--fault-seed N] \
@@ -95,6 +103,7 @@ impl Options {
         let mut supervisor = SupervisorConfig::default();
         let mut format = Format::Text;
         let mut telemetry_out = None;
+        let mut trace_out = None;
         let mut args = args.into_iter();
         let next_u64 = |args: &mut dyn Iterator<Item = String>, flag: &str| -> u64 {
             args.next()
@@ -128,6 +137,10 @@ impl Options {
                     let dir = args.next().expect("--telemetry-out needs a directory");
                     config.collect_site_telemetry = true;
                     telemetry_out = Some(PathBuf::from(dir));
+                }
+                "--trace-out" => {
+                    let file = args.next().expect("--trace-out needs a file path");
+                    trace_out = Some(PathBuf::from(file));
                 }
                 "--trace-cache" => {
                     let dir = args.next().expect("--trace-cache needs a directory");
@@ -181,6 +194,7 @@ impl Options {
             supervisor,
             format,
             telemetry_out,
+            trace_out,
         }
     }
 
@@ -255,6 +269,11 @@ pub fn artifact_main(tool: &str, emit: impl FnOnce(&Options, &SuiteResult)) {
             .unwrap_or_else(|e| panic!("writing telemetry to {} failed: {e}", dir.display()));
         eprintln!("telemetry manifest written to {}", path.display());
     }
+    if let Some(path) = &options.trace_out {
+        std::fs::write(path, suite_chrome_trace(tool, &suite).to_json_pretty())
+            .unwrap_or_else(|e| panic!("writing Chrome trace to {} failed: {e}", path.display()));
+        eprintln!("Chrome trace written to {}", path.display());
+    }
     if !suite.is_complete() {
         eprintln!(
             "{tool}: partial results — {} of {} benchmarks failed",
@@ -263,6 +282,28 @@ pub fn artifact_main(tool: &str, emit: impl FnOnce(&Options, &SuiteResult)) {
         );
         std::process::exit(EXIT_PARTIAL);
     }
+}
+
+/// Render a suite run as a Chrome trace-event document: one process
+/// row per benchmark (its compile/profile/evaluate phase timeline)
+/// plus rows for the process-wide trace-replay and parallel-sweep
+/// counters. Openable in Perfetto / `chrome://tracing`.
+#[must_use]
+pub fn suite_chrome_trace(tool: &str, suite: &SuiteResult) -> JsonValue {
+    let mut groups: Vec<(String, Vec<branchlab::telemetry::PhaseSpan>)> = suite
+        .benches
+        .iter()
+        .map(|b| (b.name.to_string(), b.phases.clone()))
+        .collect();
+    let trace_spans = branchlab::experiments::TraceStats::snapshot().phase_spans();
+    if !trace_spans.is_empty() {
+        groups.push(("suite: trace replay".to_string(), trace_spans));
+    }
+    let sweep_spans = branchlab::experiments::SweepStats::snapshot().phase_spans();
+    if !sweep_spans.is_empty() {
+        groups.push(("suite: parallel sweep".to_string(), sweep_spans));
+    }
+    branchlab::telemetry::phases_chrome_trace(tool, &groups)
 }
 
 /// Prediction scoring as a JSON object for the manifest.
@@ -536,6 +577,17 @@ mod tests {
         assert_eq!(
             o.config.trace_cache_dir.as_deref(),
             Some(std::path::Path::new("/tmp/traces"))
+        );
+    }
+
+    #[test]
+    fn trace_out_flag_parses_and_defaults_off() {
+        let o = Options::parse(Vec::new());
+        assert!(o.trace_out.is_none(), "tracing export is opt-in");
+        let o = Options::parse(["--trace-out", "/tmp/run.trace.json"].map(String::from));
+        assert_eq!(
+            o.trace_out.as_deref(),
+            Some(std::path::Path::new("/tmp/run.trace.json"))
         );
     }
 

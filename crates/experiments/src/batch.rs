@@ -37,12 +37,13 @@ use branchlab_interp::run;
 use branchlab_ir::{lower, Addr, FuncId};
 use branchlab_predict::{BranchPredictor, Evaluator, PredStats, ReturnAddressStack};
 use branchlab_profile::profile_module_with;
+use branchlab_telemetry::SpanLink;
 use branchlab_trace::{BlockIter, BranchEvent, CallRet, ExecHooks, TraceBuf};
 use branchlab_workloads::Benchmark;
 
 use crate::harness::{eval_predictors_live, ExperimentConfig, ExperimentError};
 use crate::sweep_stats::{note_sweep, SweepStats};
-use crate::trace_replay::{captured_runs, note_replay, replay_runs};
+use crate::trace_replay::{captured_runs, note_replay, replay_runs_traced};
 
 /// Handle to one enqueued predictor group (one study's sweep points);
 /// redeem with [`SweepResults::stats`].
@@ -87,6 +88,7 @@ pub struct SweepBatch<'a> {
     config: &'a ExperimentConfig,
     groups: Vec<Vec<Box<dyn BranchPredictor>>>,
     ras: Vec<ReturnAddressStack>,
+    trace: Option<SpanLink>,
 }
 
 impl<'a> SweepBatch<'a> {
@@ -98,7 +100,16 @@ impl<'a> SweepBatch<'a> {
             config,
             groups: Vec::new(),
             ras: Vec::new(),
+            trace: None,
         }
+    }
+
+    /// Record this batch's capture/score/merge phases — and each
+    /// parallel scoring shard — as child spans under `parent` (see
+    /// [`branchlab_telemetry::trace`]). Off by default, so offline
+    /// sweeps pay nothing.
+    pub fn set_trace_parent(&mut self, parent: SpanLink) {
+        self.trace = Some(parent);
     }
 
     /// The benchmark this batch evaluates.
@@ -150,7 +161,15 @@ impl<'a> SweepBatch<'a> {
     /// thread, or sharded across sweep workers (see the module docs);
     /// the results are bit-identical either way.
     fn run_replay(self) -> Result<SweepResults, ExperimentError> {
-        let runs = captured_runs(self.bench, self.config)?;
+        let trace = self.trace;
+        let runs = {
+            let mut span = trace.as_ref().map(|t| t.child("sweep_capture"));
+            let runs = captured_runs(self.bench, self.config)?;
+            if let Some(s) = span.as_mut() {
+                s.add_work(runs.iter().map(TraceBuf::events).sum());
+            }
+            runs
+        };
         let group_sizes: Vec<usize> = self.groups.iter().map(Vec::len).collect();
         let mut evals: Vec<Evaluator<Box<dyn BranchPredictor>>> = self
             .groups
@@ -161,14 +180,20 @@ impl<'a> SweepBatch<'a> {
         let mut ras = self.ras;
         let threads = self.config.resolved_sweep_threads();
         if threads > 1 && evals.len() + usize::from(!ras.is_empty()) > 1 {
-            (evals, ras) = score_parallel(&runs, evals, ras, threads)?;
+            (evals, ras) = score_parallel(&runs, evals, ras, threads, trace.as_ref())?;
         } else {
+            let mut span = trace.as_ref().map(|t| t.child("sweep_score"));
+            if let Some(s) = span.as_mut() {
+                s.arg("points", (evals.len() + ras.len()) as u64);
+                s.add_work(runs.iter().map(TraceBuf::events).sum());
+            }
             let mut sink = BatchSink {
                 evals: &mut evals,
                 ras: &mut ras,
                 block: Vec::with_capacity(EVENT_BLOCK),
             };
-            replay_runs(&runs, &mut sink)?;
+            let link = span.as_ref().map(branchlab_telemetry::SpanHandle::link);
+            replay_runs_traced(&runs, &mut sink, link.as_ref())?;
             sink.drain_block();
         }
         let mut stats = evals.into_iter().map(|e| e.stats);
@@ -318,9 +343,24 @@ enum DoneItem {
 /// Score one work item over the shared trace. Every item consumes the
 /// complete event stream in capture order, so its statistics are
 /// independent of which worker runs it and when.
-fn score_item(runs: &[TraceBuf], item: WorkItem) -> Result<DoneItem, ExperimentError> {
+fn score_item(
+    runs: &[TraceBuf],
+    item: WorkItem,
+    trace: Option<&SpanLink>,
+) -> Result<DoneItem, ExperimentError> {
     let started = Instant::now();
+    let points = match &item {
+        WorkItem::Preds { evals, .. } => evals.len(),
+        WorkItem::Ras { stacks } => stacks.len(),
+    };
+    let mut span = trace.map(|t| t.child("score_shard"));
+    if let Some(s) = span.as_mut() {
+        s.arg("points", points as u64);
+    }
     let mut iter = BlockIter::with_block_events(runs, EVENT_BLOCK);
+    if let Some(s) = span.as_ref() {
+        iter.set_trace_parent(&s.link());
+    }
     let done = match item {
         WorkItem::Preds { start, mut evals } => {
             while let Some(block) = iter
@@ -350,6 +390,9 @@ fn score_item(runs: &[TraceBuf], item: WorkItem) -> Result<DoneItem, ExperimentE
             DoneItem::Ras { stacks }
         }
     };
+    if let Some(s) = span.as_mut() {
+        s.add_work(iter.delivered());
+    }
     note_replay(
         iter.delivered(),
         started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
@@ -369,6 +412,7 @@ fn score_parallel(
     evals: BoxedEvals,
     ras: Vec<ReturnAddressStack>,
     threads: usize,
+    trace: Option<&SpanLink>,
 ) -> Result<(BoxedEvals, Vec<ReturnAddressStack>), ExperimentError> {
     let n_points = evals.len();
     let chunk = n_points.div_ceil(threads * 3).max(1);
@@ -405,7 +449,7 @@ fn score_parallel(
                     let item = queue.lock().ok().and_then(|mut q| q.pop());
                     let Some(item) = item else { break };
                     claims += 1;
-                    match score_item(runs, item) {
+                    match score_item(runs, item, trace) {
                         Ok(result) => {
                             if let Ok(mut d) = done.lock() {
                                 d.push(result);
@@ -439,6 +483,7 @@ fn score_parallel(
     }
 
     let merge_started = Instant::now();
+    let _merge_span = trace.map(|t| t.child("sweep_merge"));
     let done = done
         .into_inner()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -550,6 +595,66 @@ mod tests {
             assert_eq!(delta.points, 4, "threads={threads}");
             assert!(delta.batches >= 2, "threads={threads} {delta:?}");
         }
+    }
+
+    #[test]
+    fn traced_batch_records_phase_and_shard_spans() {
+        use branchlab_telemetry::TraceContext;
+        let bench = benchmark("wc").unwrap();
+
+        // Parallel path: capture + one span per scoring shard + merge,
+        // with the decode loop annotated from the trace crate.
+        let cfg = ExperimentConfig {
+            sweep_threads: Some(2),
+            ..ExperimentConfig::test()
+        };
+        let ctx = TraceContext::new();
+        let root = ctx.root("compute");
+        let mut batch = SweepBatch::new(bench, &cfg);
+        batch.set_trace_parent(root.link());
+        let _ = batch.eval(vec![Box::new(Sbtb::paper()), Box::new(Cbtb::paper())]);
+        let _ = batch.ras(&[8]);
+        batch.run().unwrap();
+        let root_id = root.id();
+        drop(root);
+        let trace = ctx.finish();
+        let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+        for phase in [
+            "sweep_capture",
+            "score_shard",
+            "sweep_merge",
+            "block_replay",
+        ] {
+            assert!(names.contains(&phase), "missing {phase} in {names:?}");
+        }
+        let shards: Vec<_> = trace
+            .spans
+            .iter()
+            .filter(|s| s.name == "score_shard")
+            .collect();
+        assert!(shards.len() >= 2, "expected ≥2 shards, got {shards:?}");
+        assert!(shards.iter().all(|s| s.parent == Some(root_id)));
+        assert!(shards.iter().all(|s| s.work > 0), "shards carry event work");
+        let points: u64 = shards.iter().filter_map(|s| s.arg_value("points")).sum();
+        assert_eq!(points, 3, "2 predictors + 1 RAS across shards");
+
+        // Serial path: one sweep_score span with per-run replay spans
+        // recorded by the trace crate underneath it.
+        let cfg = ExperimentConfig {
+            sweep_threads: Some(1),
+            ..ExperimentConfig::test()
+        };
+        let ctx = TraceContext::new();
+        let root = ctx.root("compute");
+        let mut batch = SweepBatch::new(bench, &cfg);
+        batch.set_trace_parent(root.link());
+        let _ = batch.eval(vec![Box::new(Sbtb::paper())]);
+        batch.run().unwrap();
+        drop(root);
+        let trace = ctx.finish();
+        let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"sweep_score"), "{names:?}");
+        assert!(names.contains(&"replay_run"), "{names:?}");
     }
 
     #[test]

@@ -33,7 +33,7 @@ use branchlab_ir::lower;
 use branchlab_profile::{profile_module_with, Profile};
 use branchlab_telemetry::{JsonValue, MetricsRegistry, PhaseSpan};
 use branchlab_trace::{
-    hash_bytes, load_trace, replay, save_trace, Capture, ExecHooks, TraceBuf, TraceKey,
+    hash_bytes, load_trace, replay_traced, save_trace, Capture, ExecHooks, TraceBuf, TraceKey,
 };
 use branchlab_workloads::{Benchmark, Scale};
 
@@ -272,10 +272,25 @@ pub fn captured_runs(
 /// for buffers produced by [`Capture`]; reachable only through cache
 /// corruption that slipped past the checksum).
 pub fn replay_runs<H: ExecHooks>(runs: &[TraceBuf], hooks: &mut H) -> Result<u64, ExperimentError> {
+    replay_runs_traced(runs, hooks, None)
+}
+
+/// [`replay_runs`], recording one `replay_run` child span per buffer
+/// under `parent` (see [`branchlab_telemetry::trace`]). With `parent`
+/// `None` this is exactly [`replay_runs`].
+///
+/// # Errors
+/// Returns [`ExperimentError::Trace`] on a corrupt or truncated buffer.
+pub fn replay_runs_traced<H: ExecHooks>(
+    runs: &[TraceBuf],
+    hooks: &mut H,
+    parent: Option<&branchlab_telemetry::SpanLink>,
+) -> Result<u64, ExperimentError> {
     let started = Instant::now();
     let mut events = 0u64;
     for buf in runs {
-        events += replay(buf, hooks).map_err(|e| ExperimentError::Trace(e.to_string()))?;
+        events +=
+            replay_traced(buf, hooks, parent).map_err(|e| ExperimentError::Trace(e.to_string()))?;
     }
     bump(&counter_cells::replays, 1);
     bump(&counter_cells::events_replayed, events);

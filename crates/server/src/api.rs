@@ -19,7 +19,7 @@ use branchlab_predict::{
     AlwaysNotTaken, AlwaysTaken, BackwardTakenForwardNot, BranchPredictor, Cbtb, CbtbConfig,
     Gshare, LocalHistory, OpcodeBias, PredStats, ReturnAddressStack, Sbtb, SbtbConfig,
 };
-use branchlab_telemetry::{json, JsonValue};
+use branchlab_telemetry::{json, JsonValue, SpanLink};
 use branchlab_trace::hash_bytes;
 use branchlab_workloads::{benchmark, Benchmark, Scale};
 
@@ -501,17 +501,40 @@ impl SweepRequest {
 /// # Errors
 /// [`ApiError::Internal`] when the capture/replay pipeline fails.
 pub fn evaluate(req: &SweepRequest, base: &ExperimentConfig) -> Result<Arc<str>, ApiError> {
+    evaluate_traced(req, base, None)
+}
+
+/// [`evaluate`], with the batch's capture/score phases and the final
+/// render recorded as child spans under `parent` (see
+/// [`branchlab_telemetry::trace`]). With `parent` `None` this is
+/// exactly [`evaluate`].
+///
+/// # Errors
+/// [`ApiError::Internal`] when the capture/replay pipeline fails.
+pub fn evaluate_traced(
+    req: &SweepRequest,
+    base: &ExperimentConfig,
+    parent: Option<&SpanLink>,
+) -> Result<Arc<str>, ApiError> {
     let config = ExperimentConfig {
         scale: req.scale,
         seed: req.seed,
         ..base.clone()
     };
     let mut batch = SweepBatch::new(req.bench, &config);
+    if let Some(link) = parent {
+        batch.set_trace_parent(link.clone());
+    }
     let preds = batch.eval(req.predictors.iter().map(PredictorSpec::build).collect());
     let ras = (!req.ras.is_empty()).then(|| batch.ras(&req.ras));
     let results = batch.run().map_err(|e| ApiError::Internal(e.to_string()))?;
     let ras_stats = ras.map(|t| results.ras(t)).unwrap_or(&[]);
-    Ok(render_sweep_response(req, results.stats(preds), ras_stats))
+    let mut render_span = parent.map(|p| p.child("render"));
+    let body = render_sweep_response(req, results.stats(preds), ras_stats);
+    if let Some(s) = render_span.as_mut() {
+        s.add_work(body.len() as u64);
+    }
+    Ok(body)
 }
 
 /// Render the response body for a scored sweep. Pure and

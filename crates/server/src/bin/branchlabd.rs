@@ -9,7 +9,14 @@
 //!            [--workers N] [--queue N] [--cache N]
 //!            [--deadline-ms N] [--addr-file PATH]
 //!            [--warm bench1,bench2,...]
+//!            [--recorder N] [--slow-ms N] [--slow-log FILE]
+//!            [--trace-out FILE]
 //! ```
+//!
+//! `--trace-out` writes the flight recorder's retained request traces
+//! as Chrome trace-event JSON at shutdown (open in Perfetto);
+//! `--slow-ms` logs requests past the threshold as JSONL, to stderr
+//! or to `--slow-log FILE`.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -54,14 +61,21 @@ fn usage() -> ! {
     eprintln!(
         "usage: branchlabd [--listen ADDR] [--scale test|small|paper] [--seed N]\n\
          \x20                 [--workers N] [--queue N] [--cache N]\n\
-         \x20                 [--deadline-ms N] [--addr-file PATH] [--warm a,b,...]"
+         \x20                 [--deadline-ms N] [--addr-file PATH] [--warm a,b,...]\n\
+         \x20                 [--recorder N] [--slow-ms N] [--slow-log FILE]\n\
+         \x20                 [--trace-out FILE]"
     );
     std::process::exit(2)
 }
 
-fn parse_args() -> (ServerConfig, Option<std::path::PathBuf>) {
+fn parse_args() -> (
+    ServerConfig,
+    Option<std::path::PathBuf>,
+    Option<std::path::PathBuf>,
+) {
     let mut config = ServerConfig::default();
     let mut addr_file = None;
+    let mut trace_out = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -118,6 +132,25 @@ fn parse_args() -> (ServerConfig, Option<std::path::PathBuf>) {
                     .map(str::to_string)
                     .collect();
             }
+            "--recorder" => {
+                config.flight_recorder_cap = value("--recorder").parse().unwrap_or_else(|_| {
+                    eprintln!("branchlabd: bad --recorder");
+                    usage()
+                });
+            }
+            "--slow-ms" => {
+                let ms: u64 = value("--slow-ms").parse().unwrap_or_else(|_| {
+                    eprintln!("branchlabd: bad --slow-ms");
+                    usage()
+                });
+                config.slow_ms = Some(ms);
+            }
+            "--slow-log" => {
+                config.slow_log = Some(std::path::PathBuf::from(value("--slow-log")));
+            }
+            "--trace-out" => {
+                trace_out = Some(std::path::PathBuf::from(value("--trace-out")));
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("branchlabd: unknown argument `{other}`");
@@ -125,11 +158,11 @@ fn parse_args() -> (ServerConfig, Option<std::path::PathBuf>) {
             }
         }
     }
-    (config, addr_file)
+    (config, addr_file, trace_out)
 }
 
 fn main() {
-    let (config, addr_file) = parse_args();
+    let (config, addr_file, trace_out) = parse_args();
     sig::install();
 
     let mut handle = match Server::start(config) {
@@ -154,5 +187,17 @@ fn main() {
     }
     eprintln!("branchlabd: shutting down, draining in-flight work");
     handle.shutdown_and_join();
+    if let Some(path) = trace_out {
+        // After the drain, so the export covers every completed
+        // request the recorder still retains.
+        let recorded = handle.traces_recorded();
+        match std::fs::write(&path, handle.chrome_trace_json()) {
+            Ok(()) => eprintln!(
+                "branchlabd: wrote Chrome trace ({recorded} requests recorded) to {}",
+                path.display()
+            ),
+            Err(e) => eprintln!("branchlabd: writing {}: {e}", path.display()),
+        }
+    }
     eprintln!("branchlabd: drained, bye");
 }

@@ -81,13 +81,23 @@ impl Client {
         self.request("POST", path, Some(body.as_bytes()))
     }
 
-    fn request(
+    /// Issue a request with extra headers (e.g. `X-Branchlab-Trace-Id`
+    /// to pin a request's trace id for later `/debug/traces/<id>`
+    /// lookup).
+    ///
+    /// # Errors
+    /// Propagates transport and protocol errors.
+    pub fn request_with(
         &mut self,
         method: &str,
         path: &str,
+        extra_headers: &[(&str, &str)],
         body: Option<&[u8]>,
     ) -> io::Result<ClientResponse> {
         let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {}\r\n", self.addr);
+        for (name, value) in extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
         if let Some(body) = body {
             head.push_str(&format!(
                 "Content-Type: application/json\r\nContent-Length: {}\r\n",
@@ -102,6 +112,15 @@ impl Client {
         }
         stream.flush()?;
         self.read_response()
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> io::Result<ClientResponse> {
+        self.request_with(method, path, &[], body)
     }
 
     fn read_response(&mut self) -> io::Result<ClientResponse> {

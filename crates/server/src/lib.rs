@@ -22,8 +22,17 @@
 //!   queueing without bound, and every request carries a deadline
 //!   (`504` when it expires).
 //! - **Observability**: `GET /metrics` serves Prometheus text from
-//!   the in-process [`MetricsRegistry`], including queue depth,
-//!   coalesce/cache hit counters, and request-latency histograms.
+//!   the in-process [`MetricsRegistry`], including queue depth and
+//!   wait, coalesce/cache hit counters, and request-latency
+//!   histograms. Every request is stamped with a trace id (client
+//!   supplied via `X-Branchlab-Trace-Id`, or assigned) and recorded
+//!   as a hierarchical span tree in a bounded
+//!   [`FlightRecorder`]:
+//!   `GET /debug/traces` lists recent traces, `GET /debug/traces/<id>`
+//!   returns one full span tree, `GET /debug/slow` ranks the slowest,
+//!   and requests over [`ServerConfig::slow_ms`] are logged as JSONL.
+//!   `branchlabd --trace-out` exports the recorder as Chrome
+//!   trace-event JSON (openable in Perfetto) at shutdown.
 //!
 //! Responses are deterministic down to the byte: computed, coalesced,
 //! and cached answers are indistinguishable on the wire (provenance
@@ -64,7 +73,9 @@ use std::time::{Duration, Instant};
 
 use branchlab_experiments::trace_replay::{captured_runs, TraceStats};
 use branchlab_experiments::{ExperimentConfig, SweepStats};
-use branchlab_telemetry::{JsonValue, MetricsRegistry};
+use branchlab_telemetry::{
+    FlightRecorder, JsonValue, MetricsRegistry, SpanHandle, SpanLink, TraceContext, TraceId,
+};
 use branchlab_workloads::{benchmark, Scale, SUITE};
 
 use api::{ApiError, SweepRequest};
@@ -94,6 +105,14 @@ pub struct ServerConfig {
     pub experiment: ExperimentConfig,
     /// Benchmarks to make resident at startup (empty = whole suite).
     pub warm_benches: Vec<String>,
+    /// Completed request traces retained by the flight recorder
+    /// (served by `/debug/traces` and exported by `--trace-out`).
+    pub flight_recorder_cap: usize,
+    /// Log requests slower than this many milliseconds as structured
+    /// JSONL (`None` disables the slow log).
+    pub slow_ms: Option<u64>,
+    /// Where the slow-request JSONL goes (`None` = stderr).
+    pub slow_log: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -112,6 +131,9 @@ impl Default for ServerConfig {
                 ..ExperimentConfig::test()
             },
             warm_benches: Vec::new(),
+            flight_recorder_cap: 256,
+            slow_ms: None,
+            slow_log: None,
         }
     }
 }
@@ -184,6 +206,8 @@ struct State {
     cache: Mutex<LruCache>,
     inflight: Mutex<HashMap<String, Arc<Slot>>>,
     warm: Mutex<BTreeMap<&'static str, WarmInfo>>,
+    recorder: FlightRecorder,
+    slow_log: Option<Mutex<std::fs::File>>,
     ready: AtomicBool,
     shutdown: AtomicBool,
 }
@@ -217,12 +241,23 @@ impl Server {
             config.queue_cap,
             Arc::clone(&metrics.queue_depth),
         );
+        let slow_log = match &config.slow_log {
+            Some(path) => Some(Mutex::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            )),
+            None => None,
+        };
         let state = Arc::new(State {
             metrics,
             pool,
             cache: Mutex::new(LruCache::new(config.cache_cap)),
             inflight: Mutex::new(HashMap::new()),
             warm: Mutex::new(BTreeMap::new()),
+            recorder: FlightRecorder::new(config.flight_recorder_cap),
+            slow_log,
             ready: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             config,
@@ -278,6 +313,20 @@ impl ServerHandle {
     pub fn shutdown_and_join(&mut self) {
         self.shutdown();
         self.join();
+    }
+
+    /// Total request traces recorded by the flight recorder.
+    #[must_use]
+    pub fn traces_recorded(&self) -> u64 {
+        self.state.recorder.recorded()
+    }
+
+    /// Every trace currently in the flight recorder, rendered as a
+    /// Chrome trace-event JSON document (what `branchlabd --trace-out`
+    /// writes at shutdown; open it in Perfetto or `chrome://tracing`).
+    #[must_use]
+    pub fn chrome_trace_json(&self) -> String {
+        branchlab_telemetry::chrome_trace(&self.state.recorder.recent()).to_json_pretty()
     }
 }
 
@@ -383,18 +432,80 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<State>) {
             }
             Ok(ReadOutcome::Closed) => return,
             Err(ProtocolError(message)) => {
-                let resp = error_response(&ApiError::BadRequest(message));
+                // Malformed framing: no headers to take a client id
+                // from, so assign one — the 400 still correlates with
+                // a server-side trace.
+                let ctx = TraceContext::new();
+                ctx.set_label("<protocol error>");
+                let resp = error_response(&ApiError::BadRequest(message))
+                    .with_header("X-Branchlab-Trace-Id", &ctx.id().to_string());
                 state.metrics.count_response(resp.status);
+                finish_request_trace(state, &ctx, resp.status);
                 let _ = write_response(&mut stream, &resp, true);
                 return;
             }
         };
+        let ctx = request
+            .header("x-branchlab-trace-id")
+            .and_then(TraceId::parse)
+            .map_or_else(TraceContext::new, TraceContext::with_id);
+        ctx.set_label(&format!("{} {}", request.method, request.path));
         let close = request.wants_close() || state.shutdown.load(Ordering::SeqCst);
-        let response = route(state, &request);
+        let response =
+            route(state, &request, &ctx).with_header("X-Branchlab-Trace-Id", &ctx.id().to_string());
         state.metrics.count_response(response.status);
+        finish_request_trace(state, &ctx, response.status);
         if write_response(&mut stream, &response, close).is_err() || close {
             return;
         }
+    }
+}
+
+/// Snapshot a request's spans into the flight recorder and, past the
+/// configured threshold, the structured slow log.
+fn finish_request_trace(state: &State, ctx: &TraceContext, status: u16) {
+    let trace = ctx.finish();
+    if let Some(slow_ms) = state.config.slow_ms {
+        if trace.total_us >= slow_ms.saturating_mul(1_000) {
+            state.metrics.slow_requests.inc();
+            log_slow_request(state, &trace, status);
+        }
+    }
+    state.recorder.record(trace);
+}
+
+/// One JSONL line per slow request: identity, status, total, and the
+/// per-span latency decomposition.
+fn log_slow_request(state: &State, trace: &branchlab_telemetry::RequestTrace, status: u16) {
+    use std::io::Write;
+    let spans = trace
+        .spans
+        .iter()
+        .map(|s| {
+            JsonValue::obj(vec![
+                ("name", s.name.as_str().into()),
+                ("dur_us", s.dur_us.into()),
+                ("work", s.work.into()),
+            ])
+        })
+        .collect();
+    let line = JsonValue::obj(vec![
+        ("ts_us", trace.wall_start_us.into()),
+        ("trace_id", trace.id.to_string().into()),
+        ("label", trace.label.as_str().into()),
+        ("status", u64::from(status).into()),
+        ("total_us", trace.total_us.into()),
+        ("spans", JsonValue::Arr(spans)),
+    ])
+    .to_json();
+    match &state.slow_log {
+        Some(file) => {
+            let mut f = file
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let _ = writeln!(f, "{line}");
+        }
+        None => eprintln!("branchlabd: slow request: {line}"),
     }
 }
 
@@ -408,11 +519,12 @@ fn error_response(err: &ApiError) -> Response {
     }
 }
 
-/// Dispatch one parsed request.
-fn route(state: &Arc<State>, request: &Request) -> Response {
+/// Dispatch one parsed request under a root `request` span.
+fn route(state: &Arc<State>, request: &Request, ctx: &TraceContext) -> Response {
     state.metrics.requests.inc();
-    match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/v1/sweep") => handle_sweep(state, request),
+    let mut root = ctx.root("request");
+    let response = match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/sweep") => handle_sweep(state, request, &root),
         ("GET", "/v1/benchmarks") => handle_benchmarks(state),
         ("GET", "/healthz") => Response::text(200, "ok\n".to_string()),
         ("GET", "/readyz") => {
@@ -423,24 +535,76 @@ fn route(state: &Arc<State>, request: &Request) -> Response {
             }
         }
         ("GET", "/metrics") => Response::text(200, render_metrics(state)),
-        (_, "/v1/sweep" | "/v1/benchmarks" | "/healthz" | "/readyz" | "/metrics") => {
-            Response::json(
-                405,
-                JsonValue::obj(vec![("error", "method not allowed".into())]).to_json(),
-            )
+        ("GET", "/debug/traces") => handle_debug_traces(state),
+        ("GET", "/debug/slow") => handle_debug_slow(state),
+        ("GET", path) if path.starts_with("/debug/traces/") => {
+            handle_debug_trace(state, &path["/debug/traces/".len()..])
         }
+        (
+            _,
+            "/v1/sweep" | "/v1/benchmarks" | "/healthz" | "/readyz" | "/metrics" | "/debug/traces"
+            | "/debug/slow",
+        ) => Response::json(
+            405,
+            JsonValue::obj(vec![("error", "method not allowed".into())]).to_json(),
+        ),
         _ => Response::json(
             404,
             JsonValue::obj(vec![("error", "no such endpoint".into())]).to_json(),
         ),
+    };
+    root.arg("status", u64::from(response.status));
+    response
+}
+
+/// `GET /debug/traces`: flight-recorder summaries, newest first.
+fn handle_debug_traces(state: &Arc<State>) -> Response {
+    let recent = state.recorder.recent();
+    let body = JsonValue::obj(vec![
+        ("capacity", state.recorder.capacity().into()),
+        ("recorded", state.recorder.recorded().into()),
+        (
+            "traces",
+            JsonValue::Arr(recent.iter().map(|t| t.summary_json()).collect()),
+        ),
+    ]);
+    Response::json(200, body.to_json())
+}
+
+/// `GET /debug/traces/<id>`: one retained trace's full span tree.
+fn handle_debug_trace(state: &Arc<State>, id: &str) -> Response {
+    match TraceId::parse(id).and_then(|id| state.recorder.find(id)) {
+        Some(trace) => Response::json(200, trace.to_json_value().to_json()),
+        None => Response::json(
+            404,
+            JsonValue::obj(vec![(
+                "error",
+                "no such trace (bad id, or evicted from the flight recorder)".into(),
+            )])
+            .to_json(),
+        ),
     }
 }
 
+/// `GET /debug/slow`: the slowest retained traces, longest first.
+fn handle_debug_slow(state: &Arc<State>) -> Response {
+    const TOP_K: usize = 10;
+    let slow = state.recorder.slowest(TOP_K);
+    let body = JsonValue::obj(vec![
+        ("k", TOP_K.into()),
+        (
+            "traces",
+            JsonValue::Arr(slow.iter().map(|t| t.summary_json()).collect()),
+        ),
+    ]);
+    Response::json(200, body.to_json())
+}
+
 /// The full `/v1/sweep` path: parse → cache → coalesce → compute.
-fn handle_sweep(state: &Arc<State>, request: &Request) -> Response {
+fn handle_sweep(state: &Arc<State>, request: &Request, parent: &SpanHandle) -> Response {
     let started = Instant::now();
     state.metrics.sweep_requests.inc();
-    let result = sweep_result(state, request, started);
+    let result = sweep_result(state, request, started, parent);
     state
         .metrics
         .latency_us
@@ -457,8 +621,12 @@ fn sweep_result(
     state: &Arc<State>,
     request: &Request,
     started: Instant,
+    parent: &SpanHandle,
 ) -> Result<(Arc<str>, &'static str), ApiError> {
-    let req = SweepRequest::parse(&request.body, &state.config.experiment)?;
+    let req = {
+        let _span = parent.child("parse");
+        SweepRequest::parse(&request.body, &state.config.experiment)?
+    };
     let deadline = started
         + req
             .deadline_ms
@@ -466,12 +634,17 @@ fn sweep_result(
     let key = req.canonical_key();
 
     // 1. Result cache.
-    if let Some(body) = state
-        .cache
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .get(&key)
-    {
+    let cached = {
+        let mut span = parent.child("cache_lookup");
+        let hit = state
+            .cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key);
+        span.arg("hit", u64::from(hit.is_some()));
+        hit
+    };
+    if let Some(body) = cached {
         state.metrics.cache_hits.inc();
         return Ok((body, "cache"));
     }
@@ -480,32 +653,45 @@ fn sweep_result(
     // 2. Coalesce onto an identical in-flight computation, or become
     //    the leader for this key.
     let (slot, leader) = {
+        let mut span = parent.child("admission");
         let mut inflight = state
             .inflight
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        match inflight.get(&key) {
+        let (slot, leader) = match inflight.get(&key) {
             Some(slot) => (Arc::clone(slot), false),
             None => {
                 let slot = Slot::new();
                 inflight.insert(key.clone(), Arc::clone(&slot));
                 (Arc::clone(&slot), true)
             }
-        }
+        };
+        span.arg("leader", u64::from(leader));
+        (slot, leader)
     };
 
     if leader {
+        // The queue_wait span opens here on the connection thread and
+        // closes inside the job at worker pickup — the accept-to-pickup
+        // interval the `server.queue.wait_us` histogram observes.
+        let queue_span = parent.child("queue_wait");
+        let compute_link = parent.link();
         let job_state = Arc::clone(state);
         let job_slot = Arc::clone(&slot);
         let job_key = key.clone();
         let submitted = state.pool.try_submit(move || {
+            job_state
+                .metrics
+                .queue_wait_us
+                .observe(queue_span.elapsed_us());
+            drop(queue_span);
             let result = if Instant::now() >= deadline {
                 // Shed stale work cheaply: the client stopped waiting
                 // before a worker ever picked this up.
                 job_state.metrics.deadline_expired.inc();
                 Err(ApiError::DeadlineExpired)
             } else {
-                compute_sweep(&job_state, &req, &job_key)
+                compute_sweep(&job_state, &req, &job_key, &compute_link)
             };
             job_state
                 .inflight
@@ -530,6 +716,10 @@ fn sweep_result(
         state.metrics.coalesce_hits.inc();
     }
 
+    // Followers spend their whole wait here; the leader's wait is
+    // already decomposed by the queue_wait/compute spans its worker
+    // records into this same trace.
+    let _wait_span = (!leader).then(|| parent.child("coalesce_wait"));
     match slot.wait_until(deadline) {
         Some(Ok(body)) => Ok((body, if leader { "computed" } else { "coalesced" })),
         Some(Err(err)) => Err(err),
@@ -541,10 +731,17 @@ fn sweep_result(
 }
 
 /// Run the sweep on a worker and publish the rendered body.
-fn compute_sweep(state: &State, req: &SweepRequest, key: &str) -> Result<Arc<str>, ApiError> {
+fn compute_sweep(
+    state: &State,
+    req: &SweepRequest,
+    key: &str,
+    parent: &SpanLink,
+) -> Result<Arc<str>, ApiError> {
+    let compute_span = parent.child("compute");
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        api::evaluate(req, &state.config.experiment)
+        api::evaluate_traced(req, &state.config.experiment, Some(&compute_span.link()))
     }));
+    drop(compute_span);
     let body = match outcome {
         Ok(result) => result?,
         Err(_) => return Err(ApiError::Internal("sweep worker panicked".to_string())),

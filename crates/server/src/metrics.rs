@@ -32,6 +32,9 @@ pub struct ServerMetrics {
     pub responses_5xx: Arc<Counter>,
     /// Live sweep queue depth.
     pub queue_depth: Arc<Gauge>,
+    /// Accept-to-worker-pickup wait in microseconds, so latency p99
+    /// decomposes into queue wait vs. compute.
+    pub queue_wait_us: Arc<Histogram>,
     /// Sweeps shed with 503 because the queue was full.
     pub queue_rejected: Arc<Counter>,
     /// Sweeps answered by joining an identical in-flight computation.
@@ -42,6 +45,8 @@ pub struct ServerMetrics {
     pub cache_misses: Arc<Counter>,
     /// Requests that hit their deadline before a result was ready.
     pub deadline_expired: Arc<Counter>,
+    /// Requests slower than the configured `--slow-ms` threshold.
+    pub slow_requests: Arc<Counter>,
     /// Sweeps actually computed (one replay pass each).
     pub sweeps_computed: Arc<Counter>,
     /// End-to-end request latency in microseconds.
@@ -69,11 +74,13 @@ impl ServerMetrics {
             responses_4xx: registry.counter("server.responses.4xx"),
             responses_5xx: registry.counter("server.responses.5xx"),
             queue_depth: registry.gauge("server.queue.depth"),
+            queue_wait_us: registry.histogram("server.queue.wait_us", LATENCY_BOUNDS_US),
             queue_rejected: registry.counter("server.queue.rejected"),
             coalesce_hits: registry.counter("server.coalesce.hits"),
             cache_hits: registry.counter("server.cache.hits"),
             cache_misses: registry.counter("server.cache.misses"),
             deadline_expired: registry.counter("server.deadline.expired"),
+            slow_requests: registry.counter("server.slow.requests"),
             sweeps_computed: registry.counter("server.sweeps.computed"),
             latency_us: registry.histogram("server.latency.us", LATENCY_BOUNDS_US),
             connections_active: registry.gauge("server.connections.active"),

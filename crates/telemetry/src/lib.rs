@@ -10,6 +10,10 @@
 //!   JSON lines, and Prometheus exposition text.
 //! * [`span`] — RAII span timers ([`Timeline`]/[`SpanGuard`]) used to
 //!   break a benchmark run into compile/profile/evaluate/… phases.
+//! * [`trace`] — hierarchical request tracing: parent-linked spans
+//!   shared across threads ([`TraceContext`]/[`SpanHandle`]), a
+//!   bounded [`FlightRecorder`] ring of recent request traces, and a
+//!   Chrome trace-event / Perfetto exporter ([`chrome_trace`]).
 //! * [`sink`] — the [`TelemetrySink`] trait behind which the branch
 //!   predictors publish hit/miss/evict/alias events, the zero-cost
 //!   [`NoopSink`], and the per-branch-site [`SiteProbe`] collector.
@@ -30,6 +34,7 @@ pub mod metrics;
 pub mod rng;
 pub mod sink;
 pub mod span;
+pub mod trace;
 
 pub use json::JsonValue;
 pub use manifest::RunManifest;
@@ -37,3 +42,7 @@ pub use metrics::{prometheus_name, Counter, Gauge, Histogram, MetricsRegistry, S
 pub use rng::Rng;
 pub use sink::{NoopSink, ProbeEvent, ProbeKind, SiteCounters, SiteProbe, TelemetrySink};
 pub use span::{PhaseSpan, SpanGuard, Timeline};
+pub use trace::{
+    chrome_trace, phases_chrome_trace, validate_chrome_trace, FlightRecorder, RequestTrace, Span,
+    SpanHandle, SpanId, SpanLink, TraceContext, TraceId,
+};

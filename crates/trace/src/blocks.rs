@@ -78,6 +78,7 @@ pub struct BlockIter<'a> {
     branches: Vec<BranchEvent>,
     callrets: Vec<CallRet>,
     delivered: u64,
+    span: Option<branchlab_telemetry::SpanHandle>,
 }
 
 impl<'a> BlockIter<'a> {
@@ -103,7 +104,16 @@ impl<'a> BlockIter<'a> {
             branches: Vec::with_capacity(block_events),
             callrets: Vec::new(),
             delivered: 0,
+            span: None,
         }
+    }
+
+    /// Record this iterator's lifetime as a `block_replay` child span
+    /// of `parent`, carrying the blocks decoded and events delivered
+    /// as it goes (the span closes when the iterator drops). Off by
+    /// default — untraced sweeps pay nothing.
+    pub fn set_trace_parent(&mut self, parent: &branchlab_telemetry::SpanLink) {
+        self.span = Some(parent.child("block_replay"));
     }
 
     /// Total events delivered so far across all blocks.
@@ -146,7 +156,12 @@ impl<'a> BlockIter<'a> {
         if self.branches.is_empty() && self.callrets.is_empty() {
             return Ok(None);
         }
-        self.delivered += (self.branches.len() + self.callrets.len()) as u64;
+        let n = (self.branches.len() + self.callrets.len()) as u64;
+        self.delivered += n;
+        if let Some(s) = self.span.as_mut() {
+            s.add_work(n);
+            s.arg("blocks", s.arg_value("blocks").unwrap_or(0) + 1);
+        }
         Ok(Some(EventBlock {
             branches: &self.branches,
             callrets: &self.callrets,

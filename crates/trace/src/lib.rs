@@ -33,5 +33,5 @@ mod stats;
 pub use blocks::{BlockIter, CallRet, EventBlock, DEFAULT_BLOCK_EVENTS};
 pub use cache::{hash_bytes, load_trace, save_trace, TraceKey};
 pub use event::{BranchEvent, BranchKind, ExecHooks};
-pub use replay::{replay, Capture, ReplayError, TraceBuf, TraceEvent, TraceReader};
+pub use replay::{replay, replay_traced, Capture, ReplayError, TraceBuf, TraceEvent, TraceReader};
 pub use stats::{BranchMix, SiteCounts, SiteStats, TraceRecorder};

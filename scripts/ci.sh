@@ -90,7 +90,8 @@ trap 'rm -rf "$out" "$fault_out" "$replay_out"' EXIT
 cargo run --release -p branchlab-bench --bin replay_bench -- \
     --scale test --trace-cache "$replay_out/trace-cache" \
     --out "$replay_out/BENCH_replay.json" \
-    --sweep-out "$replay_out/BENCH_sweep_parallel.json" 2>"$replay_out/stderr.txt" \
+    --sweep-out "$replay_out/BENCH_sweep_parallel.json" \
+    --trace-out "$replay_out/replay.trace.json" 2>"$replay_out/stderr.txt" \
     || { echo "replay smoke failed" >&2; cat "$replay_out/stderr.txt" >&2; exit 1; }
 
 # Second run must hit the on-disk trace cache instead of re-capturing.
@@ -116,6 +117,23 @@ phases = {p["name"] for p in cold["phases"]}
 assert {"trace_capture", "trace_replay"} <= phases, phases
 print(f"replay smoke OK: {cold['trace']['events_replayed']} events replayed, "
       f"tables identical, warm run served from disk cache")
+EOF
+
+echo "==> replay trace-export smoke: --trace-out emits valid Chrome trace JSON"
+python3 - "$replay_out/replay.trace.json" <<'EOF'
+import json, sys
+t = json.load(open(sys.argv[1]))
+events = t["traceEvents"]
+assert events, "empty traceEvents"
+names = set()
+for e in events:
+    assert e["ph"] in {"X", "M"}, e
+    assert "pid" in e and "name" in e, e
+    if e["ph"] == "X":
+        assert e["ts"] >= 0 and e["dur"] >= 0, e
+        names.add(e["name"])
+assert {"trace_replay", "sweep_score"} <= names, names
+print(f"replay trace-export OK: {len(events)} events, phases {sorted(names)}")
 EOF
 
 echo "==> parallel-sweep smoke: serial vs parallel tables + counters"
@@ -150,6 +168,8 @@ trap 'rm -rf "$out" "$fault_out" "$replay_out" "$serve_out"' EXIT
 ./target/release/branchlabd \
     --listen 127.0.0.1:0 --addr-file "$serve_out/addr" \
     --scale test --workers 2 --warm wc,cmp,grep \
+    --recorder 64 --slow-ms 0 --slow-log "$serve_out/slow.jsonl" \
+    --trace-out "$serve_out/server.trace.json" \
     2>"$serve_out/branchlabd.log" &
 serve_pid=$!
 
@@ -196,6 +216,54 @@ print(f"serve load OK: {s['throughput_rps']:.0f} req/s, "
       f"{src['computed']} computed")
 EOF
 
+# Trace smoke: pin a sweep to a known trace id, then fetch its span
+# tree from the flight recorder and check the latency decomposition.
+python3 - "$serve_addr" <<'EOF'
+import http.client, json, sys
+conn = http.client.HTTPConnection(sys.argv[1], timeout=120)
+body = json.dumps({"bench": "wc",
+                   "predictors": [{"kind": "gshare", "table_bits": 10},
+                                  {"kind": "sbtb", "entries": 128}],
+                   "ras": [2, 16], "seed": 424242})
+conn.request("POST", "/v1/sweep", body,
+             {"Content-Type": "application/json",
+              "X-Branchlab-Trace-Id": "c1feedface"})
+resp = conn.getresponse()
+resp.read()
+assert resp.status == 200, resp.status
+echoed = resp.getheader("X-Branchlab-Trace-Id")
+assert echoed == "000000c1feedface", echoed
+
+conn.request("GET", f"/debug/traces/{echoed}", headers={})
+resp = conn.getresponse()
+trace = json.loads(resp.read())
+assert resp.status == 200, trace
+assert trace["label"] == "POST /v1/sweep", trace["label"]
+names = {s["name"] for s in trace["spans"]}
+required = {"request", "parse", "cache_lookup", "admission"}
+assert required <= names, (sorted(names), required - names)
+# Fresh seed -> computed path: the worker-side spans must be present.
+assert "compute" in names and "render" in names, sorted(names)
+assert "queue_wait" in names, sorted(names)
+root = next(s for s in trace["spans"] if s["name"] == "request")
+assert root["parent"] is None and root["status"] == 200, root
+for s in trace["spans"]:
+    assert s["start_us"] + s["dur_us"] <= trace["total_us"], s
+
+conn.request("GET", "/debug/slow", headers={})
+resp = conn.getresponse()
+slow = json.loads(resp.read())
+assert resp.status == 200 and slow["traces"], slow
+
+conn.request("GET", "/metrics", headers={})
+resp = conn.getresponse()
+metrics = resp.read().decode()
+assert "server_queue_wait_us" in metrics, "queue-wait histogram missing"
+assert "server_slow_requests" in metrics, "slow counter missing"
+conn.close()
+print(f"trace smoke OK: trace {echoed} decomposed into {sorted(names)}")
+EOF
+
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$serve_pid"
 set +e
@@ -208,6 +276,30 @@ set -e
     exit 1
 }
 echo "serve smoke OK: graceful shutdown, exit 0"
+
+# --trace-out writes the flight recorder at shutdown; --slow-ms 0
+# means every request landed in the slow log. Validate both.
+python3 - "$serve_out/server.trace.json" "$serve_out/slow.jsonl" <<'EOF'
+import json, sys
+t = json.load(open(sys.argv[1]))
+events = t["traceEvents"]
+spans = [e for e in events if e["ph"] == "X"]
+assert spans, "no spans exported"
+for e in spans:
+    assert e["ts"] >= 0 and e["dur"] >= 0 and e["name"], e
+names = {e["name"] for e in spans}
+assert {"request", "compute", "render"} <= names, sorted(names)
+slow_lines = [json.loads(l) for l in open(sys.argv[2]) if l.strip()]
+assert slow_lines, "slow log empty despite --slow-ms 0"
+for rec in slow_lines:
+    assert rec["trace_id"] and rec["total_us"] >= 0 and "spans" in rec, rec
+assert any(rec["label"] == "POST /v1/sweep" for rec in slow_lines), \
+    "no sweep in the slow log"
+print(f"server trace-export OK: {len(spans)} spans over "
+      f"{len({e['pid'] for e in spans})} requests, "
+      f"{len(slow_lines)} slow-log lines")
+EOF
+
 cp "$serve_out/BENCH_serve.json" BENCH_serve.test.json
 
 # Keep the perf-trajectory artifacts where future PRs can diff them.
