@@ -83,13 +83,20 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// The three independent decision lanes at each site.
+/// The three independent decision lanes at each site. Embedders that
+/// bring their own fault classes (see [`FaultInjector::draw`]) must
+/// use lane tags ≥ [`FIRST_CUSTOM_LANE`] to stay decorrelated from
+/// these.
 #[derive(Copy, Clone)]
 enum Lane {
     Delay = 1,
     Panic = 2,
     Exec = 3,
 }
+
+/// Lowest lane tag available to [`FaultInjector::draw`] callers; tags
+/// below this are reserved for the built-in exec/panic/delay lanes.
+pub const FIRST_CUSTOM_LANE: u64 = 16;
 
 /// Per-(benchmark, attempt) fault injector. See the module docs for the
 /// determinism contract.
@@ -129,6 +136,21 @@ impl FaultInjector {
 
     /// One seeded draw on a decision lane.
     fn fires(&self, site: &str, lane: Lane, rate: f64) -> bool {
+        self.draw(site, lane as u64, rate)
+    }
+
+    /// One deterministic draw on a caller-defined decision lane.
+    ///
+    /// This is the extension point for embedders with fault classes
+    /// outside the exec-error taxonomy (the server's chaos sites:
+    /// cache-read corruption, spill-write failure, ...). The decision
+    /// is the same pure hash of `(seed, scope, site, attempt, lane)`
+    /// the built-in lanes use, but — unlike [`FaultInjector::trip`] —
+    /// it is *not* gated on [`FaultInjector::armed`]: the caller owns
+    /// its rates, so a zero rate is the only off switch. Use lane tags
+    /// ≥ [`FIRST_CUSTOM_LANE`].
+    #[must_use]
+    pub fn draw(&self, site: &str, lane: u64, rate: f64) -> bool {
         if rate <= 0.0 {
             return false;
         }
@@ -138,7 +160,7 @@ impl FaultInjector {
             .wrapping_add(self.bench_hash.rotate_left(7))
             .wrapping_add(fnv1a(site.as_bytes()).rotate_left(29))
             .wrapping_add(u64::from(self.attempt).wrapping_mul(0x9e37_79b9))
-            .wrapping_add((lane as u64).wrapping_mul(0x517c_c1b7_2722_0a95));
+            .wrapping_add(lane.wrapping_mul(0x517c_c1b7_2722_0a95));
         Rng::seed_from_u64(key).gen_bool(rate)
     }
 
@@ -246,6 +268,29 @@ mod tests {
             mk(1, "wc", 2) != base || mk(1, "wc", 3) != base || mk(1, "wc", 4) != base,
             "attempt does not influence decisions"
         );
+    }
+
+    #[test]
+    fn custom_lanes_draw_without_arming_and_decorrelate() {
+        // A config with every built-in rate at zero never arms...
+        let cfg = FaultConfig {
+            seed: 11,
+            ..FaultConfig::default()
+        };
+        let inj = FaultInjector::new(&cfg, "server", 1);
+        assert!(!inj.armed());
+        // ...but custom lanes still draw: rate 1 fires, rate 0 never.
+        assert!(inj.draw("cache_read", FIRST_CUSTOM_LANE, 1.0));
+        assert!(!inj.draw("cache_read", FIRST_CUSTOM_LANE, 0.0));
+        // Draws are deterministic and lane/site-sensitive.
+        let pattern = |site: &str, lane: u64| {
+            (1..64)
+                .map(|a| FaultInjector::new(&cfg, "server", a).draw(site, lane, 0.5))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(pattern("spill", 17), pattern("spill", 17));
+        assert_ne!(pattern("spill", 17), pattern("spill", 18));
+        assert_ne!(pattern("spill", 17), pattern("cache_read", 17));
     }
 
     #[test]

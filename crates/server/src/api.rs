@@ -37,6 +37,15 @@ pub enum ApiError {
     UnknownBenchmark(String),
     /// Queue at capacity or pool draining (503 + `Retry-After`).
     Overloaded,
+    /// Admission control projected the queue wait past the request's
+    /// deadline and shed the request up front (503 + `Retry-After`
+    /// derived from the projection).
+    AdmissionRejected {
+        /// The projected queue wait, µs.
+        projected_wait_us: u64,
+        /// The deadline budget the projection exceeded, µs.
+        deadline_us: u64,
+    },
     /// The request's deadline passed before a result was ready (504).
     DeadlineExpired,
     /// Evaluation failed (500).
@@ -50,9 +59,25 @@ impl ApiError {
         match self {
             ApiError::BadRequest(_) => 400,
             ApiError::UnknownBenchmark(_) => 404,
-            ApiError::Overloaded => 503,
+            ApiError::Overloaded | ApiError::AdmissionRejected { .. } => 503,
             ApiError::DeadlineExpired => 504,
             ApiError::Internal(_) => 500,
+        }
+    }
+
+    /// Seconds a client should wait before retrying, when this error
+    /// carries sizing information (rendered as `Retry-After`).
+    #[must_use]
+    pub fn retry_after_secs(&self) -> Option<u64> {
+        match self {
+            ApiError::Overloaded => Some(1),
+            // Round the projected wait up to whole seconds; even a
+            // microsecond projection earns a 1s floor so a retrying
+            // client never busy-loops against a loaded daemon.
+            ApiError::AdmissionRejected {
+                projected_wait_us, ..
+            } => Some(projected_wait_us.div_ceil(1_000_000).max(1)),
+            _ => None,
         }
     }
 
@@ -63,6 +88,13 @@ impl ApiError {
             ApiError::BadRequest(m) => m.clone(),
             ApiError::UnknownBenchmark(name) => format!("unknown benchmark `{name}`"),
             ApiError::Overloaded => "sweep queue is full; retry shortly".to_string(),
+            ApiError::AdmissionRejected {
+                projected_wait_us,
+                deadline_us,
+            } => format!(
+                "admission rejected: projected queue wait {projected_wait_us}us exceeds the \
+                 {deadline_us}us deadline; retry after backoff"
+            ),
             ApiError::DeadlineExpired => "deadline expired before the sweep completed".to_string(),
             ApiError::Internal(m) => format!("sweep evaluation failed: {m}"),
         }
@@ -460,6 +492,13 @@ impl SweepRequest {
     #[must_use]
     pub fn program_hash(&self) -> u64 {
         hash_bytes(self.bench.source.as_bytes())
+    }
+
+    /// How many sweep points this request scores (the unit admission
+    /// control's per-point cost EWMA is denominated in).
+    #[must_use]
+    pub fn points(&self) -> u64 {
+        (self.predictors.len() + self.ras.len()) as u64
     }
 
     /// The canonical identity of this request:

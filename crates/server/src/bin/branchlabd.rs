@@ -11,12 +11,24 @@
 //!            [--warm bench1,bench2,...]
 //!            [--recorder N] [--slow-ms N] [--slow-log FILE]
 //!            [--trace-out FILE]
+//!            [--spill-dir DIR] [--spill-every SECS]
+//!            [--chaos-seed N] [--chaos-panic-rate P]
+//!            [--chaos-delay-rate P] [--chaos-delay-ms N]
+//!            [--chaos-cache-corrupt-rate P] [--chaos-spill-fail-rate P]
 //! ```
 //!
 //! `--trace-out` writes the flight recorder's retained request traces
 //! as Chrome trace-event JSON at shutdown (open in Perfetto);
 //! `--slow-ms` logs requests past the threshold as JSONL, to stderr
 //! or to `--slow-log FILE`.
+//!
+//! `--spill-dir` makes restarts warm: traces and the response cache
+//! spill there (every `--spill-every` seconds and on graceful drain),
+//! and the next boot restores whatever validates. The `--chaos-*`
+//! rates arm deterministic server-side fault injection — worker
+//! panics, slow computes, cache-read corruption, spill-write failure
+//! — for drills and the CI chaos smoke; see
+//! `branchlab_server::chaos`.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -63,9 +75,24 @@ fn usage() -> ! {
          \x20                 [--workers N] [--queue N] [--cache N]\n\
          \x20                 [--deadline-ms N] [--addr-file PATH] [--warm a,b,...]\n\
          \x20                 [--recorder N] [--slow-ms N] [--slow-log FILE]\n\
-         \x20                 [--trace-out FILE]"
+         \x20                 [--trace-out FILE]\n\
+         \x20                 [--spill-dir DIR] [--spill-every SECS]\n\
+         \x20                 [--chaos-seed N] [--chaos-panic-rate P]\n\
+         \x20                 [--chaos-delay-rate P] [--chaos-delay-ms N]\n\
+         \x20                 [--chaos-cache-corrupt-rate P] [--chaos-spill-fail-rate P]"
     );
     std::process::exit(2)
+}
+
+/// Parse a probability flag value in `[0, 1]`.
+fn parse_rate(s: &str) -> f64 {
+    match s.parse::<f64>() {
+        Ok(rate) if (0.0..=1.0).contains(&rate) => rate,
+        _ => {
+            eprintln!("branchlabd: chaos rates must be in [0, 1], got `{s}`");
+            usage()
+        }
+    }
 }
 
 fn parse_args() -> (
@@ -150,6 +177,41 @@ fn parse_args() -> (
             }
             "--trace-out" => {
                 trace_out = Some(std::path::PathBuf::from(value("--trace-out")));
+            }
+            "--spill-dir" => {
+                config.spill_dir = Some(std::path::PathBuf::from(value("--spill-dir")));
+            }
+            "--spill-every" => {
+                let secs: u64 = value("--spill-every").parse().unwrap_or_else(|_| {
+                    eprintln!("branchlabd: bad --spill-every");
+                    usage()
+                });
+                config.spill_every = Duration::from_secs(secs.max(1));
+            }
+            "--chaos-seed" => {
+                config.chaos.seed = value("--chaos-seed").parse().unwrap_or_else(|_| {
+                    eprintln!("branchlabd: bad --chaos-seed");
+                    usage()
+                });
+            }
+            "--chaos-panic-rate" => {
+                config.chaos.worker_panic_rate = parse_rate(&value("--chaos-panic-rate"));
+            }
+            "--chaos-delay-rate" => {
+                config.chaos.slow_compute_rate = parse_rate(&value("--chaos-delay-rate"));
+            }
+            "--chaos-delay-ms" => {
+                let ms: u64 = value("--chaos-delay-ms").parse().unwrap_or_else(|_| {
+                    eprintln!("branchlabd: bad --chaos-delay-ms");
+                    usage()
+                });
+                config.chaos.delay = Duration::from_millis(ms);
+            }
+            "--chaos-cache-corrupt-rate" => {
+                config.chaos.cache_corrupt_rate = parse_rate(&value("--chaos-cache-corrupt-rate"));
+            }
+            "--chaos-spill-fail-rate" => {
+                config.chaos.spill_fail_rate = parse_rate(&value("--chaos-spill-fail-rate"));
             }
             "--help" | "-h" => usage(),
             other => {

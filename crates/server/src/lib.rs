@@ -34,6 +34,27 @@
 //!   `branchlabd --trace-out` exports the recorder as Chrome
 //!   trace-event JSON (openable in Perfetto) at shutdown.
 //!
+//! The daemon is **crash-only**: stopping it abruptly and restarting
+//! is a supported path, not an error path.
+//!
+//! - **Durability**: with `--spill-dir`, warmed traces and the LRU
+//!   response cache spill to disk (periodically and on graceful
+//!   drain) through the atomic tmp+fsync+rename pattern, each record
+//!   hash-validated; a restart restores what survives and degrades
+//!   *silently* to a cold start on any damage. `GET /readyz`
+//!   distinguishes `warm` / `cold` / `draining`.
+//! - **Deadline-aware admission**: an EWMA of per-point compute cost
+//!   times the queued point count projects each leader's queue wait;
+//!   requests whose projection exceeds their deadline are shed up
+//!   front with `503` + a `Retry-After` derived from the projection.
+//! - **Chaos + self-healing**: the `--chaos-*` flags deterministically
+//!   inject worker panics, slow computes, cache-read corruption, and
+//!   spill-write failures (see [`chaos`]); pool workers respawn after
+//!   a panic (`server.worker.restarts`), corrupt cache bodies are
+//!   detected by hash and recomputed, and a failed spill retries next
+//!   interval. An injected panic costs one request a `500` (trace id
+//!   echoed) — never the pool.
+//!
 //! Responses are deterministic down to the byte: computed, coalesced,
 //! and cached answers are indistinguishable on the wire (provenance
 //! travels in the `X-Branchlab-Source` header).
@@ -57,16 +78,18 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod chaos;
 pub mod client;
 pub mod http;
 pub mod lru;
 pub mod metrics;
 pub mod pool;
+pub mod store;
 
 use std::collections::{BTreeMap, HashMap};
 use std::io;
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -79,10 +102,12 @@ use branchlab_telemetry::{
 use branchlab_workloads::{benchmark, Scale, SUITE};
 
 use api::{ApiError, SweepRequest};
+use chaos::{Chaos, ChaosConfig};
 use http::{read_request, write_response, ProtocolError, ReadOutcome, Request, Response};
-use lru::LruCache;
+use lru::{Lookup, LruCache};
 use metrics::ServerMetrics;
 use pool::{SubmitError, WorkerPool};
+use store::SpillStore;
 
 /// How the daemon is wired together.
 #[derive(Clone, Debug)]
@@ -113,6 +138,13 @@ pub struct ServerConfig {
     pub slow_ms: Option<u64>,
     /// Where the slow-request JSONL goes (`None` = stderr).
     pub slow_log: Option<std::path::PathBuf>,
+    /// Durable spill directory: warmed traces and the LRU response
+    /// cache persist here across restarts (`None` disables spilling).
+    pub spill_dir: Option<std::path::PathBuf>,
+    /// Interval between periodic spill snapshots.
+    pub spill_every: Duration,
+    /// Server-side fault injection rates (all zero = chaos off).
+    pub chaos: ChaosConfig,
 }
 
 impl Default for ServerConfig {
@@ -134,8 +166,23 @@ impl Default for ServerConfig {
             flight_recorder_cap: 256,
             slow_ms: None,
             slow_log: None,
+            spill_dir: None,
+            spill_every: Duration::from_secs(5),
+            chaos: ChaosConfig::default(),
         }
     }
+}
+
+/// Readiness phases reported by `GET /readyz`.
+mod phase {
+    /// Warmup still running (503 `warming`).
+    pub const WARMING: u8 = 0;
+    /// Ready; nothing was restored from a spill (200 `cold`).
+    pub const READY_COLD: u8 = 1;
+    /// Ready; spilled state survived the restart (200 `warm`).
+    pub const READY_WARM: u8 = 2;
+    /// Shutting down; draining open connections (503 `draining`).
+    pub const DRAINING: u8 = 3;
 }
 
 /// One in-flight computation that concurrent identical requests
@@ -208,8 +255,33 @@ struct State {
     warm: Mutex<BTreeMap<&'static str, WarmInfo>>,
     recorder: FlightRecorder,
     slow_log: Option<Mutex<std::fs::File>>,
-    ready: AtomicBool,
+    spill: Option<SpillStore>,
+    chaos: Chaos,
+    /// Cache entries restored from the spill snapshot at boot.
+    restored: usize,
+    /// Whether the spill's trace directory already held files at boot
+    /// — a previous instance spilled traces for warmup to restore.
+    spilled_traces_at_boot: bool,
+    /// EWMA of compute cost per sweep point, µs (0 = no samples yet).
+    ewma_point_us: AtomicU64,
+    /// Sweep points admitted but not yet computed (the queue length in
+    /// admission's cost unit).
+    queued_points: AtomicU64,
+    phase: AtomicU8,
     shutdown: AtomicBool,
+    /// Set by [`ServerHandle::kill`]: simulate an abrupt crash, so the
+    /// graceful-drain spill is skipped and only periodic snapshots
+    /// survive — exactly what a real `kill -9` leaves behind.
+    crashed: AtomicBool,
+}
+
+impl State {
+    fn is_ready(&self) -> bool {
+        matches!(
+            self.phase.load(Ordering::SeqCst),
+            phase::READY_COLD | phase::READY_WARM
+        )
+    }
 }
 
 /// The running daemon. Dropping the handle does **not** stop it; call
@@ -230,9 +302,29 @@ impl Server {
     /// # Errors
     /// Propagates bind failures.
     pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
+        let mut config = config;
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+
+        // Durability: open the spill directory and point the trace
+        // disk cache into it (unless the operator routed traces
+        // elsewhere already) — warmup then restores spilled traces
+        // through the existing hash-validated loader and spills fresh
+        // captures automatically.
+        let spill = match &config.spill_dir {
+            Some(dir) => Some(SpillStore::open(dir)?),
+            None => None,
+        };
+        let mut spilled_traces_at_boot = false;
+        if let Some(store) = &spill {
+            if config.experiment.trace_cache_dir.is_none() {
+                config.experiment.trace_cache_dir = Some(store.traces_dir());
+            }
+            spilled_traces_at_boot = std::fs::read_dir(store.traces_dir())
+                .map(|mut dir| dir.next().is_some())
+                .unwrap_or(false);
+        }
 
         let registry = Arc::new(MetricsRegistry::new());
         let metrics = ServerMetrics::new(registry);
@@ -240,6 +332,7 @@ impl Server {
             config.workers,
             config.queue_cap,
             Arc::clone(&metrics.queue_depth),
+            Arc::clone(&metrics.worker_restarts),
         );
         let slow_log = match &config.slow_log {
             Some(path) => Some(Mutex::new(
@@ -250,16 +343,41 @@ impl Server {
             )),
             None => None,
         };
+
+        // Restore the response cache from the last spill snapshot.
+        // Damaged records were already dropped by the forgiving loader;
+        // whatever survives replays in LRU order, so recency survives
+        // the restart too.
+        let mut cache = LruCache::new(config.cache_cap);
+        let mut restored = 0usize;
+        if let Some(store) = &spill {
+            let load = store.load_cache();
+            metrics.spill_skipped.add(load.skipped as u64);
+            for (key, body) in load.entries {
+                cache.put(&key, body);
+                restored += 1;
+            }
+            metrics.spill_restored.add(restored as u64);
+        }
+
+        let chaos = Chaos::new(config.chaos.clone());
         let state = Arc::new(State {
             metrics,
             pool,
-            cache: Mutex::new(LruCache::new(config.cache_cap)),
+            cache: Mutex::new(cache),
             inflight: Mutex::new(HashMap::new()),
             warm: Mutex::new(BTreeMap::new()),
             recorder: FlightRecorder::new(config.flight_recorder_cap),
             slow_log,
-            ready: AtomicBool::new(false),
+            spill,
+            chaos,
+            restored,
+            spilled_traces_at_boot,
+            ewma_point_us: AtomicU64::new(0),
+            queued_points: AtomicU64::new(0),
+            phase: AtomicU8::new(phase::WARMING),
             shutdown: AtomicBool::new(false),
+            crashed: AtomicBool::new(false),
             config,
         });
 
@@ -268,6 +386,14 @@ impl Server {
             .name("bld-warmup".to_string())
             .spawn(move || warmup(&warm_state))
             .expect("spawn warmup thread");
+
+        if state.spill.is_some() {
+            let spill_state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("bld-spill".to_string())
+                .spawn(move || spill_loop(&spill_state))
+                .expect("spawn spill thread");
+        }
 
         let accept_state = Arc::clone(&state);
         let accept_thread = std::thread::Builder::new()
@@ -293,13 +419,38 @@ impl ServerHandle {
     /// Has the warmup pass finished?
     #[must_use]
     pub fn is_ready(&self) -> bool {
-        self.state.ready.load(Ordering::SeqCst)
+        self.state.is_ready()
+    }
+
+    /// Did this instance restore spilled state (traces or cached
+    /// responses) at boot? Meaningful once [`Self::is_ready`].
+    #[must_use]
+    pub fn is_warm_restart(&self) -> bool {
+        self.state.phase.load(Ordering::SeqCst) == phase::READY_WARM
+    }
+
+    /// Pool workers respawned after a panicking job.
+    #[must_use]
+    pub fn worker_restarts(&self) -> usize {
+        self.state.pool.worker_restarts()
     }
 
     /// Signal shutdown: stop accepting, drain open connections and
-    /// queued sweeps, then stop the workers.
+    /// queued sweeps, spill a final snapshot, then stop the workers.
     pub fn shutdown(&self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
+        self.state.phase.store(phase::DRAINING, Ordering::SeqCst);
+    }
+
+    /// Simulate an abrupt crash (`kill -9` without leaving the
+    /// process): shut down but *skip the graceful-drain spill*, so
+    /// only state already published by periodic snapshots survives —
+    /// what `tests/chaos.rs` uses to prove warm restarts recover from
+    /// real crashes, not just polite drains.
+    pub fn kill(&mut self) {
+        self.state.crashed.store(true, Ordering::SeqCst);
+        self.shutdown();
+        self.join();
     }
 
     /// Block until the accept loop (and with it the drain) finishes.
@@ -371,8 +522,64 @@ fn warmup(state: &State) {
             }
         }
     }
-    state.ready.store(true, Ordering::SeqCst);
+    // Warm vs. cold: this restart is warm if durable state from a
+    // previous instance was there to restore — cache-snapshot entries
+    // that validated, or spilled trace files for warmup to load
+    // instead of re-capturing.
+    let ready_phase = if state.restored > 0 || state.spilled_traces_at_boot {
+        phase::READY_WARM
+    } else {
+        phase::READY_COLD
+    };
+    // Don't clobber DRAINING if shutdown raced the warmup pass.
+    let _ = state.phase.compare_exchange(
+        phase::WARMING,
+        ready_phase,
+        Ordering::SeqCst,
+        Ordering::SeqCst,
+    );
     state.metrics.ready.set(1);
+}
+
+/// Publish spill snapshots every `spill_every` until shutdown.
+fn spill_loop(state: &Arc<State>) {
+    loop {
+        let deadline = Instant::now() + state.config.spill_every;
+        while Instant::now() < deadline {
+            if state.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        spill_snapshot(state, true);
+    }
+}
+
+/// Snapshot the response cache into the spill store. Best-effort: a
+/// failure (real or chaos-injected, periodic spills only) is counted
+/// and retried at the next interval — the previous snapshot on disk
+/// stays intact either way.
+fn spill_snapshot(state: &State, allow_chaos: bool) {
+    let Some(store) = &state.spill else { return };
+    if allow_chaos && state.chaos.fail_spill_write() {
+        state.metrics.spill_errors.inc();
+        return;
+    }
+    let entries = state
+        .cache
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .snapshot();
+    match store.save_cache(&entries) {
+        Ok(()) => {
+            state.metrics.spill_snapshots.inc();
+            state.metrics.spill_entries.set(entries.len() as i64);
+        }
+        Err(e) => {
+            state.metrics.spill_errors.inc();
+            eprintln!("branchlabd: spill snapshot failed: {e}");
+        }
+    }
 }
 
 /// Poll-accept connections until shutdown, then drain.
@@ -410,6 +617,12 @@ fn accept_loop(listener: &TcpListener, state: &Arc<State>) {
         std::thread::sleep(Duration::from_millis(10));
     }
     state.pool.shutdown();
+    // Every drained sweep is now in the cache; publish the final
+    // snapshot — unless this "shutdown" is a simulated crash, whose
+    // whole point is that only periodic snapshots survive.
+    if !state.crashed.load(Ordering::SeqCst) {
+        spill_snapshot(state, false);
+    }
 }
 
 /// Serve one connection until it closes, errors, or shutdown.
@@ -417,6 +630,11 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<State>) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
     let _ = stream.set_nodelay(true);
     let mut buf = Vec::new();
+    // When shutdown lands, an established connection gets a short
+    // grace window to issue one last request (clients probing
+    // `/readyz` for the 503 `draining` signal) before the handler
+    // closes it.
+    let mut drain_since: Option<Instant> = None;
     loop {
         let outcome = match read_request(&mut stream, &mut buf) {
             Ok(outcome) => outcome,
@@ -425,7 +643,10 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<State>) {
         let request = match outcome {
             Ok(ReadOutcome::Request(request)) => request,
             Ok(ReadOutcome::Idle) => {
-                if state.shutdown.load(Ordering::SeqCst) {
+                if state.shutdown.load(Ordering::SeqCst)
+                    && drain_since.get_or_insert_with(Instant::now).elapsed()
+                        >= Duration::from_millis(400)
+                {
                     return;
                 }
                 continue;
@@ -512,10 +733,9 @@ fn log_slow_request(state: &State, trace: &branchlab_telemetry::RequestTrace, st
 fn error_response(err: &ApiError) -> Response {
     let body = JsonValue::obj(vec![("error", err.message().into())]).to_json();
     let resp = Response::json(err.status(), body);
-    if matches!(err, ApiError::Overloaded) {
-        resp.with_header("Retry-After", "1")
-    } else {
-        resp
+    match err.retry_after_secs() {
+        Some(secs) => resp.with_header("Retry-After", &secs.to_string()),
+        None => resp,
     }
 }
 
@@ -527,13 +747,12 @@ fn route(state: &Arc<State>, request: &Request, ctx: &TraceContext) -> Response 
         ("POST", "/v1/sweep") => handle_sweep(state, request, &root),
         ("GET", "/v1/benchmarks") => handle_benchmarks(state),
         ("GET", "/healthz") => Response::text(200, "ok\n".to_string()),
-        ("GET", "/readyz") => {
-            if state.ready.load(Ordering::SeqCst) {
-                Response::text(200, "ready\n".to_string())
-            } else {
-                Response::text(503, "warming\n".to_string())
-            }
-        }
+        ("GET", "/readyz") => match state.phase.load(Ordering::SeqCst) {
+            phase::READY_WARM => Response::text(200, "warm\n".to_string()),
+            phase::READY_COLD => Response::text(200, "cold\n".to_string()),
+            phase::DRAINING => Response::text(503, "draining\n".to_string()),
+            _ => Response::text(503, "warming\n".to_string()),
+        },
         ("GET", "/metrics") => Response::text(200, render_metrics(state)),
         ("GET", "/debug/traces") => handle_debug_traces(state),
         ("GET", "/debug/slow") => handle_debug_slow(state),
@@ -617,6 +836,52 @@ fn handle_sweep(state: &Arc<State>, request: &Request, parent: &SpanHandle) -> R
     }
 }
 
+/// Leader-side job bookkeeping that must survive a worker panic.
+///
+/// The guard travels inside the job closure; whatever happens to the
+/// job — normal completion, a chaos-injected panic, or the pool
+/// dropping it unexecuted at shutdown — the `Drop` impl releases the
+/// coalescing slot (filling it with a `500` if nothing better was
+/// published first; [`Slot::fill`] is first-write-wins), retires the
+/// inflight entry, and returns the request's points to the admission
+/// ledger. Followers therefore never hang on a dead leader.
+struct JobGuard {
+    state: Arc<State>,
+    slot: Arc<Slot>,
+    key: String,
+    points: u64,
+}
+
+impl JobGuard {
+    /// Publish the job's real result (the `Drop` fill becomes a no-op).
+    fn finish(&self, result: Result<Arc<str>, ApiError>) {
+        self.slot.fill(result);
+    }
+}
+
+impl Drop for JobGuard {
+    fn drop(&mut self) {
+        self.state
+            .queued_points
+            .fetch_sub(self.points, Ordering::SeqCst);
+        let mut inflight = self
+            .state
+            .inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Remove only *our* slot: a successor leader may already have
+        // re-registered this key by the time a panicked job unwinds.
+        if let Some(current) = inflight.get(&self.key) {
+            if Arc::ptr_eq(current, &self.slot) {
+                inflight.remove(&self.key);
+            }
+        }
+        drop(inflight);
+        self.slot
+            .fill(Err(ApiError::Internal("sweep worker panicked".to_string())));
+    }
+}
+
 fn sweep_result(
     state: &Arc<State>,
     request: &Request,
@@ -633,22 +898,34 @@ fn sweep_result(
             .map_or(state.config.default_deadline, Duration::from_millis);
     let key = req.canonical_key();
 
-    // 1. Result cache.
+    // 1. Result cache (hash-validated; the chaos cache_read lane
+    //    tampers with the stored body first so validation must catch
+    //    it and fall through to a recompute).
     let cached = {
         let mut span = parent.child("cache_lookup");
-        let hit = state
+        let mut cache = state
             .cache
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .get(&key);
-        span.arg("hit", u64::from(hit.is_some()));
-        hit
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if state.chaos.corrupt_cache_read() {
+            cache.corrupt_for_chaos(&key);
+        }
+        let lookup = cache.get(&key);
+        drop(cache);
+        span.arg("hit", u64::from(matches!(lookup, Lookup::Hit(_))));
+        lookup
     };
-    if let Some(body) = cached {
-        state.metrics.cache_hits.inc();
-        return Ok((body, "cache"));
+    match cached {
+        Lookup::Hit(body) => {
+            state.metrics.cache_hits.inc();
+            return Ok((body, "cache"));
+        }
+        Lookup::Corrupt => {
+            state.metrics.cache_corrupt.inc();
+            state.metrics.cache_misses.inc();
+        }
+        Lookup::Miss => state.metrics.cache_misses.inc(),
     }
-    state.metrics.cache_misses.inc();
 
     // 2. Coalesce onto an identical in-flight computation, or become
     //    the leader for this key.
@@ -671,42 +948,81 @@ fn sweep_result(
     };
 
     if leader {
-        // The queue_wait span opens here on the connection thread and
-        // closes inside the job at worker pickup — the accept-to-pickup
-        // interval the `server.queue.wait_us` histogram observes.
-        let queue_span = parent.child("queue_wait");
-        let compute_link = parent.link();
-        let job_state = Arc::clone(state);
-        let job_slot = Arc::clone(&slot);
-        let job_key = key.clone();
-        let submitted = state.pool.try_submit(move || {
-            job_state
-                .metrics
-                .queue_wait_us
-                .observe(queue_span.elapsed_us());
-            drop(queue_span);
-            let result = if Instant::now() >= deadline {
-                // Shed stale work cheaply: the client stopped waiting
-                // before a worker ever picked this up.
-                job_state.metrics.deadline_expired.inc();
-                Err(ApiError::DeadlineExpired)
-            } else {
-                compute_sweep(&job_state, &req, &job_key, &compute_link)
-            };
-            job_state
-                .inflight
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .remove(&job_key);
-            job_slot.fill(result);
-        });
-        if let Err(err) = submitted {
+        // Deadline-aware admission: project this request's queue wait
+        // from the points already queued and the per-point cost EWMA;
+        // if the projection alone blows the deadline, shed now with a
+        // `Retry-After` sized to the projection rather than burning a
+        // queue slot on a request that will 504 anyway.
+        let queued = state.queued_points.load(Ordering::SeqCst);
+        let ewma = state.ewma_point_us.load(Ordering::SeqCst);
+        let workers = state.config.workers.max(1) as u64;
+        let projected_wait_us = queued.saturating_mul(ewma) / workers;
+        state
+            .metrics
+            .admission_projected_wait_us
+            .observe(projected_wait_us);
+        let budget_us = u64::try_from(
+            deadline
+                .saturating_duration_since(Instant::now())
+                .as_micros(),
+        )
+        .unwrap_or(u64::MAX);
+        if projected_wait_us > budget_us {
             state
                 .inflight
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .remove(&key);
-            slot.fill(Err(ApiError::Overloaded));
+            let err = ApiError::AdmissionRejected {
+                projected_wait_us,
+                deadline_us: budget_us,
+            };
+            slot.fill(Err(err.clone()));
+            state.metrics.admission_rejected.inc();
+            return Err(err);
+        }
+
+        // The queue_wait span opens here on the connection thread and
+        // closes inside the job at worker pickup — the accept-to-pickup
+        // interval the `server.queue.wait_us` histogram observes.
+        let queue_span = parent.child("queue_wait");
+        let compute_link = parent.link();
+        state
+            .queued_points
+            .fetch_add(req.points(), Ordering::SeqCst);
+        let guard = JobGuard {
+            state: Arc::clone(state),
+            slot: Arc::clone(&slot),
+            key: key.clone(),
+            points: req.points(),
+        };
+        let submitted = state.pool.try_submit(move || {
+            guard
+                .state
+                .metrics
+                .queue_wait_us
+                .observe(queue_span.elapsed_us());
+            drop(queue_span);
+            if guard.state.chaos.worker_panic() {
+                // Outside compute_sweep's own catch_unwind: this
+                // unwinds through the pool worker, exercising respawn
+                // and the guard's follower-release path.
+                panic!("chaos: injected worker panic");
+            }
+            let result = if Instant::now() >= deadline {
+                // Shed stale work cheaply: the client stopped waiting
+                // before a worker ever picked this up.
+                guard.state.metrics.deadline_expired.inc();
+                Err(ApiError::DeadlineExpired)
+            } else {
+                compute_sweep(&guard.state, &req, &guard.key, &compute_link)
+            };
+            guard.finish(result);
+        });
+        if let Err(err) = submitted {
+            // The closure (and the guard inside it) was dropped by
+            // try_submit on rejection, which already released the
+            // slot and inflight entry; report the shed precisely.
             if err == SubmitError::QueueFull {
                 state.metrics.queue_rejected.inc();
             }
@@ -737,7 +1053,14 @@ fn compute_sweep(
     key: &str,
     parent: &SpanLink,
 ) -> Result<Arc<str>, ApiError> {
+    // Chaos slow-compute lane: sleep *before* the timed section, so an
+    // injected stall pressures deadlines without polluting the
+    // admission EWMA's view of real compute cost.
+    if let Some(delay) = state.chaos.slow_compute() {
+        std::thread::sleep(delay);
+    }
     let compute_span = parent.child("compute");
+    let compute_start = Instant::now();
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         api::evaluate_traced(req, &state.config.experiment, Some(&compute_span.link()))
     }));
@@ -746,6 +1069,7 @@ fn compute_sweep(
         Ok(result) => result?,
         Err(_) => return Err(ApiError::Internal("sweep worker panicked".to_string())),
     };
+    observe_point_cost(state, req.points(), compute_start.elapsed());
     state.metrics.sweeps_computed.inc();
     state
         .cache
@@ -753,6 +1077,29 @@ fn compute_sweep(
         .unwrap_or_else(std::sync::PoisonError::into_inner)
         .put(key, Arc::clone(&body));
     Ok(body)
+}
+
+/// Fold one completed sweep's per-point cost into the admission EWMA
+/// (α = 1/8; the first sample seeds the average directly).
+fn observe_point_cost(state: &State, points: u64, elapsed: Duration) {
+    let sample_us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX) / points.max(1);
+    let mut current = state.ewma_point_us.load(Ordering::SeqCst);
+    loop {
+        let next = if current == 0 {
+            sample_us
+        } else {
+            current - current / 8 + sample_us / 8
+        };
+        match state.ewma_point_us.compare_exchange(
+            current,
+            next,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => return,
+            Err(live) => current = live,
+        }
+    }
 }
 
 /// `GET /v1/benchmarks`: the suite, with warm-residency info.
@@ -784,7 +1131,7 @@ fn handle_benchmarks(state: &Arc<State>) -> Response {
     let body = JsonValue::obj(vec![
         ("scale", scale_field(state)),
         ("seed", state.config.experiment.seed.into()),
-        ("ready", state.ready.load(Ordering::SeqCst).into()),
+        ("ready", state.is_ready().into()),
         ("benchmarks", JsonValue::Arr(benches)),
     ]);
     Response::json(200, body.to_json())

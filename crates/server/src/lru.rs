@@ -1,4 +1,5 @@
-//! A small LRU cache for rendered sweep responses.
+//! A small LRU cache for rendered sweep responses, with per-entry
+//! integrity validation.
 //!
 //! Keys are the canonical request strings from
 //! [`SweepRequest::canonical_key`](crate::api::SweepRequest::canonical_key),
@@ -6,17 +7,46 @@
 //! hits never copy). Recency is tracked with a monotonic tick; the
 //! evict scan is O(capacity), which is irrelevant at the daemon's
 //! cache sizes (hundreds) next to the cost of one sweep.
+//!
+//! Every entry carries an FNV-1a hash of its body, checked on every
+//! read: a damaged body (bit-rot, a bad spill restore, or the chaos
+//! engine's `cache_read` lane) is reported as [`Lookup::Corrupt`] and
+//! evicted, so the caller falls back to recomputing instead of ever
+//! serving wrong bytes. The same hashes ride along in the spill
+//! snapshot (see [`store`](crate::store)), which is what lets a warm
+//! restart trust what it reads back from disk.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// A least-recently-used map from canonical request keys to rendered
-/// response bodies.
+use branchlab_trace::hash_bytes;
+
+/// Outcome of one validated cache lookup.
+#[derive(Debug)]
+pub enum Lookup {
+    /// The entry was present and its body hash checked out.
+    Hit(Arc<str>),
+    /// The entry was present but its body failed validation; it has
+    /// been evicted. Callers treat this as a miss (plus a metric).
+    Corrupt,
+    /// No entry for this key.
+    Miss,
+}
+
+/// A least-recently-used map from canonical request keys to rendered,
+/// hash-validated response bodies.
 #[derive(Debug)]
 pub struct LruCache {
     capacity: usize,
     tick: u64,
-    map: HashMap<String, (u64, Arc<str>)>,
+    map: HashMap<String, Entry>,
+}
+
+#[derive(Debug)]
+struct Entry {
+    at: u64,
+    hash: u64,
+    body: Arc<str>,
 }
 
 impl LruCache {
@@ -31,14 +61,23 @@ impl LruCache {
         }
     }
 
-    /// Look up `key`, refreshing its recency on a hit.
-    pub fn get(&mut self, key: &str) -> Option<Arc<str>> {
+    /// Look up `key`, validating the body hash and refreshing recency
+    /// on a hit. A validation failure evicts the entry and reports
+    /// [`Lookup::Corrupt`].
+    pub fn get(&mut self, key: &str) -> Lookup {
         self.tick += 1;
         let tick = self.tick;
-        self.map.get_mut(key).map(|(at, body)| {
-            *at = tick;
-            Arc::clone(body)
-        })
+        match self.map.get_mut(key) {
+            None => Lookup::Miss,
+            Some(entry) => {
+                if hash_bytes(entry.body.as_bytes()) != entry.hash {
+                    self.map.remove(key);
+                    return Lookup::Corrupt;
+                }
+                entry.at = tick;
+                Lookup::Hit(Arc::clone(&entry.body))
+            }
+        }
     }
 
     /// Insert (or refresh) `key`, evicting the least-recently-used
@@ -52,13 +91,53 @@ impl LruCache {
             if let Some(oldest) = self
                 .map
                 .iter()
-                .min_by_key(|(_, (at, _))| *at)
+                .min_by_key(|(_, e)| e.at)
                 .map(|(k, _)| k.clone())
             {
                 self.map.remove(&oldest);
             }
         }
-        self.map.insert(key.to_string(), (self.tick, body));
+        let hash = hash_bytes(body.as_bytes());
+        self.map.insert(
+            key.to_string(),
+            Entry {
+                at: self.tick,
+                hash,
+                body,
+            },
+        );
+    }
+
+    /// Every entry as `(key, body)`, least-recently-used first — the
+    /// order the spill snapshot writes and the restore replays, so
+    /// recency survives a restart.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(String, Arc<str>)> {
+        let mut entries: Vec<(&String, &Entry)> = self.map.iter().collect();
+        entries.sort_by_key(|(_, e)| e.at);
+        entries
+            .into_iter()
+            .map(|(k, e)| (k.clone(), Arc::clone(&e.body)))
+            .collect()
+    }
+
+    /// Chaos hook: tamper with `key`'s stored body (first byte
+    /// flipped) *without* touching its recorded hash, so the next
+    /// [`LruCache::get`] must detect the damage. Returns whether an
+    /// entry was present to corrupt.
+    pub fn corrupt_for_chaos(&mut self, key: &str) -> bool {
+        match self.map.get_mut(key) {
+            None => false,
+            Some(entry) => {
+                let mut bytes = entry.body.as_bytes().to_vec();
+                match bytes.first_mut() {
+                    Some(b) => *b ^= 0x5a,
+                    None => return false,
+                }
+                entry.body = Arc::from(String::from_utf8_lossy(&bytes).into_owned());
+                true
+            }
+        }
     }
 
     /// Entries currently cached.
@@ -82,16 +161,23 @@ mod tests {
         Arc::from(s)
     }
 
+    fn hit(lru: &mut LruCache, key: &str) -> Option<Arc<str>> {
+        match lru.get(key) {
+            Lookup::Hit(b) => Some(b),
+            Lookup::Corrupt | Lookup::Miss => None,
+        }
+    }
+
     #[test]
     fn get_refreshes_recency() {
         let mut lru = LruCache::new(2);
         lru.put("a", body("A"));
         lru.put("b", body("B"));
-        assert_eq!(lru.get("a").as_deref(), Some("A"));
+        assert_eq!(hit(&mut lru, "a").as_deref(), Some("A"));
         lru.put("c", body("C")); // "b" is now the oldest
-        assert!(lru.get("b").is_none());
-        assert_eq!(lru.get("a").as_deref(), Some("A"));
-        assert_eq!(lru.get("c").as_deref(), Some("C"));
+        assert!(hit(&mut lru, "b").is_none());
+        assert_eq!(hit(&mut lru, "a").as_deref(), Some("A"));
+        assert_eq!(hit(&mut lru, "c").as_deref(), Some("C"));
         assert_eq!(lru.len(), 2);
     }
 
@@ -102,8 +188,8 @@ mod tests {
         lru.put("b", body("B"));
         lru.put("a", body("A2"));
         assert_eq!(lru.len(), 2);
-        assert_eq!(lru.get("a").as_deref(), Some("A2"));
-        assert_eq!(lru.get("b").as_deref(), Some("B"));
+        assert_eq!(hit(&mut lru, "a").as_deref(), Some("A2"));
+        assert_eq!(hit(&mut lru, "b").as_deref(), Some("B"));
     }
 
     #[test]
@@ -111,6 +197,40 @@ mod tests {
         let mut lru = LruCache::new(0);
         lru.put("a", body("A"));
         assert!(lru.is_empty());
-        assert!(lru.get("a").is_none());
+        assert!(matches!(lru.get("a"), Lookup::Miss));
+    }
+
+    #[test]
+    fn corrupt_entries_are_detected_and_evicted() {
+        let mut lru = LruCache::new(4);
+        lru.put("a", body("AAAA"));
+        assert!(lru.corrupt_for_chaos("a"));
+        assert!(matches!(lru.get("a"), Lookup::Corrupt));
+        // The damaged entry is gone; a fresh put repairs the key.
+        assert!(matches!(lru.get("a"), Lookup::Miss));
+        lru.put("a", body("AAAA"));
+        assert_eq!(hit(&mut lru, "a").as_deref(), Some("AAAA"));
+        // Nothing to corrupt on a missing key.
+        assert!(!lru.corrupt_for_chaos("nope"));
+    }
+
+    #[test]
+    fn snapshot_orders_least_recently_used_first() {
+        let mut lru = LruCache::new(4);
+        lru.put("a", body("A"));
+        lru.put("b", body("B"));
+        lru.put("c", body("C"));
+        let _ = lru.get("a"); // refresh: a is now the most recent
+        let keys: Vec<String> = lru.snapshot().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["b", "c", "a"]);
+        // Replaying a snapshot into a fresh cache preserves recency:
+        // the oldest entries are the first evicted.
+        let mut restored = LruCache::new(2);
+        for (k, v) in lru.snapshot() {
+            restored.put(&k, v);
+        }
+        assert!(matches!(restored.get("b"), Lookup::Miss));
+        assert_eq!(hit(&mut restored, "a").as_deref(), Some("A"));
+        assert_eq!(hit(&mut restored, "c").as_deref(), Some("C"));
     }
 }

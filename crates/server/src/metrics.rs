@@ -37,12 +37,20 @@ pub struct ServerMetrics {
     pub queue_wait_us: Arc<Histogram>,
     /// Sweeps shed with 503 because the queue was full.
     pub queue_rejected: Arc<Counter>,
+    /// Sweeps shed up front because the projected queue wait exceeded
+    /// their deadline.
+    pub admission_rejected: Arc<Counter>,
+    /// Queue-wait projection made per admission decision, µs.
+    pub admission_projected_wait_us: Arc<Histogram>,
     /// Sweeps answered by joining an identical in-flight computation.
     pub coalesce_hits: Arc<Counter>,
     /// Sweeps answered from the LRU result cache.
     pub cache_hits: Arc<Counter>,
     /// Sweeps that missed the cache.
     pub cache_misses: Arc<Counter>,
+    /// Cached bodies that failed hash validation on read (evicted and
+    /// recomputed, never served).
+    pub cache_corrupt: Arc<Counter>,
     /// Requests that hit their deadline before a result was ready.
     pub deadline_expired: Arc<Counter>,
     /// Requests slower than the configured `--slow-ms` threshold.
@@ -61,6 +69,18 @@ pub struct ServerMetrics {
     pub warm_benches: Arc<Counter>,
     /// Trace events made resident by warmup.
     pub warm_events: Arc<Counter>,
+    /// Pool workers respawned after a panicking job.
+    pub worker_restarts: Arc<Counter>,
+    /// Spill snapshots published.
+    pub spill_snapshots: Arc<Counter>,
+    /// Spill snapshot writes that failed (retried next interval).
+    pub spill_errors: Arc<Counter>,
+    /// Cache entries restored from the spill snapshot at boot.
+    pub spill_restored: Arc<Counter>,
+    /// Snapshot records dropped at boot (torn/stale/corrupt).
+    pub spill_skipped: Arc<Counter>,
+    /// Entries in the most recent spill snapshot.
+    pub spill_entries: Arc<Gauge>,
 }
 
 impl ServerMetrics {
@@ -76,9 +96,13 @@ impl ServerMetrics {
             queue_depth: registry.gauge("server.queue.depth"),
             queue_wait_us: registry.histogram("server.queue.wait_us", LATENCY_BOUNDS_US),
             queue_rejected: registry.counter("server.queue.rejected"),
+            admission_rejected: registry.counter("server.admission.rejected"),
+            admission_projected_wait_us: registry
+                .histogram("server.admission.projected_wait_us", LATENCY_BOUNDS_US),
             coalesce_hits: registry.counter("server.coalesce.hits"),
             cache_hits: registry.counter("server.cache.hits"),
             cache_misses: registry.counter("server.cache.misses"),
+            cache_corrupt: registry.counter("server.cache.corrupt"),
             deadline_expired: registry.counter("server.deadline.expired"),
             slow_requests: registry.counter("server.slow.requests"),
             sweeps_computed: registry.counter("server.sweeps.computed"),
@@ -88,6 +112,12 @@ impl ServerMetrics {
             ready: registry.gauge("server.ready"),
             warm_benches: registry.counter("server.warm.benches"),
             warm_events: registry.counter("server.warm.events"),
+            worker_restarts: registry.counter("server.worker.restarts"),
+            spill_snapshots: registry.counter("server.spill.snapshots"),
+            spill_errors: registry.counter("server.spill.errors"),
+            spill_restored: registry.counter("server.spill.restored"),
+            spill_skipped: registry.counter("server.spill.skipped"),
+            spill_entries: registry.gauge("server.spill.entries"),
             registry,
         }
     }

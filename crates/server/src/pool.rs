@@ -1,4 +1,5 @@
-//! A bounded worker pool with explicit backpressure.
+//! A bounded worker pool with explicit backpressure and self-healing
+//! workers.
 //!
 //! Requests are admitted with [`WorkerPool::try_submit`], which fails
 //! *immediately* when the queue is at capacity — the HTTP layer turns
@@ -6,13 +7,23 @@
 //! Shutdown is graceful by construction: workers drain every job that
 //! was admitted before exiting, so no accepted request is ever
 //! silently dropped.
+//!
+//! Workers are crash-only: every job runs under `catch_unwind`, and a
+//! job that panics costs exactly that job — the panicked worker
+//! respawns itself (a fresh thread takes its place in the pool) and a
+//! `server.worker.restarts` counter records the event. Callers that
+//! need a panicked job to still produce an answer attach their own
+//! drop-guard to the job closure; the pool guarantees the closure is
+//! either run or dropped (on shutdown with no workers left), never
+//! leaked.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use branchlab_telemetry::Gauge;
+use branchlab_telemetry::{Counter, Gauge};
 
 /// A queued unit of work.
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -23,39 +34,36 @@ struct PoolShared {
     capacity: usize,
     shutdown: AtomicBool,
     depth: Arc<Gauge>,
+    restarts: Arc<Counter>,
+    respawns: AtomicUsize,
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 /// A fixed set of worker threads pulling jobs from a bounded queue.
 pub struct WorkerPool {
     shared: Arc<PoolShared>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl WorkerPool {
     /// Spawn `workers` threads servicing a queue of at most `capacity`
-    /// pending jobs; `depth` tracks the live queue length.
+    /// pending jobs; `depth` tracks the live queue length and
+    /// `restarts` counts workers respawned after a panicking job.
     #[must_use]
-    pub fn new(workers: usize, capacity: usize, depth: Arc<Gauge>) -> Self {
+    pub fn new(workers: usize, capacity: usize, depth: Arc<Gauge>, restarts: Arc<Counter>) -> Self {
         let shared = Arc::new(PoolShared {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             capacity: capacity.max(1),
             shutdown: AtomicBool::new(false),
             depth,
+            restarts,
+            respawns: AtomicUsize::new(0),
+            workers: Mutex::new(Vec::new()),
         });
-        let mut handles = Vec::new();
         for i in 0..workers.max(1) {
-            let shared = Arc::clone(&shared);
-            let handle = std::thread::Builder::new()
-                .name(format!("bld-worker-{i}"))
-                .spawn(move || worker_loop(&shared))
-                .expect("spawn pool worker");
-            handles.push(handle);
+            spawn_worker(&shared, format!("bld-worker-{i}"));
         }
-        WorkerPool {
-            shared,
-            workers: Mutex::new(handles),
-        }
+        WorkerPool { shared }
     }
 
     /// Admit one job, or reject it without blocking when the queue is
@@ -82,20 +90,42 @@ impl WorkerPool {
         Ok(())
     }
 
+    /// Workers respawned after a panicking job, over the pool's
+    /// lifetime.
+    #[must_use]
+    pub fn worker_restarts(&self) -> usize {
+        self.shared.respawns.load(Ordering::SeqCst)
+    }
+
     /// Stop admitting jobs, let the workers drain everything already
-    /// queued, and join them.
+    /// queued, and join them (including any respawned replacements).
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.available.notify_all();
-        let handles = std::mem::take(
-            &mut *self
+        loop {
+            let handle = self
+                .shared
                 .workers
                 .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner),
-        );
-        for handle in handles {
-            let _ = handle.join();
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .pop();
+            match handle {
+                Some(handle) => {
+                    let _ = handle.join();
+                }
+                None => break,
+            }
         }
+        // If the last worker panicked out during the drain, jobs may
+        // remain queued with no thread left to run them. Dropping the
+        // closures (instead of leaking them in the queue) lets their
+        // owners' drop-guards report the loss.
+        self.shared
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
+        self.shared.depth.set(0);
     }
 }
 
@@ -108,7 +138,21 @@ pub enum SubmitError {
     ShuttingDown,
 }
 
-fn worker_loop(shared: &PoolShared) {
+/// Spawn one worker thread and register its handle for shutdown-join.
+fn spawn_worker(shared: &Arc<PoolShared>, name: String) {
+    let loop_shared = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name(name)
+        .spawn(move || worker_loop(&loop_shared))
+        .expect("spawn pool worker");
+    shared
+        .workers
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(handle);
+}
+
+fn worker_loop(shared: &Arc<PoolShared>) {
     loop {
         let job = {
             let mut queue = shared
@@ -130,7 +174,20 @@ fn worker_loop(shared: &PoolShared) {
             }
         };
         match job {
-            Some(job) => job(),
+            Some(job) => {
+                if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                    // Crash-only recovery: this worker is done, a
+                    // fresh replacement takes its slot. The panicked
+                    // job's own drop-guard (if any) already reported
+                    // its failure when the closure unwound.
+                    shared.restarts.inc();
+                    let generation = shared.respawns.fetch_add(1, Ordering::SeqCst) + 1;
+                    if !shared.shutdown.load(Ordering::SeqCst) {
+                        spawn_worker(shared, format!("bld-worker-r{generation}"));
+                    }
+                    return;
+                }
+            }
             None => return,
         }
     }
@@ -147,9 +204,13 @@ mod tests {
         branchlab_telemetry::MetricsRegistry::new().gauge("q")
     }
 
+    fn counter() -> Arc<Counter> {
+        branchlab_telemetry::MetricsRegistry::new().counter("r")
+    }
+
     #[test]
     fn jobs_run_and_drain_on_shutdown() {
-        let pool = WorkerPool::new(2, 16, gauge());
+        let pool = WorkerPool::new(2, 16, gauge(), counter());
         let done = Arc::new(AtomicUsize::new(0));
         for _ in 0..10 {
             let done = Arc::clone(&done);
@@ -164,7 +225,7 @@ mod tests {
 
     #[test]
     fn full_queue_rejects_without_blocking() {
-        let pool = WorkerPool::new(1, 1, gauge());
+        let pool = WorkerPool::new(1, 1, gauge(), counter());
         // Park the lone worker so the queue backs up deterministically.
         let (tx, rx) = mpsc::channel::<()>();
         pool.try_submit(move || {
@@ -193,8 +254,60 @@ mod tests {
 
     #[test]
     fn shutdown_rejects_new_jobs() {
-        let pool = WorkerPool::new(1, 4, gauge());
+        let pool = WorkerPool::new(1, 4, gauge(), counter());
         pool.shutdown();
         assert_eq!(pool.try_submit(|| {}), Err(SubmitError::ShuttingDown));
+    }
+
+    #[test]
+    fn panicking_job_costs_one_job_never_the_pool() {
+        let restarts = counter();
+        // One worker: if the panic killed it without a respawn, every
+        // later job would hang forever.
+        let pool = WorkerPool::new(1, 16, gauge(), Arc::clone(&restarts));
+        let done = Arc::new(AtomicUsize::new(0));
+        for round in 0..3 {
+            pool.try_submit(|| panic!("injected: worker down")).unwrap();
+            let (tx, rx) = mpsc::channel::<()>();
+            let done2 = Arc::clone(&done);
+            pool.try_submit(move || {
+                done2.fetch_add(1, Ordering::SeqCst);
+                let _ = tx.send(());
+            })
+            .unwrap();
+            rx.recv_timeout(Duration::from_secs(10))
+                .unwrap_or_else(|_| panic!("pool dead after panic round {round}"));
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 3);
+        assert_eq!(pool.worker_restarts(), 3);
+        assert_eq!(restarts.get(), 3);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn panicked_job_guard_drops_are_observable() {
+        // A drop-guard attached to the job fires even when the job
+        // panics — the mechanism the server uses to release coalesced
+        // followers after an injected worker panic.
+        struct Guard(Arc<AtomicUsize>);
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let dropped = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::new(1, 4, gauge(), counter());
+        let guard = Guard(Arc::clone(&dropped));
+        pool.try_submit(move || {
+            let _guard = guard;
+            panic!("injected");
+        })
+        .unwrap();
+        let t0 = std::time::Instant::now();
+        while dropped.load(Ordering::SeqCst) == 0 && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(dropped.load(Ordering::SeqCst), 1);
+        pool.shutdown();
     }
 }

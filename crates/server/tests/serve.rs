@@ -266,6 +266,39 @@ fn identical_concurrent_requests_coalesce_or_hit_cache() {
 }
 
 #[test]
+fn readyz_reports_draining_with_503_during_shutdown() {
+    let mut server = test_server(1, 4);
+    let addr = server.addr().to_string();
+    wait_ready(&addr);
+
+    // Once warm-up finishes, /readyz names the boot temperature.
+    let ready = one_shot(&addr, "GET", "/readyz", None).unwrap();
+    assert_eq!(ready.status, 200);
+    assert!(
+        ["warm\n", "cold\n"].contains(&ready.text().as_str()),
+        "unexpected readyz body {:?}",
+        ready.text()
+    );
+
+    // A connection established *before* the drain gets the drain
+    // grace window, so its next probe sees the draining signal
+    // instead of a closed socket. One round-trip first: connect()
+    // alone only reaches the listener backlog, and a socket the
+    // accept loop never claimed gets reset when the listener drops.
+    let mut client = Client::connect(&addr).unwrap();
+    assert_eq!(client.get("/healthz").unwrap().status, 200);
+    server.shutdown();
+    let draining = client.get("/readyz").unwrap();
+    assert_eq!(
+        draining.status, 503,
+        "readyz must fail load-balancer checks during drain"
+    );
+    assert_eq!(draining.text(), "draining\n");
+
+    server.join();
+}
+
+#[test]
 fn shutdown_drains_and_joins() {
     let mut server = test_server(2, 8);
     let addr = server.addr().to_string();

@@ -300,6 +300,253 @@ print(f"server trace-export OK: {len(spans)} spans over "
       f"{len(slow_lines)} slow-log lines")
 EOF
 
+echo "==> chaos smoke: every fault lane armed, responses byte-identical to a clean daemon"
+chaos_out="$(mktemp -d)"
+trap 'rm -rf "$out" "$fault_out" "$replay_out" "$serve_out" "$chaos_out"' EXIT
+
+# A clean daemon provides the reference bytes; a second daemon serves
+# the same requests with deterministic fault injection on every lane.
+./target/release/branchlabd \
+    --listen 127.0.0.1:0 --addr-file "$chaos_out/clean.addr" \
+    --scale test --workers 2 --warm wc \
+    2>"$chaos_out/clean.log" &
+clean_pid=$!
+./target/release/branchlabd \
+    --listen 127.0.0.1:0 --addr-file "$chaos_out/chaos.addr" \
+    --scale test --workers 2 --warm wc \
+    --spill-dir "$chaos_out/spill" --spill-every 1 \
+    --chaos-seed 1989 --chaos-panic-rate 0.4 \
+    --chaos-delay-rate 1.0 --chaos-delay-ms 2 \
+    --chaos-cache-corrupt-rate 1.0 --chaos-spill-fail-rate 1.0 \
+    2>"$chaos_out/chaos.log" &
+chaos_pid=$!
+
+for _ in $(seq 1 200); do
+    [[ -s "$chaos_out/clean.addr" && -s "$chaos_out/chaos.addr" ]] && break
+    sleep 0.05
+done
+[[ -s "$chaos_out/clean.addr" && -s "$chaos_out/chaos.addr" ]] \
+    || { echo "chaos smoke: daemons never wrote addr files" >&2; exit 1; }
+
+python3 - "$(cat "$chaos_out/clean.addr")" "$(cat "$chaos_out/chaos.addr")" <<'EOF'
+import http.client, json, sys, time
+
+def wait_ready(addr):
+    deadline = time.time() + 60
+    while time.time() < deadline:
+        try:
+            conn = http.client.HTTPConnection(addr, timeout=10)
+            conn.request("GET", "/readyz")
+            resp = conn.getresponse()
+            resp.read()
+            conn.close()
+            if resp.status == 200:
+                return
+        except OSError:
+            pass
+        time.sleep(0.05)
+    raise SystemExit(f"{addr} never became ready")
+
+def sweep(addr, body, retries=0):
+    """POST a sweep; with retries, ride out injected 5xx until a 200."""
+    last = None
+    for attempt in range(retries + 1):
+        conn = http.client.HTTPConnection(addr, timeout=120)
+        try:
+            conn.request("POST", "/v1/sweep", body,
+                         {"Content-Type": "application/json"})
+            resp = conn.getresponse()
+            data = resp.read()
+            last = (resp.status, data)
+        except OSError as e:
+            last = (None, str(e).encode())
+        finally:
+            conn.close()
+        if last[0] == 200:
+            return last[1]
+        time.sleep(0.05 * (attempt + 1))
+    raise SystemExit(f"sweep on {addr} never returned 200: {last}")
+
+def metrics(addr):
+    conn = http.client.HTTPConnection(addr, timeout=10)
+    conn.request("GET", "/metrics")
+    text = conn.getresponse().read().decode()
+    conn.close()
+    out = {}
+    for line in text.splitlines():
+        if line and not line.startswith("#"):
+            name, _, value = line.partition(" ")
+            try:
+                out[name] = float(value)
+            except ValueError:
+                pass
+    return out
+
+clean, chaos = sys.argv[1], sys.argv[2]
+wait_ready(clean)
+wait_ready(chaos)
+
+bodies = [json.dumps({"bench": "wc", "seed": seed,
+                      "predictors": [{"kind": "sbtb", "entries": 16 << (seed % 5)},
+                                     {"kind": "btfn"}],
+                      "ras": [4]})
+          for seed in range(10)]
+# Two passes: the second hits the (chaos-corrupted) cache, which must
+# be detected and recomputed — never served damaged.
+for rnd in range(2):
+    for body in bodies:
+        reference = sweep(clean, body)
+        served = sweep(chaos, body, retries=40)
+        assert served == reference, \
+            f"round {rnd}: chaos daemon diverged from clean bytes for {body}"
+
+m = metrics(chaos)
+assert m.get("server_worker_restarts", 0) >= 1, \
+    ("panic lane never fired", m.get("server_worker_restarts"))
+assert m.get("server_cache_corrupt", 0) >= 1, \
+    ("cache-corruption lane never fired", m.get("server_cache_corrupt"))
+assert m.get("server_spill_errors", 0) >= 1, \
+    ("spill-failure lane never fired", m.get("server_spill_errors"))
+print(f"chaos smoke OK: 20 requests byte-identical under faults, "
+      f"{m['server_worker_restarts']:.0f} worker restart(s), "
+      f"{m['server_cache_corrupt']:.0f} corrupt read(s) absorbed")
+EOF
+
+# Both daemons must still drain cleanly on SIGTERM — chaos included.
+kill -TERM "$clean_pid" "$chaos_pid"
+set +e
+wait "$clean_pid"; clean_status=$?
+wait "$chaos_pid"; chaos_status=$?
+set -e
+[[ $clean_status -eq 0 && $chaos_status -eq 0 ]] || {
+    echo "chaos smoke: exit codes clean=$clean_status chaos=$chaos_status" >&2
+    cat "$chaos_out/chaos.log" >&2
+    exit 1
+}
+echo "chaos smoke OK: both daemons drained, exit 0"
+
+echo "==> warm-restart smoke: kill -9, restart on the same spill dir, served from cache"
+./target/release/branchlabd \
+    --listen 127.0.0.1:0 --addr-file "$chaos_out/life1.addr" \
+    --scale test --workers 2 --warm wc \
+    --spill-dir "$chaos_out/spill9" --spill-every 1 \
+    2>"$chaos_out/life1.log" &
+life1_pid=$!
+
+warm_body='{"bench": "wc", "predictors": [{"kind": "cbtb"}, {"kind": "gshare", "table_bits": 10}], "ras": [8]}'
+
+for _ in $(seq 1 200); do
+    [[ -s "$chaos_out/life1.addr" ]] && break
+    sleep 0.05
+done
+python3 - "$(cat "$chaos_out/life1.addr")" "$chaos_out/first.body" "$warm_body" <<'EOF'
+import http.client, sys, time
+
+addr, body_out, body = sys.argv[1], sys.argv[2], sys.argv[3]
+deadline = time.time() + 60
+while time.time() < deadline:
+    try:
+        conn = http.client.HTTPConnection(addr, timeout=10)
+        conn.request("GET", "/readyz")
+        resp = conn.getresponse()
+        resp.read()
+        conn.close()
+        if resp.status == 200:
+            break
+    except OSError:
+        pass
+    time.sleep(0.05)
+else:
+    raise SystemExit("first life never became ready")
+
+conn = http.client.HTTPConnection(addr, timeout=120)
+conn.request("POST", "/v1/sweep", body, {"Content-Type": "application/json"})
+resp = conn.getresponse()
+data = resp.read()
+assert resp.status == 200, (resp.status, data)
+assert resp.getheader("X-Branchlab-Source") == "computed", \
+    resp.getheader("X-Branchlab-Source")
+open(body_out, "wb").write(data)
+
+# Wait for a periodic spill to publish the entry, so kill -9 can't
+# outrun durability.
+deadline = time.time() + 60
+while time.time() < deadline:
+    conn.request("GET", "/metrics")
+    metrics = conn.getresponse().read().decode()
+    for line in metrics.splitlines():
+        if line.startswith("server_spill_entries ") and float(line.split()[1]) >= 1:
+            conn.close()
+            print("warm-restart smoke: entry spilled, killing first life")
+            raise SystemExit(0)
+    time.sleep(0.1)
+raise SystemExit("periodic spill never captured the cache entry")
+EOF
+
+kill -9 "$life1_pid"
+set +e
+wait "$life1_pid"
+set -e
+
+./target/release/branchlabd \
+    --listen 127.0.0.1:0 --addr-file "$chaos_out/life2.addr" \
+    --scale test --workers 2 --warm wc \
+    --spill-dir "$chaos_out/spill9" --spill-every 1 \
+    2>"$chaos_out/life2.log" &
+life2_pid=$!
+
+for _ in $(seq 1 200); do
+    [[ -s "$chaos_out/life2.addr" ]] && break
+    sleep 0.05
+done
+python3 - "$(cat "$chaos_out/life2.addr")" "$chaos_out/first.body" "$warm_body" <<'EOF'
+import http.client, sys, time
+
+addr, body_ref, body = sys.argv[1], sys.argv[2], sys.argv[3]
+deadline = time.time() + 60
+readyz = None
+while time.time() < deadline:
+    try:
+        conn = http.client.HTTPConnection(addr, timeout=10)
+        conn.request("GET", "/readyz")
+        resp = conn.getresponse()
+        readyz = (resp.status, resp.read().decode())
+        conn.close()
+        if readyz[0] == 200:
+            break
+    except OSError:
+        pass
+    time.sleep(0.05)
+else:
+    raise SystemExit("second life never became ready")
+assert readyz == (200, "warm\n"), \
+    f"restart after kill -9 must report warm, got {readyz}"
+
+conn = http.client.HTTPConnection(addr, timeout=120)
+conn.request("POST", "/v1/sweep", body, {"Content-Type": "application/json"})
+resp = conn.getresponse()
+data = resp.read()
+assert resp.status == 200, (resp.status, data)
+source = resp.getheader("X-Branchlab-Source")
+assert source == "cache", \
+    f"pre-crash request must be served from the spilled cache, got {source}"
+assert data == open(body_ref, "rb").read(), \
+    "restored bytes diverged from the pre-crash response"
+conn.close()
+print("warm-restart smoke OK: readyz warm, pre-crash sweep served from spilled cache")
+EOF
+
+kill -TERM "$life2_pid"
+set +e
+wait "$life2_pid"
+life2_status=$?
+set -e
+[[ $life2_status -eq 0 ]] || {
+    echo "warm-restart smoke: second life exit code $life2_status" >&2
+    cat "$chaos_out/life2.log" >&2
+    exit 1
+}
+
 cp "$serve_out/BENCH_serve.json" BENCH_serve.test.json
 
 # Keep the perf-trajectory artifacts where future PRs can diff them.
