@@ -23,6 +23,19 @@
 //! [--sweep-out FILE] [--sweep-threads N] [--trace-cache DIR]
 //! [--trace-out FILE] [--benches A,B,...]`
 //!
+//! A third phase measures the bit-parallel lane engine: a
+//! 26-configuration CBTB counter-family sweep (every
+//! `(counter_bits, threshold)` point at the paper's 256-entry
+//! fully-associative geometry) is scored on warm traces once through
+//! the scalar path (`use_lane_scoring` off — the PR-3 per-point
+//! replay) and once lane-packed, the per-configuration `PredStats`
+//! are verified identical, and the wall-clock plus
+//! `suite.sweep.lane.*` counters land in `BENCH_lanes.json`
+//! (`--lanes-out`). Both sides run on one thread, so the ratio
+//! isolates lane packing from thread parallelism. `--lanes-only`
+//! skips the first two (much slower) phases when regenerating just
+//! the lane artifact.
+//!
 //! `--trace-out FILE` additionally drops the run's per-phase timing as
 //! Chrome trace-event JSON (open at ui.perfetto.dev); tracing is off
 //! unless requested, so benchmark numbers are unperturbed.
@@ -33,7 +46,11 @@
 use std::time::Instant;
 
 use branchlab::experiments::ablation::{full_study, StudySpec};
-use branchlab::experiments::{ExperimentConfig, ExperimentError, SweepStats, Table, TraceStats};
+use branchlab::experiments::trace_replay::captured_runs;
+use branchlab::experiments::{
+    ExperimentConfig, ExperimentError, LaneStats, SweepBatch, SweepStats, Table, TraceStats,
+};
+use branchlab::predict::{BranchPredictor, Cbtb, CbtbConfig};
 use branchlab::telemetry::JsonValue;
 use branchlab::workloads::{benchmark, Scale};
 
@@ -57,6 +74,8 @@ struct Args {
     config: ExperimentConfig,
     out: std::path::PathBuf,
     sweep_out: std::path::PathBuf,
+    lanes_out: std::path::PathBuf,
+    lanes_only: bool,
     sweep_threads: Option<usize>,
     trace_out: Option<std::path::PathBuf>,
     benches: Vec<String>,
@@ -64,11 +83,13 @@ struct Args {
 
 fn parse_args() -> Args {
     const USAGE: &str = "usage: replay_bench [--scale test|small|paper] [--seed N] \
-[--out FILE] [--sweep-out FILE] [--sweep-threads N] [--trace-cache DIR] \
-[--trace-out FILE] [--benches A,B,...]";
+[--out FILE] [--sweep-out FILE] [--lanes-out FILE] [--lanes-only] [--sweep-threads N] \
+[--trace-cache DIR] [--trace-out FILE] [--benches A,B,...]";
     let mut config = ExperimentConfig::default();
     let mut out = std::path::PathBuf::from("BENCH_replay.json");
     let mut sweep_out = std::path::PathBuf::from("BENCH_sweep_parallel.json");
+    let mut lanes_out = std::path::PathBuf::from("BENCH_lanes.json");
+    let mut lanes_only = false;
     let mut sweep_threads = None;
     let mut trace_out = None;
     let mut benches: Vec<String> = vec!["compress".into(), "cccp".into()];
@@ -93,6 +114,10 @@ fn parse_args() -> Args {
             "--sweep-out" => {
                 sweep_out = args.next().expect("--sweep-out needs a file path").into();
             }
+            "--lanes-out" => {
+                lanes_out = args.next().expect("--lanes-out needs a file path").into();
+            }
+            "--lanes-only" => lanes_only = true,
             "--sweep-threads" => {
                 sweep_threads = Some(
                     args.next()
@@ -119,10 +144,154 @@ fn parse_args() -> Args {
         config,
         out,
         sweep_out,
+        lanes_out,
+        lanes_only,
         sweep_threads,
         trace_out,
         benches,
     }
+}
+
+/// The lane phase's sweep: every `(counter_bits, threshold)` point at
+/// the paper's 256-entry fully-associative geometry — 26 compatible
+/// configurations that pack into one 26-lane family.
+fn counter_family() -> Vec<CbtbConfig> {
+    let mut configs = Vec::new();
+    for counter_bits in 1..=4u8 {
+        for threshold in 1..(1u8 << counter_bits) {
+            configs.push(CbtbConfig {
+                counter_bits,
+                threshold,
+                ..CbtbConfig::paper()
+            });
+        }
+    }
+    configs
+}
+
+/// Phase three: lane-packed vs scalar scoring of the counter family on
+/// warm traces, both single-threaded, written to `--lanes-out`.
+/// Returns whether every lane-scored `PredStats` matched its scalar
+/// twin exactly.
+fn lanes_phase(args: &Args) -> bool {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let configs = counter_family();
+    let scalar_cfg = ExperimentConfig {
+        use_lane_scoring: false,
+        sweep_threads: Some(1),
+        ..args.config.clone()
+    };
+    let lane_cfg = ExperimentConfig {
+        sweep_threads: Some(1),
+        ..args.config.clone()
+    };
+    let build = || -> Vec<Box<dyn BranchPredictor>> {
+        counter_family()
+            .into_iter()
+            .map(|c| Box::new(Cbtb::new(c)) as Box<dyn BranchPredictor>)
+            .collect()
+    };
+
+    let mut per_bench = Vec::new();
+    let mut total_scalar = 0.0f64;
+    let mut total_lane = 0.0f64;
+    let mut all_match = true;
+    let run_started = LaneStats::snapshot();
+
+    for name in &args.benches {
+        let bench =
+            benchmark(name).unwrap_or_else(|| panic!("benchmark `{name}` missing from suite"));
+
+        // Warm the trace cache so both timings are pure scoring.
+        let events: u64 = captured_runs(bench, &args.config)
+            .unwrap_or_else(|e| panic!("{name}: trace capture failed: {e}"))
+            .iter()
+            .map(branchlab::trace::TraceBuf::events)
+            .sum();
+
+        let started = Instant::now();
+        let mut batch = SweepBatch::new(bench, &scalar_cfg);
+        let st = batch.eval(build());
+        let scalar = batch
+            .run()
+            .unwrap_or_else(|e| panic!("{name}: scalar sweep failed: {e}"));
+        let scalar_s = started.elapsed().as_secs_f64();
+
+        let before = LaneStats::snapshot();
+        let started = Instant::now();
+        let mut batch = SweepBatch::new(bench, &lane_cfg);
+        let lt = batch.eval(build());
+        let laned = batch
+            .run()
+            .unwrap_or_else(|e| panic!("{name}: lane sweep failed: {e}"));
+        let lane_s = started.elapsed().as_secs_f64();
+        let delta = LaneStats::snapshot().since(&before);
+
+        let stats_match = laned.stats(lt) == scalar.stats(st);
+        all_match &= stats_match;
+        let speedup = if lane_s > 0.0 {
+            scalar_s / lane_s
+        } else {
+            f64::INFINITY
+        };
+        total_scalar += scalar_s;
+        total_lane += lane_s;
+        eprintln!(
+            "{name}: scalar {scalar_s:.3}s, lane-packed {lane_s:.3}s ({speedup:.1}x, \
+             {} configs x {events} events, match: {stats_match})",
+            configs.len(),
+        );
+
+        per_bench.push(JsonValue::obj(vec![
+            ("name", name.as_str().into()),
+            ("events", events.into()),
+            ("scalar_s", scalar_s.into()),
+            ("lane_s", lane_s.into()),
+            ("speedup", speedup.into()),
+            ("stats_match", stats_match.into()),
+            ("lanes", delta.to_json_value()),
+        ]));
+    }
+
+    let lanes = LaneStats::snapshot().since(&run_started);
+    let speedup = if total_lane > 0.0 {
+        total_scalar / total_lane
+    } else {
+        f64::INFINITY
+    };
+    let report = JsonValue::obj(vec![
+        ("tool", "replay_bench/lanes".into()),
+        (
+            "baseline",
+            "scalar replay (use_lane_scoring off): one monomorphized eval_block walk per sweep \
+             point, single-threaded"
+                .into(),
+        ),
+        ("configs", (configs.len() as u64).into()),
+        ("available_parallelism", (cores as u64).into()),
+        (
+            "scale",
+            format!("{:?}", args.config.scale).to_lowercase().into(),
+        ),
+        ("seed", args.config.seed.into()),
+        ("stats_match", all_match.into()),
+        ("scalar_s", total_scalar.into()),
+        ("lane_s", total_lane.into()),
+        ("speedup", speedup.into()),
+        ("benches", JsonValue::Arr(per_bench)),
+        ("lanes", lanes.to_json_value()),
+    ]);
+    std::fs::write(&args.lanes_out, report.to_json_pretty() + "\n")
+        .unwrap_or_else(|e| panic!("writing {} failed: {e}", args.lanes_out.display()));
+    eprintln!(
+        "replay_bench: scalar {total_scalar:.2}s vs lane-packed {total_lane:.2}s \
+         ({speedup:.1}x across {} configs) -> {}",
+        configs.len(),
+        args.lanes_out.display()
+    );
+    all_match
 }
 
 /// Phase two: serial-vs-parallel sweep scoring on warm traces, written
@@ -239,6 +408,13 @@ fn sweep_parallel_phase(args: &Args) -> (bool, SweepStats) {
 
 fn main() {
     let args = parse_args();
+    if args.lanes_only {
+        if !lanes_phase(&args) {
+            eprintln!("replay_bench: MISMATCH between lane-packed and scalar sweep stats");
+            std::process::exit(1);
+        }
+        return;
+    }
     let mut per_bench = Vec::new();
     let mut total_reinterpret = 0.0f64;
     let mut total_replay = 0.0f64;
@@ -334,6 +510,7 @@ fn main() {
         args.out.display()
     );
     let (sweep_match, sweep) = sweep_parallel_phase(&args);
+    let lanes_match = lanes_phase(&args);
     if let Some(path) = &args.trace_out {
         // Phase spans carry durations, not wall timestamps, so the
         // exporter lays each group out sequentially on its own row.
@@ -352,6 +529,10 @@ fn main() {
     }
     if !sweep_match {
         eprintln!("replay_bench: MISMATCH between serial and parallel sweep tables");
+        std::process::exit(1);
+    }
+    if !lanes_match {
+        eprintln!("replay_bench: MISMATCH between lane-packed and scalar sweep stats");
         std::process::exit(1);
     }
 }

@@ -391,6 +391,9 @@ pub fn write_telemetry(
             .counter(&format!("suite.sweep.parallel.phase.{}.wall_us", span.name))
             .add(span.wall.as_micros().min(u128::from(u64::MAX)) as u64);
     }
+    let lanes = branchlab::experiments::LaneStats::snapshot();
+    lanes.export(&registry);
+    manifest.set_section("sweep_lanes", lanes.to_json_value());
     manifest.set_section(
         "supervisor",
         JsonValue::Obj(

@@ -28,6 +28,20 @@
 //! claims beyond each worker's first are counted as
 //! `stolen_batches`), and results are merged back in plan order.
 //!
+//! ## Lane planning
+//!
+//! Before scoring, the replay pass consults every sweep point's
+//! [`BranchPredictor::lane_spec`]: compatible fresh configurations
+//! (same [`LaneFamilyKey`]) are packed — up to [`MAX_LANES`] at a
+//! time — into bit-parallel [`LaneFamily`] work items that score all
+//! their lanes in one walk of the event stream, while incompatible or
+//! stateful points keep today's scalar path. Families ride the same
+//! work queue as scalar chunks (thread parallelism multiplies lane
+//! parallelism), and results merge back by flattened plan index, so
+//! every table is byte-identical to the scalar path at any thread
+//! count. [`ExperimentConfig::use_lane_scoring`] (on by default)
+//! gates the planner for baseline measurements.
+//!
 //! [`TraceBuf`]: branchlab_trace::TraceBuf
 
 use std::sync::Mutex;
@@ -35,13 +49,17 @@ use std::time::Instant;
 
 use branchlab_interp::run;
 use branchlab_ir::{lower, Addr, FuncId};
-use branchlab_predict::{BranchPredictor, Evaluator, PredStats, ReturnAddressStack};
+use branchlab_predict::{
+    BranchPredictor, Evaluator, LaneFamily, LaneFamilyKey, LaneSpec, PredStats, ReturnAddressStack,
+    MAX_LANES,
+};
 use branchlab_profile::profile_module_with;
 use branchlab_telemetry::SpanLink;
 use branchlab_trace::{BlockIter, BranchEvent, CallRet, ExecHooks, TraceBuf};
 use branchlab_workloads::Benchmark;
 
 use crate::harness::{eval_predictors_live, ExperimentConfig, ExperimentError};
+use crate::lane_stats::{note_lanes, LaneStats};
 use crate::sweep_stats::{note_sweep, SweepStats};
 use crate::trace_replay::{captured_runs, note_replay, replay_runs_traced};
 
@@ -157,9 +175,9 @@ impl<'a> SweepBatch<'a> {
         }
     }
 
-    /// One replay pass feeds every evaluator and stack at once — on one
-    /// thread, or sharded across sweep workers (see the module docs);
-    /// the results are bit-identical either way.
+    /// One replay pass feeds every evaluator, lane family, and stack
+    /// at once — on one thread, or sharded across sweep workers (see
+    /// the module docs); the results are bit-identical either way.
     fn run_replay(self) -> Result<SweepResults, ExperimentError> {
         let trace = self.trace;
         let runs = {
@@ -171,24 +189,47 @@ impl<'a> SweepBatch<'a> {
             runs
         };
         let group_sizes: Vec<usize> = self.groups.iter().map(Vec::len).collect();
-        let mut evals: Vec<Evaluator<Box<dyn BranchPredictor>>> = self
-            .groups
-            .into_iter()
-            .flatten()
-            .map(Evaluator::new)
-            .collect();
+        let points: Vec<Box<dyn BranchPredictor>> = self.groups.into_iter().flatten().collect();
+        let n_points = points.len();
+        let (scalars, mut families) = if self.config.use_lane_scoring {
+            let (scalars, families) = plan_lanes(points);
+            note_lanes(&LaneStats {
+                passes: 1,
+                families: families.len() as u64,
+                lanes: families.iter().map(|f| f.indices.len() as u64).sum(),
+                scalar_points: scalars.len() as u64,
+                // Every family walks the complete stream exactly once.
+                events: families.len() as u64 * runs.iter().map(TraceBuf::events).sum::<u64>(),
+            });
+            (scalars, families)
+        } else {
+            (points.into_iter().enumerate().collect(), Vec::new())
+        };
+        let (scalar_idx, boxes): (Vec<usize>, Vec<Box<dyn BranchPredictor>>) =
+            scalars.into_iter().unzip();
+        let mut evals: BoxedEvals = boxes.into_iter().map(Evaluator::new).collect();
         let mut ras = self.ras;
         let threads = self.config.resolved_sweep_threads();
-        if threads > 1 && evals.len() + usize::from(!ras.is_empty()) > 1 {
-            (evals, ras) = score_parallel(&runs, evals, ras, threads, trace.as_ref())?;
+        let work_items = evals.len() + families.len() + usize::from(!ras.is_empty());
+        if threads > 1 && work_items > 1 {
+            (evals, families, ras) = score_parallel(
+                &runs,
+                evals,
+                families,
+                ras,
+                n_points,
+                threads,
+                trace.as_ref(),
+            )?;
         } else {
             let mut span = trace.as_ref().map(|t| t.child("sweep_score"));
             if let Some(s) = span.as_mut() {
-                s.arg("points", (evals.len() + ras.len()) as u64);
+                s.arg("points", (n_points + ras.len()) as u64);
                 s.add_work(runs.iter().map(TraceBuf::events).sum());
             }
             let mut sink = BatchSink {
                 evals: &mut evals,
+                families: &mut families,
                 ras: &mut ras,
                 block: Vec::with_capacity(EVENT_BLOCK),
             };
@@ -196,7 +237,22 @@ impl<'a> SweepBatch<'a> {
             replay_runs_traced(&runs, &mut sink, link.as_ref())?;
             sink.drain_block();
         }
-        let mut stats = evals.into_iter().map(|e| e.stats);
+        // Merge scalar and lane results back by flattened plan index,
+        // so the regrouped tables are independent of how the planner
+        // split the points.
+        let mut out: Vec<Option<PredStats>> = vec![None; n_points];
+        for (pos, e) in evals.into_iter().enumerate() {
+            out[scalar_idx[pos]] = Some(e.stats);
+        }
+        for work in families {
+            let indices = work.indices;
+            for (i, s) in indices.into_iter().zip(work.family.finish()) {
+                out[i] = Some(s);
+            }
+        }
+        let mut stats = out
+            .into_iter()
+            .map(|s| s.expect("every sweep point was scored"));
         let groups = group_sizes
             .into_iter()
             .map(|n| stats.by_ref().take(n).collect())
@@ -269,6 +325,74 @@ impl SweepResults {
     }
 }
 
+/// One packed lane family plus the flattened plan indices its lanes'
+/// results merge back into ([`LaneFamily::finish`] returns stats in
+/// lane order, which is exactly `indices` order by construction).
+struct LaneFamilyWork {
+    indices: Vec<usize>,
+    family: LaneFamily,
+}
+
+/// Group compatible sweep points into lane families. Points whose
+/// [`BranchPredictor::lane_spec`] is `None` (stateful, instrumented,
+/// or an unpackable scheme), points with no [`LaneFamilyKey`], and
+/// families that end up with a single member stay scalar — the
+/// returned `(flattened index, predictor)` list. Bucketing is
+/// first-fit in plan order and capped at [`MAX_LANES`] per family
+/// (overflow opens another family), so the plan is deterministic.
+#[allow(clippy::type_complexity)]
+fn plan_lanes(
+    points: Vec<Box<dyn BranchPredictor>>,
+) -> (Vec<(usize, Box<dyn BranchPredictor>)>, Vec<LaneFamilyWork>) {
+    struct Bucket {
+        key: LaneFamilyKey,
+        indices: Vec<usize>,
+        specs: Vec<LaneSpec>,
+        boxes: Vec<Box<dyn BranchPredictor>>,
+    }
+    let mut scalars: Vec<(usize, Box<dyn BranchPredictor>)> = Vec::new();
+    let mut buckets: Vec<Bucket> = Vec::new();
+    for (i, p) in points.into_iter().enumerate() {
+        let keyed = p.lane_spec().and_then(|s| s.family_key().map(|k| (s, k)));
+        match keyed {
+            Some((spec, key)) => {
+                match buckets
+                    .iter_mut()
+                    .find(|b| b.key == key && b.indices.len() < MAX_LANES)
+                {
+                    Some(b) => {
+                        b.indices.push(i);
+                        b.specs.push(spec);
+                        b.boxes.push(p);
+                    }
+                    None => buckets.push(Bucket {
+                        key,
+                        indices: vec![i],
+                        specs: vec![spec],
+                        boxes: vec![p],
+                    }),
+                }
+            }
+            None => scalars.push((i, p)),
+        }
+    }
+    let mut families = Vec::new();
+    for b in buckets {
+        if b.indices.len() >= 2 {
+            families.push(LaneFamilyWork {
+                indices: b.indices,
+                family: LaneFamily::new(&b.specs),
+            });
+        } else {
+            // A one-lane family has no amortization to offer; give the
+            // point its predictor back.
+            scalars.extend(b.indices.into_iter().zip(b.boxes));
+        }
+    }
+    scalars.sort_by_key(|(i, _)| *i);
+    (scalars, families)
+}
+
 /// Branch events buffered per fan-out block. Each evaluator consumes a
 /// long run of events with its tables cache-hot — round-robining tens
 /// of predictors per event thrashes L1 and costs several times the
@@ -285,6 +409,7 @@ const EVENT_BLOCK: usize = 16 * 1024;
 /// change any statistic.
 struct BatchSink<'a> {
     evals: &'a mut [Evaluator<Box<dyn BranchPredictor>>],
+    families: &'a mut [LaneFamilyWork],
     ras: &'a mut [ReturnAddressStack],
     block: Vec<BranchEvent>,
 }
@@ -293,6 +418,9 @@ impl BatchSink<'_> {
     fn drain_block(&mut self) {
         for e in self.evals.iter_mut() {
             e.branch_block(&self.block);
+        }
+        for f in self.families.iter_mut() {
+            f.family.eval_block(&self.block);
         }
         self.block.clear();
     }
@@ -326,9 +454,12 @@ type BoxedEvals = Vec<Evaluator<Box<dyn BranchPredictor>>>;
 /// re-decodes the shared trace through its own [`BlockIter`], so items
 /// never contend on anything but the queue lock.
 enum WorkItem {
-    /// A chunk of the flattened evaluator list, with the index of its
+    /// A chunk of the scalar evaluator list, with the index of its
     /// first evaluator for plan-order reassembly.
     Preds { start: usize, evals: BoxedEvals },
+    /// One packed lane family — all its lanes score in a single walk
+    /// of the stream, so it travels as one indivisible item.
+    Lanes { work: LaneFamilyWork },
     /// The full return-address-stack set (stacks consume only the
     /// call/return half of the stream, so they travel as one item).
     Ras { stacks: Vec<ReturnAddressStack> },
@@ -337,6 +468,7 @@ enum WorkItem {
 /// What a worker hands back after scoring an item.
 enum DoneItem {
     Preds { start: usize, evals: BoxedEvals },
+    Lanes { work: LaneFamilyWork },
     Ras { stacks: Vec<ReturnAddressStack> },
 }
 
@@ -351,6 +483,7 @@ fn score_item(
     let started = Instant::now();
     let points = match &item {
         WorkItem::Preds { evals, .. } => evals.len(),
+        WorkItem::Lanes { work } => work.family.lanes(),
         WorkItem::Ras { stacks } => stacks.len(),
     };
     let mut span = trace.map(|t| t.child("score_shard"));
@@ -372,6 +505,15 @@ fn score_item(
                 }
             }
             DoneItem::Preds { start, evals }
+        }
+        WorkItem::Lanes { mut work } => {
+            while let Some(block) = iter
+                .next_block()
+                .map_err(|e| ExperimentError::Trace(e.to_string()))?
+            {
+                work.family.eval_block(block.branches);
+            }
+            DoneItem::Lanes { work }
         }
         WorkItem::Ras { mut stacks } => {
             while let Some(block) = iter
@@ -400,25 +542,33 @@ fn score_item(
     Ok(done)
 }
 
-/// The parallel sweep executor: shard the evaluators (plus the RAS set)
-/// into work items, score them on `threads` scoped workers claiming
-/// from a shared queue, and merge the results back into the original
-/// flattened order.
+/// The parallel sweep executor: shard the scalar evaluators (plus the
+/// lane families and the RAS set) into work items, score them on
+/// `threads` scoped workers claiming from a shared queue, and merge
+/// the results back into the original order.
 ///
 /// Chunking targets ~3 batches per worker so a slow chunk can be
 /// balanced out by the queue, without paying a per-point decode.
+/// Lane families are already event-walk-sized items and are sharded
+/// as-is — thread parallelism multiplies lane parallelism.
+#[allow(clippy::type_complexity)]
 fn score_parallel(
     runs: &[TraceBuf],
     evals: BoxedEvals,
+    families: Vec<LaneFamilyWork>,
     ras: Vec<ReturnAddressStack>,
+    total_points: usize,
     threads: usize,
     trace: Option<&SpanLink>,
-) -> Result<(BoxedEvals, Vec<ReturnAddressStack>), ExperimentError> {
-    let n_points = evals.len();
-    let chunk = n_points.div_ceil(threads * 3).max(1);
+) -> Result<(BoxedEvals, Vec<LaneFamilyWork>, Vec<ReturnAddressStack>), ExperimentError> {
+    let n_scalar = evals.len();
+    let chunk = n_scalar.div_ceil(threads * 3).max(1);
     let mut queue: Vec<WorkItem> = Vec::new();
     if !ras.is_empty() {
         queue.push(WorkItem::Ras { stacks: ras });
+    }
+    for work in families {
+        queue.push(WorkItem::Lanes { work });
     }
     let mut rest = evals;
     let mut start = 0;
@@ -488,7 +638,8 @@ fn score_parallel(
         .into_inner()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
     let mut out_evals: Vec<Option<Evaluator<Box<dyn BranchPredictor>>>> = Vec::new();
-    out_evals.resize_with(n_points, || None);
+    out_evals.resize_with(n_scalar, || None);
+    let mut out_families = Vec::new();
     let mut out_ras = Vec::new();
     for item in done {
         match item {
@@ -497,6 +648,9 @@ fn score_parallel(
                     out_evals[start + i] = Some(e);
                 }
             }
+            // Families carry their own flattened plan indices, so
+            // completion order is irrelevant to the merged tables.
+            DoneItem::Lanes { work } => out_families.push(work),
             DoneItem::Ras { stacks } => out_ras = stacks,
         }
     }
@@ -508,7 +662,7 @@ fn score_parallel(
     note_sweep(&SweepStats {
         sweeps: 1,
         workers: workers as u64,
-        points: n_points as u64,
+        points: total_points as u64,
         batches: n_batches,
         stolen_batches: stolen.into_inner(),
         busy_us: busy_us.into_inner(),
@@ -517,7 +671,7 @@ fn score_parallel(
             .as_micros()
             .min(u128::from(u64::MAX)) as u64,
     });
-    Ok((out_evals, out_ras))
+    Ok((out_evals, out_families, out_ras))
 }
 
 #[cfg(test)]
@@ -655,6 +809,117 @@ mod tests {
         let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
         assert!(names.contains(&"sweep_score"), "{names:?}");
         assert!(names.contains(&"replay_run"), "{names:?}");
+    }
+
+    /// A lane-heavy plan: a CBTB counter family, a gshare pair, a
+    /// local pair, plus deliberately unpackable points (an Sbtb, a
+    /// counter too wide for the planes).
+    fn lane_plan<'a>(
+        bench: &'a Benchmark,
+        cfg: &'a ExperimentConfig,
+    ) -> (SweepBatch<'a>, PredTicket, PredTicket) {
+        use branchlab_predict::{CbtbConfig, Gshare, LocalHistory};
+        let mut batch = SweepBatch::new(bench, cfg);
+        let a = batch.eval(vec![
+            Box::new(Cbtb::new(CbtbConfig {
+                threshold: 1,
+                ..CbtbConfig::paper()
+            })) as Box<dyn BranchPredictor>,
+            Box::new(Sbtb::paper()),
+            Box::new(Cbtb::paper()),
+            Box::new(Cbtb::new(CbtbConfig {
+                counter_bits: 3,
+                threshold: 4,
+                ..CbtbConfig::paper()
+            })),
+            Box::new(Cbtb::new(CbtbConfig {
+                counter_bits: 7,
+                threshold: 64,
+                ..CbtbConfig::paper()
+            })),
+        ]);
+        let b = batch.eval(vec![
+            Box::new(Gshare::new(12, 8)) as Box<dyn BranchPredictor>,
+            Box::new(LocalHistory::new(12, 6)),
+            Box::new(Gshare::new(10, 4)),
+            Box::new(LocalHistory::new(10, 2)),
+        ]);
+        (batch, a, b)
+    }
+
+    #[test]
+    fn lane_scoring_is_bit_identical_to_scalar() {
+        let bench = benchmark("wc").unwrap();
+        let scalar_cfg = ExperimentConfig {
+            use_lane_scoring: false,
+            sweep_threads: Some(1),
+            ..ExperimentConfig::test()
+        };
+        let (batch, sa, sb) = lane_plan(bench, &scalar_cfg);
+        let scalar = batch.run().unwrap();
+        // Serial path here (the parallel × lanes cross product runs in
+        // tests/replay_fidelity.rs, in its own process); counters are
+        // process-wide, so assertions are monotonic-safe `>=`.
+        let cfg = ExperimentConfig {
+            sweep_threads: Some(1),
+            ..ExperimentConfig::test()
+        };
+        let before = LaneStats::snapshot();
+        let (batch, la, lb) = lane_plan(bench, &cfg);
+        let laned = batch.run().unwrap();
+        assert_eq!(laned.stats(la), scalar.stats(sa));
+        assert_eq!(laned.stats(lb), scalar.stats(sb));
+        let delta = LaneStats::snapshot().since(&before);
+        assert!(delta.passes >= 1);
+        // One CBTB family (3 paper-geometry lanes), one gshare pair,
+        // one local pair; the Sbtb and the 7-bit counter stay scalar.
+        assert!(delta.families >= 3, "{delta:?}");
+        assert!(delta.lanes >= 7, "{delta:?}");
+        assert!(delta.scalar_points >= 2, "{delta:?}");
+        assert!(delta.events > 0, "{delta:?}");
+    }
+
+    #[test]
+    fn lane_planner_returns_singletons_to_the_scalar_path() {
+        use branchlab_predict::Gshare;
+        // One point per family key: nothing to amortize anywhere, so
+        // every predictor must come back on the scalar path in order.
+        let points: Vec<Box<dyn BranchPredictor>> = vec![
+            Box::new(Cbtb::paper()),
+            Box::new(Gshare::default()),
+            Box::new(Sbtb::paper()),
+        ];
+        let (scalars, families) = plan_lanes(points);
+        assert!(families.is_empty());
+        let idx: Vec<usize> = scalars.iter().map(|(i, _)| *i).collect();
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn lane_planner_packs_compatible_points_and_overflows_at_cap() {
+        use branchlab_predict::CbtbConfig;
+        // 35 compatible paper-geometry variants (threshold cycled) plus
+        // one incompatible geometry: 32 lanes + a 3-lane overflow
+        // family + 1 singleton back to scalar.
+        let mut points: Vec<Box<dyn BranchPredictor>> = (0..35)
+            .map(|i| {
+                Box::new(Cbtb::new(CbtbConfig {
+                    threshold: 1 + (i % 3),
+                    ..CbtbConfig::paper()
+                })) as Box<dyn BranchPredictor>
+            })
+            .collect();
+        points.push(Box::new(Cbtb::new(CbtbConfig {
+            entries: 64,
+            ways: 4,
+            ..CbtbConfig::paper()
+        })));
+        let (scalars, families) = plan_lanes(points);
+        assert_eq!(families.len(), 2);
+        assert_eq!(families[0].indices.len(), MAX_LANES);
+        assert_eq!(families[1].indices.len(), 3);
+        assert_eq!(scalars.len(), 1);
+        assert_eq!(scalars[0].0, 35);
     }
 
     #[test]

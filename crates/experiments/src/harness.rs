@@ -96,6 +96,13 @@ pub struct ExperimentConfig {
     ///
     /// [`SweepBatch`]: crate::batch::SweepBatch
     pub sweep_threads: Option<usize>,
+    /// Let [`SweepBatch`](crate::SweepBatch) pack compatible sweep
+    /// points into bit-parallel lane families
+    /// ([`LaneFamily`](branchlab_predict::LaneFamily)) during replay
+    /// scoring. On by default; results are bit-identical either way,
+    /// so turning it off only serves as the scalar baseline for
+    /// `replay_bench`'s lane phase.
+    pub use_lane_scoring: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -116,6 +123,7 @@ impl Default for ExperimentConfig {
             trace_cache_dir: None,
             sweep_per_point: false,
             sweep_threads: None,
+            use_lane_scoring: true,
         }
     }
 }

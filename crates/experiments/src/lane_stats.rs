@@ -1,0 +1,156 @@
+//! Process-wide counters for the bit-parallel lane planner
+//! (`suite.sweep.lane.*` in the metrics registry), following the same
+//! snapshot/since pattern as [`SweepStats`](crate::SweepStats).
+//!
+//! [`SweepBatch`](crate::SweepBatch) bumps these once per scoring pass
+//! after lane planning: how many passes consulted the planner, how
+//! many [`LaneFamily`](branchlab_predict::LaneFamily) work items it
+//! packed, how many sweep points rode inside them as lanes, how many
+//! points stayed on the scalar path, and how many branch events were
+//! scored through lane kernels (each event counts once per family, not
+//! once per lane — that amortization *is* the speedup). The bench
+//! binaries export them into the registry and the run manifest, and
+//! `branchlabd` merges them into `/metrics`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use branchlab_telemetry::{JsonValue, MetricsRegistry};
+
+// Cell names intentionally mirror the snake_case field/metric names
+// they back.
+#[allow(non_upper_case_globals)]
+mod cells {
+    use super::AtomicU64;
+    pub static passes: AtomicU64 = AtomicU64::new(0);
+    pub static families: AtomicU64 = AtomicU64::new(0);
+    pub static lanes: AtomicU64 = AtomicU64::new(0);
+    pub static scalar_points: AtomicU64 = AtomicU64::new(0);
+    pub static events: AtomicU64 = AtomicU64::new(0);
+}
+
+fn bump(cell: &AtomicU64, by: u64) {
+    cell.fetch_add(by, Ordering::Relaxed);
+}
+
+/// A snapshot of the process-wide lane-planner counters.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Scoring passes that ran the lane planner.
+    pub passes: u64,
+    /// Lane families packed (each scores all its lanes in one walk).
+    pub families: u64,
+    /// Sweep points scored as packed lanes.
+    pub lanes: u64,
+    /// Sweep points that fell back to the scalar path.
+    pub scalar_points: u64,
+    /// Branch events walked by lane kernels (once per family).
+    pub events: u64,
+}
+
+impl LaneStats {
+    /// Current counter values.
+    #[must_use]
+    pub fn snapshot() -> LaneStats {
+        LaneStats {
+            passes: cells::passes.load(Ordering::Relaxed),
+            families: cells::families.load(Ordering::Relaxed),
+            lanes: cells::lanes.load(Ordering::Relaxed),
+            scalar_points: cells::scalar_points.load(Ordering::Relaxed),
+            events: cells::events.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The counters as `(name, value)` pairs, for metrics export under
+    /// a `suite.sweep.lane.` prefix.
+    #[must_use]
+    pub fn counters(&self) -> [(&'static str, u64); 5] {
+        [
+            ("passes", self.passes),
+            ("families", self.families),
+            ("lanes", self.lanes),
+            ("scalar_points", self.scalar_points),
+            ("events", self.events),
+        ]
+    }
+
+    /// Counter deltas since `earlier`.
+    #[must_use]
+    pub fn since(&self, earlier: &LaneStats) -> LaneStats {
+        LaneStats {
+            passes: self.passes.saturating_sub(earlier.passes),
+            families: self.families.saturating_sub(earlier.families),
+            lanes: self.lanes.saturating_sub(earlier.lanes),
+            scalar_points: self.scalar_points.saturating_sub(earlier.scalar_points),
+            events: self.events.saturating_sub(earlier.events),
+        }
+    }
+
+    /// Export every counter as `suite.sweep.lane.<name>` into a
+    /// metrics registry.
+    pub fn export(&self, registry: &MetricsRegistry) {
+        for (name, value) in self.counters() {
+            registry
+                .counter(&format!("suite.sweep.lane.{name}"))
+                .add(value);
+        }
+    }
+
+    /// JSON object form for run manifests.
+    #[must_use]
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::Obj(
+            self.counters()
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), JsonValue::from(v)))
+                .collect(),
+        )
+    }
+}
+
+/// One scoring pass's accounting, applied to the process-wide cells in
+/// a single call (internal to the sweep executor).
+pub(crate) fn note_lanes(delta: &LaneStats) {
+    bump(&cells::passes, delta.passes);
+    bump(&cells::families, delta.families);
+    bump(&cells::lanes, delta.lanes);
+    bump(&cells::scalar_points, delta.scalar_points);
+    bump(&cells::events, delta.events);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn note_lanes_accumulates_and_since_subtracts() {
+        let before = LaneStats::snapshot();
+        note_lanes(&LaneStats {
+            passes: 1,
+            families: 2,
+            lanes: 28,
+            scalar_points: 3,
+            events: 5000,
+        });
+        let delta = LaneStats::snapshot().since(&before);
+        assert!(delta.passes >= 1);
+        assert!(delta.families >= 2);
+        assert!(delta.lanes >= 28);
+        assert!(delta.scalar_points >= 3);
+        assert!(delta.events >= 5000);
+    }
+
+    #[test]
+    fn json_matches_counters() {
+        let s = LaneStats {
+            passes: 3,
+            families: 4,
+            lanes: 64,
+            scalar_points: 7,
+            events: 12345,
+        };
+        let json = s.to_json_value();
+        assert_eq!(json.get("families").and_then(JsonValue::as_int), Some(4));
+        assert_eq!(json.get("lanes").and_then(JsonValue::as_int), Some(64));
+        assert_eq!(json.get("events").and_then(JsonValue::as_int), Some(12345));
+    }
+}

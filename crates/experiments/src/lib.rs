@@ -45,6 +45,7 @@ pub mod checkpoint;
 pub mod fault;
 pub mod figures;
 mod harness;
+mod lane_stats;
 mod render;
 pub mod supervisor;
 mod sweep_stats;
@@ -58,6 +59,7 @@ pub use harness::{
     eval_predictors, eval_predictors_live, mean_std, run_benchmark, run_benchmark_attempt,
     run_suite, BenchResult, ExperimentConfig, ExperimentError, SuiteResult, PHASES,
 };
+pub use lane_stats::LaneStats;
 pub use render::{f2, mcount, pct, rho, Align, Table};
 pub use supervisor::{
     run_suite_supervised, supervise, AttemptFn, BenchFailure, SupervisorConfig, SupervisorStats,

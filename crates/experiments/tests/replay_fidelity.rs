@@ -1,15 +1,20 @@
 //! Replay-fidelity acceptance tests: trace replay must be
 //! *bit-identical* to live interpretation — same `PredStats` for every
-//! predictor, same `BranchMix` — for every suite benchmark, and a
-//! corrupt or stale on-disk cache entry must degrade to a clean
-//! re-capture, never to wrong numbers.
+//! predictor, same `BranchMix` — for every suite benchmark; lane-packed
+//! scoring must be bit-identical to the scalar path for every suite
+//! benchmark at every thread count; and a corrupt or stale on-disk
+//! cache entry must degrade to a clean re-capture, never to wrong
+//! numbers.
 
 use branchlab_experiments::trace_replay::{captured_runs, clear_cache, replay_runs};
-use branchlab_experiments::{eval_predictors, eval_predictors_live, ExperimentConfig, TraceStats};
+use branchlab_experiments::{
+    eval_predictors, eval_predictors_live, ExperimentConfig, LaneStats, SweepBatch, TraceStats,
+};
 use branchlab_interp::{run, ExecConfig};
 use branchlab_ir::lower;
 use branchlab_predict::{
-    AlwaysNotTaken, AlwaysTaken, BackwardTakenForwardNot, BranchPredictor, Cbtb, LikelyBit, Sbtb,
+    AlwaysNotTaken, AlwaysTaken, BackwardTakenForwardNot, BranchPredictor, Cbtb, CbtbConfig,
+    Gshare, LikelyBit, LocalHistory, Sbtb,
 };
 use branchlab_trace::BranchMix;
 use branchlab_workloads::{benchmark, SUITE};
@@ -50,6 +55,80 @@ fn replayed_pred_stats_are_bit_identical_to_live_for_every_suite_benchmark() {
             bench.name
         );
     }
+}
+
+/// A lane-eligible mixed sweep: a CBTB counter family across two
+/// widths, a second CBTB geometry pair, gshare/local geometry pairs,
+/// and scalar-only points interleaved between them.
+fn lane_sweep() -> Vec<Box<dyn BranchPredictor>> {
+    let mut points: Vec<Box<dyn BranchPredictor>> = vec![Box::new(Sbtb::paper())];
+    for bits in [2u8, 3] {
+        for threshold in 1..(1u8 << bits) {
+            points.push(Box::new(Cbtb::new(CbtbConfig {
+                counter_bits: bits,
+                threshold,
+                ..CbtbConfig::paper()
+            })));
+        }
+    }
+    points.push(Box::new(AlwaysTaken));
+    for ways in [1usize, 4] {
+        points.push(Box::new(Cbtb::new(CbtbConfig {
+            entries: 64,
+            ways,
+            ..CbtbConfig::paper()
+        })));
+    }
+    points.push(Box::new(Gshare::new(12, 8)));
+    points.push(Box::new(Gshare::new(10, 4)));
+    points.push(Box::new(LocalHistory::new(12, 6)));
+    points.push(Box::new(LocalHistory::new(10, 2)));
+    points
+}
+
+#[test]
+fn lane_scoring_is_bit_identical_to_scalar_for_every_suite_benchmark() {
+    let before = LaneStats::snapshot();
+    for bench in SUITE {
+        let scalar_cfg = ExperimentConfig {
+            use_lane_scoring: false,
+            sweep_threads: Some(1),
+            ..ExperimentConfig::test()
+        };
+        let mut batch = SweepBatch::new(bench, &scalar_cfg);
+        let st = batch.eval(lane_sweep());
+        let scalar = batch
+            .run()
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+
+        // Lane planning on, across serial and parallel executors: the
+        // family items ride the same work queue as scalar chunks.
+        for threads in [1usize, 3] {
+            let cfg = ExperimentConfig {
+                sweep_threads: Some(threads),
+                ..ExperimentConfig::test()
+            };
+            let mut batch = SweepBatch::new(bench, &cfg);
+            let lt = batch.eval(lane_sweep());
+            let laned = batch
+                .run()
+                .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+            assert_eq!(
+                laned.stats(lt),
+                scalar.stats(st),
+                "{}: lane-scored PredStats differ from scalar (threads={threads})",
+                bench.name
+            );
+        }
+    }
+    let delta = LaneStats::snapshot().since(&before);
+    // Per pass: the paper-geometry counter family (10 lanes), the
+    // 64-entry pair is split by geometry (ways 1 vs 4 → scalar), one
+    // gshare pair, one local pair.
+    assert!(delta.families >= 3, "{delta:?}");
+    assert!(delta.lanes >= 14, "{delta:?}");
+    assert!(delta.scalar_points >= 4, "{delta:?}");
+    assert!(delta.events > 0, "{delta:?}");
 }
 
 #[test]

@@ -19,10 +19,11 @@ use branchlab_telemetry::{NoopSink, ProbeEvent, ProbeKind, TelemetrySink};
 use branchlab_trace::BranchEvent;
 
 use crate::assoc::AssocBuffer;
+use crate::lanes::{saturating_step, LaneSpec};
 use crate::predictor::{BranchPredictor, Prediction, TargetInfo};
 
 /// CBTB geometry and counter parameters.
-#[derive(Copy, Clone, Debug)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct CbtbConfig {
     /// Total entries.
     pub entries: usize,
@@ -257,11 +258,9 @@ impl<S: TelemetrySink> BranchPredictor for Cbtb<S> {
             _ => self.buf.lookup(ev.pc.0),
         };
         if let Some(entry) = entry {
+            entry.counter = saturating_step(entry.counter, max, ev.taken);
             if ev.taken {
-                entry.counter = (entry.counter + 1).min(max);
                 entry.target = ev.target;
-            } else {
-                entry.counter = entry.counter.saturating_sub(1);
             }
         } else {
             let counter = if ev.taken {
@@ -284,6 +283,13 @@ impl<S: TelemetrySink> BranchPredictor for Cbtb<S> {
     fn flush(&mut self) {
         self.buf.flush();
         self.last_hit = None;
+    }
+
+    fn lane_spec(&self) -> Option<LaneSpec> {
+        // A probe sink observes per-event effects the lane engine does
+        // not replay, and a non-empty buffer means state has diverged
+        // from the fresh configuration the spec describes.
+        (!self.sink.enabled() && self.buf.is_empty()).then_some(LaneSpec::Cbtb(self.config))
     }
 }
 
@@ -344,7 +350,7 @@ mod tests {
         let mut e = drive(Cbtb::paper(), &[true, true, true, true, false, false]);
         e.branch(&cond_to(10, false, 50));
         // That last event should be predicted not-taken → correct.
-        assert_eq!(e.stats.correct, 3 + 0 + 1);
+        assert_eq!(e.stats.correct, 3 + 1);
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //!   static baselines from the paper's related work.
 //! * [`Evaluator`] — scores any [`BranchPredictor`] over a branch-event
 //!   stream, producing the accuracy `A` and miss ratio `ρ` of Table 3.
+//! * [`LaneFamily`] — bit-parallel SoA scoring of up to 32 compatible
+//!   sweep configurations per event in packed `u64` lanes, bit-identical
+//!   to per-configuration [`Evaluator`] runs.
 //! * [`ContextSwitched`] — periodic-flush wrapper for the context-switch
 //!   sensitivity study the paper discusses qualitatively.
 //!
@@ -36,6 +39,7 @@
 
 mod assoc;
 mod cbtb;
+mod lanes;
 mod predictor;
 mod ras;
 mod sbtb;
@@ -44,6 +48,9 @@ mod twolevel;
 
 pub use assoc::AssocBuffer;
 pub use cbtb::{Cbtb, CbtbConfig};
+pub use lanes::{
+    CbtbLanes, GshareLanes, LaneFamily, LaneFamilyKey, LaneSpec, LocalLanes, MAX_LANES,
+};
 pub use predictor::{
     BranchPredictor, ContextSwitched, Evaluator, PredStats, Prediction, TargetInfo,
 };

@@ -102,6 +102,19 @@ pub trait BranchPredictor: Send {
             self.update(ev, &pred);
         }
     }
+
+    /// Describe this predictor as a packable sweep lane, or `None` to
+    /// stay on the scalar path (the default).
+    ///
+    /// Contract: return `Some` only while the predictor's state is
+    /// *exactly* the freshly-constructed state the spec describes —
+    /// the lane engine rebuilds the configuration from the spec alone,
+    /// and the planner swaps it in for this instance. Instrumented
+    /// predictors (enabled telemetry sinks) must return `None`: lane
+    /// scoring does not replay per-event probes.
+    fn lane_spec(&self) -> Option<crate::lanes::LaneSpec> {
+        None
+    }
 }
 
 impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
@@ -119,6 +132,9 @@ impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
     }
     fn eval_block(&mut self, events: &[BranchEvent], stats: &mut PredStats) {
         (**self).eval_block(events, stats)
+    }
+    fn lane_spec(&self) -> Option<crate::lanes::LaneSpec> {
+        (**self).lane_spec()
     }
 }
 

@@ -21,6 +21,7 @@ use branchlab_telemetry::{NoopSink, ProbeEvent, ProbeKind, TelemetrySink};
 use branchlab_trace::{BranchEvent, BranchKind};
 
 use crate::assoc::BuildKeyHasher;
+use crate::lanes::{saturating_step, LaneSpec};
 use crate::predictor::{BranchPredictor, Prediction, TargetInfo};
 
 /// Shared 2-bit-counter pattern table.
@@ -45,11 +46,7 @@ impl PatternTable {
 
     fn update(&mut self, index: u32, taken: bool) {
         let c = &mut self.counters[(index & self.mask) as usize];
-        if taken {
-            *c = (*c + 1).min(3);
-        } else {
-            *c = c.saturating_sub(1);
-        }
+        *c = saturating_step(*c, 3, taken);
     }
 }
 
@@ -82,6 +79,10 @@ pub struct Gshare<S: TelemetrySink = NoopSink> {
     targets: TargetMap,
     history: u32,
     history_bits: u32,
+    /// Whether any update has landed since construction/flush — an
+    /// untouched predictor is exactly its [`LaneSpec`] and may be
+    /// packed into a lane family.
+    dirty: bool,
     sink: S,
 }
 
@@ -110,6 +111,7 @@ impl<S: TelemetrySink> Gshare<S> {
             targets: TargetMap::default(),
             history: 0,
             history_bits,
+            dirty: false,
             sink,
         }
     }
@@ -165,6 +167,7 @@ impl<S: TelemetrySink> BranchPredictor for Gshare<S> {
     }
 
     fn update(&mut self, ev: &BranchEvent, pred: &Prediction) {
+        self.dirty = true;
         if self.sink.enabled() {
             emit_direction_probes(&mut self.sink, &self.targets, ev, pred);
         }
@@ -179,6 +182,14 @@ impl<S: TelemetrySink> BranchPredictor for Gshare<S> {
         self.table = PatternTable::new((self.table.mask + 1).trailing_zeros());
         self.targets = TargetMap::default();
         self.history = 0;
+        self.dirty = false;
+    }
+
+    fn lane_spec(&self) -> Option<LaneSpec> {
+        (!self.sink.enabled() && !self.dirty).then(|| LaneSpec::Gshare {
+            table_bits: (self.table.mask + 1).trailing_zeros(),
+            history_bits: self.history_bits,
+        })
     }
 }
 
@@ -236,6 +247,8 @@ pub struct LocalHistory<S: TelemetrySink = NoopSink> {
     targets: TargetMap,
     histories: HashMap<u32, u32>,
     history_bits: u32,
+    /// See [`Gshare`]: tracks divergence from the fresh [`LaneSpec`].
+    dirty: bool,
     sink: S,
 }
 
@@ -264,6 +277,7 @@ impl<S: TelemetrySink> LocalHistory<S> {
             targets: TargetMap::default(),
             histories: HashMap::new(),
             history_bits,
+            dirty: false,
             sink,
         }
     }
@@ -320,6 +334,7 @@ impl<S: TelemetrySink> BranchPredictor for LocalHistory<S> {
     }
 
     fn update(&mut self, ev: &BranchEvent, pred: &Prediction) {
+        self.dirty = true;
         if self.sink.enabled() {
             emit_direction_probes(&mut self.sink, &self.targets, ev, pred);
         }
@@ -336,6 +351,14 @@ impl<S: TelemetrySink> BranchPredictor for LocalHistory<S> {
         self.table = PatternTable::new((self.table.mask + 1).trailing_zeros());
         self.targets = TargetMap::default();
         self.histories.clear();
+        self.dirty = false;
+    }
+
+    fn lane_spec(&self) -> Option<LaneSpec> {
+        (!self.sink.enabled() && !self.dirty).then(|| LaneSpec::Local {
+            table_bits: (self.table.mask + 1).trailing_zeros(),
+            history_bits: self.history_bits,
+        })
     }
 }
 

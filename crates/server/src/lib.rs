@@ -95,7 +95,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use branchlab_experiments::trace_replay::{captured_runs, TraceStats};
-use branchlab_experiments::{ExperimentConfig, SweepStats};
+use branchlab_experiments::{ExperimentConfig, LaneStats, SweepStats};
 use branchlab_telemetry::{
     FlightRecorder, JsonValue, MetricsRegistry, SpanHandle, SpanLink, TraceContext, TraceId,
 };
@@ -1151,6 +1151,7 @@ fn render_metrics(state: &Arc<State>) -> String {
     let scratch = MetricsRegistry::new();
     TraceStats::snapshot().export(&scratch);
     SweepStats::snapshot().export(&scratch);
+    LaneStats::snapshot().export(&scratch);
     let mut snap = state.metrics.registry.snapshot();
     snap.merge(&scratch.snapshot());
     snap.to_prometheus()

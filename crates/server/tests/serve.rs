@@ -98,6 +98,37 @@ fn serves_health_benchmarks_and_metrics() {
 }
 
 #[test]
+fn multi_config_sweep_flows_through_lanes_and_shows_in_metrics() {
+    let mut server = test_server(1, 4);
+    let addr = server.addr().to_string();
+    wait_ready(&addr);
+
+    // Three CBTB points sharing one geometry: the planner must pack
+    // them into a single 3-lane family on the compute path.
+    let body = r#"{"bench": "wc",
+                   "predictors": [{"kind": "cbtb", "threshold": 1},
+                                  {"kind": "cbtb", "threshold": 2},
+                                  {"kind": "cbtb", "threshold": 3}]}"#;
+    let resp = one_shot(&addr, "POST", "/v1/sweep", Some(body)).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert_eq!(resp.header("x-branchlab-source"), Some("computed"));
+
+    let metrics = one_shot(&addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(metrics.status, 200);
+    let text = metrics.text();
+    // Process-wide counters, so other tests may add to them: assert
+    // floors, not exact values.
+    let families = metric_value(&text, "suite_sweep_lane_families").unwrap_or(0.0);
+    let lanes = metric_value(&text, "suite_sweep_lane_lanes").unwrap_or(0.0);
+    let events = metric_value(&text, "suite_sweep_lane_events").unwrap_or(0.0);
+    assert!(families >= 1.0, "no lane family scored:\n{text}");
+    assert!(lanes >= 3.0, "expected >= 3 packed lanes:\n{text}");
+    assert!(events >= 1.0, "lane engine scored no events:\n{text}");
+
+    server.shutdown_and_join();
+}
+
+#[test]
 fn sweep_responses_are_byte_identical_to_direct_evaluation() {
     let mut server = test_server(2, 8);
     let addr = server.addr().to_string();

@@ -91,6 +91,7 @@ cargo run --release -p branchlab-bench --bin replay_bench -- \
     --scale test --trace-cache "$replay_out/trace-cache" \
     --out "$replay_out/BENCH_replay.json" \
     --sweep-out "$replay_out/BENCH_sweep_parallel.json" \
+    --lanes-out "$replay_out/BENCH_lanes.json" \
     --trace-out "$replay_out/replay.trace.json" 2>"$replay_out/stderr.txt" \
     || { echo "replay smoke failed" >&2; cat "$replay_out/stderr.txt" >&2; exit 1; }
 
@@ -98,7 +99,8 @@ cargo run --release -p branchlab-bench --bin replay_bench -- \
 cargo run --release -p branchlab-bench --bin replay_bench -- \
     --scale test --trace-cache "$replay_out/trace-cache" \
     --out "$replay_out/BENCH_replay2.json" \
-    --sweep-out "$replay_out/BENCH_sweep_parallel2.json" 2>>"$replay_out/stderr.txt" \
+    --sweep-out "$replay_out/BENCH_sweep_parallel2.json" \
+    --lanes-out "$replay_out/BENCH_lanes2.json" 2>>"$replay_out/stderr.txt" \
     || { echo "replay smoke (cached) failed" >&2; cat "$replay_out/stderr.txt" >&2; exit 1; }
 
 python3 - "$replay_out/BENCH_replay.json" "$replay_out/BENCH_replay2.json" <<'EOF'
@@ -160,6 +162,33 @@ else:
                "speedup gate skipped)")
 print(f"parallel-sweep smoke OK: {sweep['points']} points, "
       f"{sweep['batches']} batches, {verdict}")
+EOF
+
+echo "==> lane smoke: bit-parallel vs scalar sweep stats + counters"
+python3 - "$replay_out/BENCH_lanes.json" <<'EOF'
+import json, sys
+s = json.load(open(sys.argv[1]))
+assert s["tool"] == "replay_bench/lanes", s["tool"]
+assert s["configs"] >= 16, ("counter family too small for the lane gate", s["configs"])
+assert s["stats_match"] is True, "lane-packed stats diverged from scalar replay"
+for b in s["benches"]:
+    assert b["stats_match"] is True, b["name"]
+    assert b["events"] > 0, b["name"]
+    assert b["lanes"]["families"] >= 1, (b["name"], b["lanes"])
+    assert b["lanes"]["lanes"] == s["configs"], (b["name"], b["lanes"])
+lanes = s["lanes"]
+assert lanes["passes"] >= len(s["benches"]), lanes
+assert lanes["events"] > 0, lanes
+# Timing gate only on real multi-core runners (PR-4 precedent);
+# single-core boxes still verify structure and bit-fidelity.
+if s["available_parallelism"] >= 4:
+    assert s["speedup"] >= 1.2, (s["speedup"], s["available_parallelism"])
+    verdict = f"{s['speedup']:.1f}x over scalar"
+else:
+    verdict = (f"{s['speedup']:.1f}x (only {s['available_parallelism']} core(s); "
+               "speedup gate skipped)")
+print(f"lane smoke OK: {s['configs']} configs packed into {lanes['families']} "
+      f"family item(s), {lanes['events']} lane-events, {verdict}")
 EOF
 
 echo "==> serve smoke: branchlabd boot -> probe -> load -> graceful SIGTERM"
@@ -552,6 +581,7 @@ cp "$serve_out/BENCH_serve.json" BENCH_serve.test.json
 # Keep the perf-trajectory artifacts where future PRs can diff them.
 cp "$replay_out/BENCH_replay.json" BENCH_replay.test.json
 cp "$replay_out/BENCH_sweep_parallel.json" BENCH_sweep_parallel.test.json
-echo "==> replay artifacts: BENCH_replay.test.json, BENCH_sweep_parallel.test.json, BENCH_serve.test.json"
+cp "$replay_out/BENCH_lanes.json" BENCH_lanes.test.json
+echo "==> replay artifacts: BENCH_replay.test.json, BENCH_sweep_parallel.test.json, BENCH_lanes.test.json, BENCH_serve.test.json"
 
 echo "==> ci green"
