@@ -1,10 +1,13 @@
 //! Replay-fidelity acceptance tests: trace replay must be
 //! *bit-identical* to live interpretation — same `PredStats` for every
-//! predictor, same `BranchMix` — for every suite benchmark; lane-packed
-//! scoring must be bit-identical to the scalar path for every suite
-//! benchmark at every thread count; and a corrupt or stale on-disk
-//! cache entry must degrade to a clean re-capture, never to wrong
-//! numbers.
+//! predictor, same `BranchMix` — for every benchmark (the 1989 suite
+//! plus the generated large-footprint synthetics); lane-packed scoring
+//! must be bit-identical to the scalar path for every benchmark at
+//! every thread count; capture itself must be deterministic in the
+//! seed; and a corrupt or stale on-disk cache entry must degrade to a
+//! clean re-capture, never to wrong numbers.
+
+use std::collections::BTreeSet;
 
 use branchlab_experiments::trace_replay::{captured_runs, clear_cache, replay_runs};
 use branchlab_experiments::{
@@ -16,8 +19,8 @@ use branchlab_predict::{
     AlwaysNotTaken, AlwaysTaken, BackwardTakenForwardNot, BranchPredictor, Cbtb, CbtbConfig,
     Gshare, LikelyBit, LocalHistory, Sbtb,
 };
-use branchlab_trace::BranchMix;
-use branchlab_workloads::{benchmark, SUITE};
+use branchlab_trace::{BranchEvent, BranchMix, ExecHooks};
+use branchlab_workloads::{all_benchmarks, benchmark};
 
 /// The fidelity predictor set: both hardware schemes plus the static
 /// baselines (buffer-less predictors exercise the direction/target
@@ -42,9 +45,9 @@ fn exec_config(cfg: &ExperimentConfig) -> ExecConfig {
 }
 
 #[test]
-fn replayed_pred_stats_are_bit_identical_to_live_for_every_suite_benchmark() {
+fn replayed_pred_stats_are_bit_identical_to_live_for_every_benchmark() {
     let cfg = ExperimentConfig::test();
-    for bench in SUITE {
+    for bench in all_benchmarks() {
         let live = eval_predictors_live(bench, &cfg, preds())
             .unwrap_or_else(|e| panic!("{}: live evaluation failed: {e}", bench.name));
         let replayed = eval_predictors(bench, &cfg, preds())
@@ -87,9 +90,9 @@ fn lane_sweep() -> Vec<Box<dyn BranchPredictor>> {
 }
 
 #[test]
-fn lane_scoring_is_bit_identical_to_scalar_for_every_suite_benchmark() {
+fn lane_scoring_is_bit_identical_to_scalar_for_every_benchmark() {
     let before = LaneStats::snapshot();
-    for bench in SUITE {
+    for bench in all_benchmarks() {
         let scalar_cfg = ExperimentConfig {
             use_lane_scoring: false,
             sweep_threads: Some(1),
@@ -132,9 +135,9 @@ fn lane_scoring_is_bit_identical_to_scalar_for_every_suite_benchmark() {
 }
 
 #[test]
-fn replayed_branch_mix_is_bit_identical_to_live_for_every_suite_benchmark() {
+fn replayed_branch_mix_is_bit_identical_to_live_for_every_benchmark() {
     let cfg = ExperimentConfig::test();
-    for bench in SUITE {
+    for bench in all_benchmarks() {
         let module = bench.compile().expect("compile");
         let program = lower(&module).expect("lower");
         let exec = exec_config(&cfg);
@@ -153,6 +156,72 @@ fn replayed_branch_mix_is_bit_identical_to_live_for_every_suite_benchmark() {
             "{}: replayed BranchMix differs from live interpretation",
             bench.name
         );
+    }
+}
+
+/// Distinct static branch sites exercised across a set of traces.
+#[derive(Default)]
+struct SiteSet(BTreeSet<branchlab_ir::Addr>);
+
+impl ExecHooks for SiteSet {
+    fn branch(&mut self, ev: &BranchEvent) {
+        self.0.insert(ev.pc);
+    }
+}
+
+fn exercised_sites(
+    bench: &branchlab_workloads::Benchmark,
+    cfg: &ExperimentConfig,
+) -> BTreeSet<branchlab_ir::Addr> {
+    let runs = captured_runs(bench, cfg).expect("capture");
+    let mut sites = SiteSet::default();
+    replay_runs(&runs, &mut sites).expect("replay");
+    sites.0
+}
+
+/// The generated workloads are deterministic end to end: capturing the
+/// same benchmark twice under the same seed — with the in-memory trace
+/// cache dropped in between — yields byte-identical trace buffers
+/// (`TraceBuf` equality compares the encoded bytes).
+#[test]
+fn synthetic_capture_is_byte_identical_across_runs() {
+    let cfg = ExperimentConfig::test();
+    for name in ["dispatch", "router"] {
+        let bench = benchmark(name).expect("synthetic benchmark");
+        clear_cache();
+        let first = captured_runs(bench, &cfg).expect("first capture");
+        clear_cache();
+        let second = captured_runs(bench, &cfg).expect("second capture");
+        assert_eq!(
+            *first, *second,
+            "{name}: re-captured trace bytes differ under the same seed"
+        );
+    }
+}
+
+/// Different input seeds exercise different branch-site populations:
+/// the request generators draw a fresh active/hot set per seed, so the
+/// dynamic footprint — not just the event order — must change.
+#[test]
+fn synthetic_seeds_select_different_site_populations() {
+    for name in ["dispatch", "router"] {
+        let bench = benchmark(name).expect("synthetic benchmark");
+        clear_cache();
+        let base = exercised_sites(bench, &ExperimentConfig::test());
+        clear_cache();
+        let other = exercised_sites(
+            bench,
+            &ExperimentConfig {
+                seed: 42,
+                ..ExperimentConfig::test()
+            },
+        );
+        assert!(!base.is_empty() && !other.is_empty());
+        assert_ne!(
+            base, other,
+            "{name}: seeds 1989 and 42 exercised identical site populations"
+        );
+        clear_cache();
     }
 }
 

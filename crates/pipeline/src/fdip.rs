@@ -1,0 +1,311 @@
+//! Fetch-Directed Instruction Prefetching (FDIP) cost axis.
+//!
+//! In an FDIP front end (Asheim et al., *Fetch-Directed Instruction
+//! Prefetching Revisited*) the BTB runs ahead of decode and steers the
+//! fetch/prefetch stream, so the cost of a branch is decided by what the
+//! BTB told the fetcher, not only by the final predict/mispredict bit:
+//!
+//! * **prefetch hit** — fetch already follows the correct path (a BTB
+//!   hit with the right direction+target, or a sequential fall-through
+//!   the default not-taken stream covered);
+//! * **redirect** — a resident-but-wrong prediction is caught when the
+//!   branch decodes/resolves and fetch is redirected mid-stream;
+//! * **misfetch** — the branch was absent from the BTB and actually
+//!   taken: the prefetcher streamed sequentially past it and the whole
+//!   fetch queue is refilled from the architectural path.
+//!
+//! The per-class penalties are *sweep parameters* ([`FdipConfig`]), and
+//! the class tallies ([`FdipCounts`]) depend only on the predictor and
+//! the trace — one [`FdipSim`] pass prices every penalty combination in
+//! closed form via [`FdipCounts::cost`].
+
+use branchlab_predict::{BranchPredictor, Evaluator, PredStats, Prediction};
+use branchlab_trace::{BranchEvent, ExecHooks};
+
+/// Penalty cycles for each FDIP fetch-stream class.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FdipConfig {
+    /// Extra cycles when the prefetch stream already followed the
+    /// correct path (usually 0: fetch never stalls).
+    pub prefetch_hit: u32,
+    /// Cycles to redirect fetch when a resident prediction is wrong.
+    pub redirect: u32,
+    /// Cycles to refill the fetch queue after streaming past an
+    /// untracked taken branch.
+    pub miss: u32,
+}
+
+impl FdipConfig {
+    /// A moderate front end: 0 / 2 / 5 cycles.
+    #[must_use]
+    pub fn moderate() -> Self {
+        FdipConfig {
+            prefetch_hit: 0,
+            redirect: 2,
+            miss: 5,
+        }
+    }
+
+    /// A deep decoupled front end: 0 / 4 / 12 cycles.
+    #[must_use]
+    pub fn deep() -> Self {
+        FdipConfig {
+            prefetch_hit: 0,
+            redirect: 4,
+            miss: 12,
+        }
+    }
+}
+
+impl Default for FdipConfig {
+    fn default() -> Self {
+        Self::moderate()
+    }
+}
+
+/// How one dynamic branch moved through the FDIP front end.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FdipClass {
+    /// BTB hit and the prediction was fully correct.
+    PrefetchHit,
+    /// No BTB steering, but the sequential stream was the right path.
+    SequentialHit,
+    /// Wrong prediction caught and redirected at decode/resolve.
+    Redirect,
+    /// Untracked taken branch — full fetch-queue misfetch.
+    Misfetch,
+}
+
+/// Classify one event from the predictor's answer.
+#[must_use]
+pub fn classify(ev: &BranchEvent, pred: &Prediction) -> FdipClass {
+    let btb_hit = pred.hit == Some(true);
+    if pred.is_correct(ev) {
+        if btb_hit {
+            FdipClass::PrefetchHit
+        } else {
+            FdipClass::SequentialHit
+        }
+    } else if !btb_hit && ev.taken {
+        FdipClass::Misfetch
+    } else {
+        FdipClass::Redirect
+    }
+}
+
+/// Per-class event tallies — the predictor/trace-dependent half of the
+/// FDIP cost, independent of the penalty choices.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct FdipCounts {
+    /// BTB-steered correct-path fetches.
+    pub prefetch_hits: u64,
+    /// Correct-path sequential fetches with no BTB entry.
+    pub sequential_hits: u64,
+    /// Decode/resolve-time fetch redirects.
+    pub redirects: u64,
+    /// Full misfetches (untracked taken branches).
+    pub misfetches: u64,
+}
+
+impl FdipCounts {
+    /// Record one classified event.
+    pub fn record(&mut self, class: FdipClass) {
+        match class {
+            FdipClass::PrefetchHit => self.prefetch_hits += 1,
+            FdipClass::SequentialHit => self.sequential_hits += 1,
+            FdipClass::Redirect => self.redirects += 1,
+            FdipClass::Misfetch => self.misfetches += 1,
+        }
+    }
+
+    /// Total classified events.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.prefetch_hits + self.sequential_hits + self.redirects + self.misfetches
+    }
+
+    /// Total penalty cycles under `config`.
+    #[must_use]
+    pub fn penalty_cycles(&self, config: &FdipConfig) -> u64 {
+        (self.prefetch_hits + self.sequential_hits) * u64::from(config.prefetch_hit)
+            + self.redirects * u64::from(config.redirect)
+            + self.misfetches * u64::from(config.miss)
+    }
+
+    /// Mean fetch cost per branch under `config`: 1 issue cycle plus
+    /// the amortized per-class penalties — the FDIP analogue of the
+    /// paper's `cost = A + (k + ℓ̄ + m̄)(1 − A)`.
+    #[must_use]
+    pub fn cost(&self, config: &FdipConfig) -> f64 {
+        let n = self.events();
+        if n == 0 {
+            0.0
+        } else {
+            1.0 + self.penalty_cycles(config) as f64 / n as f64
+        }
+    }
+
+    /// Price several penalty configurations from one pass — the sweep
+    /// axis: `(config, cost-per-branch)` for each input.
+    #[must_use]
+    pub fn sweep(&self, configs: &[FdipConfig]) -> Vec<(FdipConfig, f64)> {
+        configs.iter().map(|c| (*c, self.cost(c))).collect()
+    }
+}
+
+/// Trace-driven FDIP front-end simulation: scores a predictor and
+/// classifies every branch into its fetch-stream class in one pass.
+///
+/// Hand it to the interpreter like any [`ExecHooks`], or drive it from
+/// a replayed trace.
+#[derive(Clone, Debug)]
+pub struct FdipSim<P> {
+    /// The predictor steering prefetch, with its scoring.
+    pub eval: Evaluator<P>,
+    /// Per-class tallies.
+    pub counts: FdipCounts,
+}
+
+impl<P: BranchPredictor> FdipSim<P> {
+    /// Create a simulation steered by `predictor`.
+    pub fn new(predictor: P) -> Self {
+        FdipSim {
+            eval: Evaluator::new(predictor),
+            counts: FdipCounts::default(),
+        }
+    }
+
+    /// Prediction scoring accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &PredStats {
+        &self.eval.stats
+    }
+
+    /// Add this run's class tallies to `prefix.*` counters in a
+    /// metrics registry.
+    pub fn export(&self, registry: &branchlab_telemetry::MetricsRegistry, prefix: &str) {
+        for (name, value) in [
+            ("prefetch_hits", self.counts.prefetch_hits),
+            ("sequential_hits", self.counts.sequential_hits),
+            ("redirects", self.counts.redirects),
+            ("misfetches", self.counts.misfetches),
+        ] {
+            registry.counter(&format!("{prefix}.{name}")).add(value);
+        }
+    }
+}
+
+impl<P: BranchPredictor> ExecHooks for FdipSim<P> {
+    fn branch(&mut self, ev: &BranchEvent) {
+        let pred = self.eval.predictor.predict(ev);
+        self.counts.record(classify(ev, &pred));
+        self.eval.stats.tally(ev, &pred);
+        self.eval.predictor.update(ev, &pred);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use branchlab_interp::{run, ExecConfig};
+    use branchlab_ir::{lower, Addr, BlockId, BranchId, FuncId};
+    use branchlab_minic::compile;
+    use branchlab_predict::{AlwaysNotTaken, Cbtb, MlBtb, Sbtb};
+    use branchlab_trace::BranchKind;
+
+    fn ev(pc: u32, taken: bool, target: u32) -> BranchEvent {
+        BranchEvent {
+            pc: Addr(pc),
+            kind: BranchKind::Cond,
+            taken,
+            target: Addr(target),
+            fallthrough: Addr(pc + 1),
+            branch: BranchId {
+                func: FuncId(0),
+                block: BlockId(pc),
+            },
+            likely: false,
+            cond: Some(branchlab_ir::Cond::Eq),
+        }
+    }
+
+    #[test]
+    fn classes_cover_the_btb_outcome_matrix() {
+        let mut sim = FdipSim::new(Cbtb::paper());
+        sim.branch(&ev(10, true, 50)); // miss + taken → misfetch
+        assert_eq!(sim.counts.misfetches, 1);
+        sim.branch(&ev(10, true, 50)); // hit, correct → prefetch hit
+        assert_eq!(sim.counts.prefetch_hits, 1);
+        sim.branch(&ev(10, false, 50)); // hit, predicted taken → redirect
+        assert_eq!(sim.counts.redirects, 1);
+        sim.branch(&ev(20, false, 70)); // miss + not taken → sequential hit
+        assert_eq!(sim.counts.sequential_hits, 1);
+        assert_eq!(sim.counts.events(), 4);
+        assert_eq!(sim.counts.events(), sim.stats().events);
+    }
+
+    #[test]
+    fn costs_are_closed_form_over_the_tallies() {
+        let counts = FdipCounts {
+            prefetch_hits: 6,
+            sequential_hits: 2,
+            redirects: 1,
+            misfetches: 1,
+        };
+        let cfg = FdipConfig {
+            prefetch_hit: 0,
+            redirect: 2,
+            miss: 8,
+        };
+        assert_eq!(counts.penalty_cycles(&cfg), 10);
+        assert!((counts.cost(&cfg) - 2.0).abs() < 1e-12);
+        // The sweep prices every configuration from the same pass.
+        let swept = counts.sweep(&[cfg, FdipConfig::deep()]);
+        assert_eq!(swept.len(), 2);
+        assert!((swept[0].1 - 2.0).abs() < 1e-12);
+        assert!(swept[1].1 > swept[0].1);
+    }
+
+    #[test]
+    fn zero_penalties_cost_exactly_one_cycle_per_branch() {
+        let mut sim = FdipSim::new(AlwaysNotTaken);
+        for i in 0..10 {
+            sim.branch(&ev(10 + i, i % 2 == 0, 90));
+        }
+        let free = FdipConfig {
+            prefetch_hit: 0,
+            redirect: 0,
+            miss: 0,
+        };
+        assert!((sim.counts.cost(&free) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn better_front_end_coverage_costs_fewer_cycles() {
+        const LOOP: &str = "int main() { int i; int j; int s = 0; \
+            for (i = 0; i < 40; i++) { for (j = 0; j < 20; j++) { \
+            if ((s & 3) == 1) { s += j; } else { s += 1; } } } return s; }";
+        let m = compile(LOOP).unwrap();
+        let p = lower(&m).unwrap();
+        let cfg = FdipConfig::moderate();
+        let mut sbtb = FdipSim::new(Sbtb::paper());
+        let mut ml = FdipSim::new(MlBtb::server());
+        run(&p, &ExecConfig::default(), &[], &mut sbtb).unwrap();
+        run(&p, &ExecConfig::default(), &[], &mut ml).unwrap();
+        // The SBTB never tracks not-taken branches, so the counter-based
+        // hierarchy sees strictly more prefetch hits here.
+        assert!(ml.counts.prefetch_hits > sbtb.counts.prefetch_hits);
+        assert!(ml.counts.cost(&cfg) <= sbtb.counts.cost(&cfg));
+    }
+
+    #[test]
+    fn export_publishes_all_classes() {
+        let mut sim = FdipSim::new(Cbtb::paper());
+        sim.branch(&ev(10, true, 50));
+        sim.branch(&ev(10, true, 50));
+        let registry = branchlab_telemetry::MetricsRegistry::new();
+        sim.export(&registry, "fdip.test");
+        assert_eq!(registry.counter("fdip.test.misfetches").get(), 1);
+        assert_eq!(registry.counter("fdip.test.prefetch_hits").get(), 1);
+    }
+}

@@ -7,6 +7,12 @@
 //! simulator ([`CycleSim`]) that executes the same rule structurally and
 //! validates the formula on real traces.
 //!
+//! The modern extension is the **FDIP axis** ([`FdipSim`] /
+//! [`FdipConfig`]): a fetch-directed-prefetch front end where the BTB
+//! steers fetch ahead of decode, so each branch is classed as a
+//! prefetch hit, a decode-time redirect, or a full misfetch, with the
+//! per-class penalties as sweep parameters.
+//!
 //! ```
 //! use branchlab_pipeline::{branch_cost, FlushModel};
 //!
@@ -19,7 +25,9 @@
 #![warn(missing_docs)]
 
 mod cost;
+mod fdip;
 mod sim;
 
 pub use cost::{branch_cost, cost_curve, CostPoint, FlushModel, PipelineConfig};
+pub use fdip::{classify, FdipClass, FdipConfig, FdipCounts, FdipSim};
 pub use sim::CycleSim;

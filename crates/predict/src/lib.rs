@@ -7,6 +7,10 @@
 //!   delete-on-mispredict), 256-entry fully-associative LRU by default.
 //! * [`Cbtb`] — the Counter-based BTB with n-bit saturating counters
 //!   (2-bit, threshold 2 by default).
+//! * [`MlBtb`] — a parametric multi-level BTB hierarchy (set-associative
+//!   levels with true-LRU sets, fill/promotion policies, per-level
+//!   lookup-latency penalties) for server-scale instruction footprints
+//!   beyond the paper's single 256-entry buffer.
 //! * [`ForwardSemantic`] — the software scheme's prediction side:
 //!   profile-derived likely bits with encoded targets.
 //! * [`AlwaysTaken`], [`AlwaysNotTaken`], [`BackwardTakenForwardNot`] —
@@ -40,6 +44,7 @@
 mod assoc;
 mod cbtb;
 mod lanes;
+mod mlbtb;
 mod predictor;
 mod ras;
 mod sbtb;
@@ -51,6 +56,7 @@ pub use cbtb::{Cbtb, CbtbConfig};
 pub use lanes::{
     CbtbLanes, GshareLanes, LaneFamily, LaneFamilyKey, LaneSpec, LocalLanes, MAX_LANES,
 };
+pub use mlbtb::{FillPolicy, LevelStats, MlBtb, MlBtbConfig, MlBtbLevel, MlBtbStats};
 pub use predictor::{
     BranchPredictor, ContextSwitched, Evaluator, PredStats, Prediction, TargetInfo,
 };

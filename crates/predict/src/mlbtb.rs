@@ -1,0 +1,702 @@
+//! Multi-level Branch Target Buffer hierarchy — the post-1989 regime.
+//!
+//! The paper's SBTB/CBTB assume a single 256-entry fully-associative
+//! buffer, which server-scale instruction footprints overflow. Real
+//! designs answered with a *hierarchy*: a small, fast first level backed
+//! by one or more larger, slower levels (cf. Gupta & Panda's Micro BTB),
+//! with entries promoted toward L1 on reuse and demoted on eviction.
+//!
+//! [`MlBtb`] is a parametric N-level buffer: per level
+//! [`MlBtbLevel::entries`] / [`MlBtbLevel::ways`] (true-LRU within each
+//! set) and a [`MlBtbLevel::latency`] lookup penalty, plus a hierarchy
+//! [`FillPolicy`] choosing where new entries land and how hits climb.
+//! Direction prediction reuses the CBTB's n-bit saturating counter
+//! (predict taken when `C ≥ T`), so a single-level `MlBtb` is
+//! prediction-identical to [`Cbtb`](crate::Cbtb) at the same geometry —
+//! a property a unit test pins down.
+//!
+//! The hierarchy keeps each branch resident in at most one level: hits
+//! move entries up (promotion), evictions cascade down (demotion), and
+//! only last-level victims leave the buffer.
+
+use branchlab_ir::Addr;
+use branchlab_telemetry::{NoopSink, ProbeEvent, ProbeKind, TelemetrySink};
+use branchlab_trace::BranchEvent;
+
+use crate::assoc::AssocBuffer;
+use crate::lanes::saturating_step;
+use crate::predictor::{BranchPredictor, Prediction, TargetInfo};
+
+/// Geometry and lookup cost of one BTB level.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct MlBtbLevel {
+    /// Total entries at this level.
+    pub entries: usize,
+    /// Associativity (ways per set); `entries` for fully associative.
+    pub ways: usize,
+    /// Extra fetch cycles charged when a prediction is served from this
+    /// level (0 for a single-cycle L1). Accumulated in
+    /// [`MlBtbStats::latency_cycles`]; a full miss charges the sum of
+    /// all level latencies (the lookup walked the whole hierarchy).
+    pub latency: u32,
+}
+
+/// Where new entries are filled and how hits are promoted.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FillPolicy {
+    /// Inclusive-L1: new entries fill L1, and a hit at any lower level
+    /// promotes the entry straight back to L1. Victims demote one level
+    /// down. Fast to re-warm, but streaming branch populations churn L1.
+    L1,
+    /// Staged climb: new entries fill the *last* level and each hit
+    /// promotes one level up, so a branch must prove reuse before it
+    /// reaches L1 (hysteresis against single-use pollution).
+    Staged,
+}
+
+impl FillPolicy {
+    /// Stable lowercase name (the server's canonical spelling).
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FillPolicy::L1 => "l1",
+            FillPolicy::Staged => "staged",
+        }
+    }
+}
+
+/// Full multi-level BTB configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MlBtbConfig {
+    /// Levels ordered L1 → last; at least one.
+    pub levels: Vec<MlBtbLevel>,
+    /// Fill + promotion policy.
+    pub policy: FillPolicy,
+    /// Direction counter width in bits (the CBTB's 2 by default).
+    pub counter_bits: u8,
+    /// Predict-taken threshold `T` (`C ≥ T`).
+    pub threshold: u8,
+}
+
+impl MlBtbConfig {
+    /// The paper's single-level geometry: 256 entries, fully
+    /// associative, 2-bit counters, T = 2 — prediction-identical to
+    /// [`CbtbConfig::paper`](crate::CbtbConfig::paper).
+    #[must_use]
+    pub fn paper() -> Self {
+        MlBtbConfig {
+            levels: vec![MlBtbLevel {
+                entries: 256,
+                ways: 256,
+                latency: 0,
+            }],
+            policy: FillPolicy::L1,
+            counter_bits: 2,
+            threshold: 2,
+        }
+    }
+
+    /// A server-scale two-level hierarchy: a 64-entry 4-way L1 in front
+    /// of a 2048-entry 8-way L2 with a 2-cycle lookup penalty.
+    #[must_use]
+    pub fn server() -> Self {
+        MlBtbConfig {
+            levels: vec![
+                MlBtbLevel {
+                    entries: 64,
+                    ways: 4,
+                    latency: 0,
+                },
+                MlBtbLevel {
+                    entries: 2048,
+                    ways: 8,
+                    latency: 2,
+                },
+            ],
+            policy: FillPolicy::L1,
+            counter_bits: 2,
+            threshold: 2,
+        }
+    }
+
+    fn counter_max(&self) -> u8 {
+        ((1u16 << self.counter_bits) - 1) as u8
+    }
+
+    /// Sum of all level latencies — what a full miss pays for walking
+    /// the hierarchy.
+    #[must_use]
+    pub fn miss_latency(&self) -> u32 {
+        self.levels.iter().map(|l| l.latency).sum()
+    }
+}
+
+impl Default for MlBtbConfig {
+    fn default() -> Self {
+        Self::server()
+    }
+}
+
+/// Per-level hit/miss/fill/evict accounting.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Lookups served by this level.
+    pub hits: u64,
+    /// Lookups that searched this level and missed.
+    pub misses: u64,
+    /// Entries placed into this level (new, promoted, or demoted).
+    pub fills: u64,
+    /// Entries displaced out of this level by a fill.
+    pub evicts: u64,
+}
+
+/// Whole-hierarchy statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MlBtbStats {
+    /// One entry per configured level, L1 first.
+    pub levels: Vec<LevelStats>,
+    /// Entries moved up a level on a hit.
+    pub promotions: u64,
+    /// Displaced entries moved down a level instead of leaving.
+    pub demotions: u64,
+    /// Entries evicted out of the last level (left the hierarchy).
+    pub dropped: u64,
+    /// Accumulated lookup-latency penalty cycles (per-level `latency`
+    /// of the serving level; full misses pay the sum of all levels).
+    pub latency_cycles: u64,
+}
+
+/// One resident branch.
+#[derive(Copy, Clone, Debug)]
+struct MlEntry {
+    counter: u8,
+    target: Addr,
+}
+
+/// Where the entry served by the last `predict` now resides, so
+/// `update` can revisit it without re-searching the hierarchy.
+#[derive(Copy, Clone, Debug)]
+struct LastHit {
+    pc: u32,
+    /// Level the entry resides at *after* any promotion.
+    level: usize,
+    /// Way within that level, when known (no-promotion fast path).
+    way: Option<u32>,
+}
+
+/// The multi-level BTB.
+///
+/// Generic over a [`TelemetrySink`]; the default [`NoopSink`] keeps
+/// `enabled()` constant-false so the uninstrumented predictor
+/// monomorphizes with no probe code on the hot path. `lane_spec`
+/// deliberately stays the trait default (`None`): hierarchy state does
+/// not pack into the bit-parallel lanes, so the sweep planner routes
+/// `mlbtb` points to the scalar path.
+///
+/// ```
+/// use branchlab_predict::{Evaluator, MlBtb};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let module = branchlab_minic::compile(
+///     "int main() { int i; int s = 0; for (i = 0; i < 100; i++) { s += i; } return s; }",
+/// )?;
+/// let program = branchlab_ir::lower(&module)?;
+/// let mut eval = Evaluator::new(MlBtb::server());
+/// branchlab_interp::run(&program, &Default::default(), &[], &mut eval)?;
+/// assert!(eval.stats.accuracy() > 0.9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct MlBtb<S: TelemetrySink = NoopSink> {
+    levels: Vec<AssocBuffer<MlEntry>>,
+    config: MlBtbConfig,
+    stats: MlBtbStats,
+    sink: S,
+    last_hit: Option<LastHit>,
+}
+
+impl MlBtb {
+    /// Build a multi-level BTB.
+    ///
+    /// # Panics
+    /// Panics on an empty level list, invalid per-level geometry,
+    /// zero-width or >7-bit counters, or a threshold outside the
+    /// counter range.
+    #[must_use]
+    pub fn new(config: MlBtbConfig) -> Self {
+        Self::with_sink(config, NoopSink)
+    }
+
+    /// The paper's single-level 256-entry geometry (CBTB-equivalent).
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::new(MlBtbConfig::paper())
+    }
+
+    /// The server-scale two-level hierarchy of [`MlBtbConfig::server`].
+    #[must_use]
+    pub fn server() -> Self {
+        Self::new(MlBtbConfig::server())
+    }
+}
+
+impl<S: TelemetrySink> MlBtb<S> {
+    /// Build a multi-level BTB that publishes probe events to `sink`.
+    ///
+    /// # Panics
+    /// Panics on an empty level list, invalid per-level geometry,
+    /// zero-width or >7-bit counters, or a threshold outside the
+    /// counter range.
+    #[must_use]
+    pub fn with_sink(config: MlBtbConfig, sink: S) -> Self {
+        assert!(!config.levels.is_empty(), "at least one level required");
+        for (i, lvl) in config.levels.iter().enumerate() {
+            assert!(
+                lvl.ways > 0 && lvl.entries.is_multiple_of(lvl.ways),
+                "level {i}: entries must be a multiple of ways"
+            );
+            assert!(
+                (lvl.entries / lvl.ways).is_power_of_two(),
+                "level {i}: set count must be a power of two"
+            );
+        }
+        assert!(
+            (1..=7).contains(&config.counter_bits),
+            "counter bits must be in 1..=7"
+        );
+        assert!(
+            config.threshold >= 1 && config.threshold <= config.counter_max(),
+            "threshold must be in 1..=counter max"
+        );
+        let levels = config
+            .levels
+            .iter()
+            .map(|l| AssocBuffer::new(l.entries / l.ways, l.ways))
+            .collect();
+        MlBtb {
+            levels,
+            stats: MlBtbStats {
+                levels: vec![LevelStats::default(); config.levels.len()],
+                ..MlBtbStats::default()
+            },
+            config,
+            sink,
+            last_hit: None,
+        }
+    }
+
+    /// The configuration this buffer was built with.
+    #[must_use]
+    pub fn config(&self) -> &MlBtbConfig {
+        &self.config
+    }
+
+    /// Hierarchy statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &MlBtbStats {
+        &self.stats
+    }
+
+    /// The telemetry sink.
+    #[must_use]
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Total resident entries across all levels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.levels.iter().map(AssocBuffer::len).sum()
+    }
+
+    /// Whether every level is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.levels.iter().all(AssocBuffer::is_empty)
+    }
+
+    #[inline]
+    fn probe(&mut self, site: u32, kind: ProbeKind) {
+        if self.sink.enabled() {
+            self.sink.emit(ProbeEvent { site, kind });
+        }
+    }
+
+    /// Place `entry` into `level`, demoting displaced victims one level
+    /// down; the last level's victim leaves the hierarchy.
+    fn place(&mut self, mut level: usize, mut key: u32, mut entry: MlEntry) {
+        loop {
+            self.stats.levels[level].fills += 1;
+            match self.levels[level].insert(key, entry) {
+                None => return,
+                Some((victim_key, victim)) => {
+                    self.stats.levels[level].evicts += 1;
+                    if level + 1 == self.levels.len() {
+                        self.stats.dropped += 1;
+                        self.probe(victim_key, ProbeKind::Evict);
+                        return;
+                    }
+                    self.stats.demotions += 1;
+                    level += 1;
+                    key = victim_key;
+                    entry = victim;
+                }
+            }
+        }
+    }
+}
+
+impl Default for MlBtb {
+    fn default() -> Self {
+        Self::server()
+    }
+}
+
+impl<S: TelemetrySink> BranchPredictor for MlBtb<S> {
+    fn name(&self) -> &'static str {
+        "MLBTB"
+    }
+
+    fn predict(&mut self, ev: &BranchEvent) -> Prediction {
+        let pc = ev.pc.0;
+        let mut found: Option<(usize, u32, MlEntry)> = None;
+        for (i, level) in self.levels.iter_mut().enumerate() {
+            if let Some((way, e)) = level.lookup_pos(pc) {
+                found = Some((i, way, *e));
+                break;
+            }
+            self.stats.levels[i].misses += 1;
+        }
+        match found {
+            Some((level, way, entry)) => {
+                self.stats.levels[level].hits += 1;
+                self.stats.latency_cycles += u64::from(self.config.levels[level].latency);
+                self.probe(pc, ProbeKind::Hit);
+                if level == 0 {
+                    self.last_hit = Some(LastHit {
+                        pc,
+                        level: 0,
+                        way: Some(way),
+                    });
+                } else {
+                    // Promote: straight to L1 (inclusive-L1) or one
+                    // level up (staged climb); victims cascade down.
+                    let dest = match self.config.policy {
+                        FillPolicy::L1 => 0,
+                        FillPolicy::Staged => level - 1,
+                    };
+                    self.levels[level].remove_at(pc, way);
+                    self.stats.promotions += 1;
+                    self.place(dest, pc, entry);
+                    self.last_hit = Some(LastHit {
+                        pc,
+                        level: dest,
+                        way: None,
+                    });
+                }
+                Prediction {
+                    taken: entry.counter >= self.config.threshold,
+                    target: TargetInfo::Addr(entry.target),
+                    hit: Some(true),
+                }
+            }
+            None => {
+                self.stats.latency_cycles += u64::from(self.config.miss_latency());
+                self.probe(pc, ProbeKind::Miss);
+                self.last_hit = None;
+                Prediction {
+                    taken: false,
+                    target: TargetInfo::None,
+                    hit: Some(false),
+                }
+            }
+        }
+    }
+
+    fn update(&mut self, ev: &BranchEvent, pred: &Prediction) {
+        let pc = ev.pc.0;
+        if self.sink.enabled() {
+            let kind = if ev.taken {
+                ProbeKind::Taken
+            } else {
+                ProbeKind::NotTaken
+            };
+            self.sink.emit(ProbeEvent { site: pc, kind });
+            if !pred.is_correct(ev) {
+                self.sink.emit(ProbeEvent {
+                    site: pc,
+                    kind: ProbeKind::Mispredict,
+                });
+            }
+            if ev.taken {
+                if let Some(entry) = self.levels.iter().find_map(|l| l.peek(pc)) {
+                    if entry.target != ev.target {
+                        self.sink.emit(ProbeEvent {
+                            site: pc,
+                            kind: ProbeKind::Alias,
+                        });
+                    }
+                }
+            }
+        }
+        let max = self.config.counter_max();
+        let resident = match self.last_hit.take() {
+            // predict already located (and possibly promoted) this
+            // entry; revisit it at its recorded position.
+            Some(lh) if lh.pc == pc => match lh.way {
+                Some(way) => self.levels[lh.level].touch(pc, way),
+                None => self.levels[lh.level].lookup(pc),
+            },
+            _ => self.levels.iter_mut().find_map(|l| l.lookup(pc)),
+        };
+        if let Some(entry) = resident {
+            entry.counter = saturating_step(entry.counter, max, ev.taken);
+            if ev.taken {
+                entry.target = ev.target;
+            }
+        } else {
+            let counter = if ev.taken {
+                self.config.threshold
+            } else {
+                self.config.threshold - 1
+            };
+            let fill = match self.config.policy {
+                FillPolicy::L1 => 0,
+                FillPolicy::Staged => self.levels.len() - 1,
+            };
+            self.place(
+                fill,
+                pc,
+                MlEntry {
+                    counter,
+                    target: ev.target,
+                },
+            );
+        }
+    }
+
+    fn flush(&mut self) {
+        for level in &mut self.levels {
+            level.flush();
+        }
+        self.last_hit = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cbtb::Cbtb;
+    use crate::predictor::test_util::{cond, cond_to};
+    use crate::predictor::Evaluator;
+    use branchlab_trace::ExecHooks;
+
+    fn tiny(policy: FillPolicy) -> MlBtbConfig {
+        MlBtbConfig {
+            levels: vec![
+                MlBtbLevel {
+                    entries: 1,
+                    ways: 1,
+                    latency: 0,
+                },
+                MlBtbLevel {
+                    entries: 2,
+                    ways: 2,
+                    latency: 3,
+                },
+            ],
+            policy,
+            counter_bits: 2,
+            threshold: 2,
+        }
+    }
+
+    #[test]
+    fn single_level_is_prediction_identical_to_cbtb() {
+        let mut ml = Evaluator::new(MlBtb::paper());
+        let mut cb = Evaluator::new(Cbtb::paper());
+        let mut x = 12345u64;
+        for i in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let pc = 10 + (x >> 33) as u32 % 400; // overflow the 256 entries
+            let taken = (x >> 13) & 3 != 0;
+            let ev = cond_to(pc, taken, pc + 100 + (i % 3));
+            ml.branch(&ev);
+            cb.branch(&ev);
+        }
+        assert_eq!(ml.stats, cb.stats);
+    }
+
+    #[test]
+    fn l2_hit_promotes_to_l1_and_demotes_the_victim() {
+        let mut e = Evaluator::new(MlBtb::new(tiny(FillPolicy::L1)));
+        e.branch(&cond_to(10, true, 50)); // miss → fill L1
+        e.branch(&cond_to(20, true, 60)); // miss → fill L1, 10 demoted to L2
+        assert_eq!(e.predictor.stats().demotions, 1);
+        e.branch(&cond_to(10, true, 50)); // L2 hit → promote 10, demote 20
+        let s = e.predictor.stats().clone();
+        assert_eq!(s.levels[1].hits, 1);
+        assert_eq!(s.promotions, 1);
+        assert_eq!(s.demotions, 2);
+        assert_eq!(s.dropped, 0);
+        // 10 now fronts L1 again.
+        e.branch(&cond_to(10, true, 50));
+        assert_eq!(e.predictor.stats().levels[0].hits, 1);
+    }
+
+    #[test]
+    fn staged_policy_fills_the_last_level_first() {
+        let mut e = Evaluator::new(MlBtb::new(tiny(FillPolicy::Staged)));
+        e.branch(&cond_to(10, true, 50)); // miss → fill L2
+        let s = e.predictor.stats().clone();
+        assert_eq!(s.levels[1].fills, 1);
+        assert_eq!(s.levels[0].fills, 0);
+        e.branch(&cond_to(10, true, 50)); // L2 hit → climb to L1
+        let s = e.predictor.stats().clone();
+        assert_eq!(s.levels[1].hits, 1);
+        assert_eq!(s.promotions, 1);
+        e.branch(&cond_to(10, true, 50)); // now an L1 hit
+        assert_eq!(e.predictor.stats().levels[0].hits, 1);
+    }
+
+    #[test]
+    fn hierarchy_retains_what_a_bare_l1_would_drop() {
+        // 8 round-robin branches through a 4-entry L1: alone it thrashes
+        // (zero hits); backed by a 16-entry L2 every revisit hits.
+        let l1 = MlBtbLevel {
+            entries: 4,
+            ways: 4,
+            latency: 0,
+        };
+        let l2 = MlBtbLevel {
+            entries: 16,
+            ways: 16,
+            latency: 2,
+        };
+        let mk = |levels: Vec<MlBtbLevel>| {
+            Evaluator::new(MlBtb::new(MlBtbConfig {
+                levels,
+                policy: FillPolicy::L1,
+                counter_bits: 2,
+                threshold: 2,
+            }))
+        };
+        let mut bare = mk(vec![l1]);
+        let mut ml = mk(vec![l1, l2]);
+        for round in 0..6 {
+            for pc in 0..8u32 {
+                let ev = cond_to(100 + pc * 10, true, 500 + pc);
+                bare.branch(&ev);
+                ml.branch(&ev);
+                let _ = round;
+            }
+        }
+        assert_eq!(bare.stats.btb_lookups, ml.stats.btb_lookups);
+        assert!(
+            ml.stats.btb_misses < bare.stats.btb_misses,
+            "hierarchy {} vs bare {}",
+            ml.stats.btb_misses,
+            bare.stats.btb_misses
+        );
+        assert_eq!(bare.stats.btb_misses, 48); // every lookup thrashes
+        assert_eq!(ml.stats.btb_misses, 8); // compulsory only
+    }
+
+    #[test]
+    fn latency_charges_serving_level_and_full_walk_on_miss() {
+        let mut e = Evaluator::new(MlBtb::new(tiny(FillPolicy::L1)));
+        e.branch(&cond_to(10, true, 50)); // full miss: 0 + 3
+        assert_eq!(e.predictor.stats().latency_cycles, 3);
+        e.branch(&cond_to(10, true, 50)); // L1 hit: +0
+        assert_eq!(e.predictor.stats().latency_cycles, 3);
+        e.branch(&cond_to(20, true, 60)); // full miss: +3 (10 → L2)
+        e.branch(&cond_to(10, true, 50)); // L2 hit: +3
+        assert_eq!(e.predictor.stats().latency_cycles, 9);
+    }
+
+    #[test]
+    fn dropped_entries_probe_evict() {
+        use branchlab_telemetry::SiteProbe;
+        let mut e = Evaluator::new(MlBtb::with_sink(tiny(FillPolicy::L1), SiteProbe::enabled()));
+        // Capacity is 1 + 2 = 3; the fourth distinct branch drops one.
+        for pc in [10, 20, 30, 40] {
+            e.branch(&cond_to(pc, true, pc + 5));
+        }
+        assert_eq!(e.predictor.stats().dropped, 1);
+        let probe = e.predictor.sink();
+        let evicted: u64 = probe.sites().values().map(|c| c.evicts).sum();
+        assert_eq!(evicted, 1);
+        // The very first branch is the LRU chain's tail.
+        assert_eq!(probe.sites()[&10].evicts, 1);
+    }
+
+    #[test]
+    fn counters_keep_direction_through_one_anomaly() {
+        let mut e = Evaluator::new(MlBtb::server());
+        for taken in [true, true, true, false, true] {
+            e.branch(&cond_to(10, taken, 50));
+        }
+        // miss-wrong, correct, correct, wrong, correct (counter held).
+        assert_eq!(e.stats.correct, 3);
+    }
+
+    #[test]
+    fn not_taken_branches_are_resident() {
+        let mut e = Evaluator::new(MlBtb::server());
+        e.branch(&cond(10, false));
+        e.branch(&cond(10, false));
+        assert_eq!(e.stats.btb_misses, 1);
+        assert_eq!(e.stats.correct, 2);
+    }
+
+    #[test]
+    fn flush_empties_every_level() {
+        let mut e = Evaluator::new(MlBtb::new(tiny(FillPolicy::L1)));
+        for pc in [10, 20, 30] {
+            e.branch(&cond_to(pc, true, pc + 5));
+        }
+        assert_eq!(e.predictor.len(), 3);
+        e.predictor.flush();
+        assert!(e.predictor.is_empty());
+    }
+
+    #[test]
+    fn lane_spec_is_unpackable() {
+        // The planner must fall back to the scalar path for hierarchies.
+        assert!(MlBtb::paper().lane_spec().is_none());
+        assert!(MlBtb::server().lane_spec().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn empty_level_list_rejected() {
+        let _ = MlBtb::new(MlBtbConfig {
+            levels: vec![],
+            ..MlBtbConfig::server()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        let _ = MlBtb::new(MlBtbConfig {
+            levels: vec![MlBtbLevel {
+                entries: 24,
+                ways: 2,
+                latency: 0,
+            }],
+            ..MlBtbConfig::server()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn threshold_above_counter_max_rejected() {
+        let _ = MlBtb::new(MlBtbConfig {
+            counter_bits: 2,
+            threshold: 4,
+            ..MlBtbConfig::server()
+        });
+    }
+}

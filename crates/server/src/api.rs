@@ -17,7 +17,8 @@ use branchlab_experiments::trace_replay::scale_name;
 use branchlab_experiments::{ExperimentConfig, SweepBatch};
 use branchlab_predict::{
     AlwaysNotTaken, AlwaysTaken, BackwardTakenForwardNot, BranchPredictor, Cbtb, CbtbConfig,
-    Gshare, LocalHistory, OpcodeBias, PredStats, ReturnAddressStack, Sbtb, SbtbConfig,
+    FillPolicy, Gshare, LocalHistory, MlBtb, MlBtbConfig, MlBtbLevel, OpcodeBias, PredStats,
+    ReturnAddressStack, Sbtb, SbtbConfig,
 };
 use branchlab_telemetry::{json, JsonValue, SpanLink};
 use branchlab_trace::hash_bytes;
@@ -147,6 +148,27 @@ pub enum PredictorSpec {
         /// Local history length.
         history_bits: u32,
     },
+    /// Two-level BTB hierarchy (small L1 backed by a larger L2).
+    Mlbtb {
+        /// L1 entries.
+        l1_entries: usize,
+        /// L1 ways per set.
+        l1_ways: usize,
+        /// L1 lookup-latency penalty in cycles.
+        l1_latency: u32,
+        /// L2 entries.
+        l2_entries: usize,
+        /// L2 ways per set.
+        l2_ways: usize,
+        /// L2 lookup-latency penalty in cycles.
+        l2_latency: u32,
+        /// `staged` fill/promotion policy instead of inclusive-L1.
+        staged: bool,
+        /// Direction counter width in bits.
+        counter_bits: u8,
+        /// Predict-taken threshold.
+        threshold: u8,
+    },
 }
 
 fn field_usize(v: &JsonValue, key: &str, default: usize) -> Result<usize, ApiError> {
@@ -221,6 +243,28 @@ impl PredictorSpec {
                 table_bits: field_u32(v, "table_bits", 12)?,
                 history_bits: field_u32(v, "history_bits", 8)?,
             },
+            "mlbtb" => {
+                let staged = match v.get("policy").and_then(JsonValue::as_str) {
+                    None | Some("l1") => false,
+                    Some("staged") => true,
+                    Some(other) => {
+                        return Err(ApiError::BadRequest(format!(
+                            "unknown mlbtb policy `{other}` (expected `l1` or `staged`)"
+                        )))
+                    }
+                };
+                PredictorSpec::Mlbtb {
+                    l1_entries: field_usize(v, "l1_entries", 64)?,
+                    l1_ways: field_usize(v, "l1_ways", 4)?,
+                    l1_latency: field_u32(v, "l1_latency", 0)?,
+                    l2_entries: field_usize(v, "l2_entries", 2048)?,
+                    l2_ways: field_usize(v, "l2_ways", 8)?,
+                    l2_latency: field_u32(v, "l2_latency", 2)?,
+                    staged,
+                    counter_bits: field_u8(v, "counter_bits", 2)?,
+                    threshold: field_u8(v, "threshold", 2)?,
+                }
+            }
             other => {
                 return Err(ApiError::BadRequest(format!(
                     "unknown predictor kind `{other}`"
@@ -270,6 +314,46 @@ impl PredictorSpec {
                     return bad("`history_bits` must be in 0..=32");
                 }
             }
+            PredictorSpec::Mlbtb {
+                l1_entries,
+                l1_ways,
+                l1_latency,
+                l2_entries,
+                l2_ways,
+                l2_latency,
+                counter_bits,
+                threshold,
+                ..
+            } => {
+                for (level, entries, ways) in
+                    [("l1", l1_entries, l1_ways), ("l2", l2_entries, l2_ways)]
+                {
+                    if entries == 0 || entries > 1 << 20 {
+                        return Err(ApiError::BadRequest(format!(
+                            "`{level}_entries` must be in 1..=1048576"
+                        )));
+                    }
+                    if ways == 0 || ways > entries {
+                        return Err(ApiError::BadRequest(format!(
+                            "`{level}_ways` must be in 1..=entries"
+                        )));
+                    }
+                    if entries % ways != 0 || !(entries / ways).is_power_of_two() {
+                        return Err(ApiError::BadRequest(format!(
+                            "`{level}_entries` / `{level}_ways` must give a power-of-two set count"
+                        )));
+                    }
+                }
+                if l1_latency > 1000 || l2_latency > 1000 {
+                    return bad("level latencies must be in 0..=1000");
+                }
+                if counter_bits == 0 || counter_bits > 7 {
+                    return bad("`counter_bits` must be in 1..=7");
+                }
+                if threshold == 0 || u16::from(threshold) >= 1 << counter_bits {
+                    return bad("`threshold` must be in 1..=counter max");
+                }
+            }
             _ => {}
         }
         Ok(())
@@ -287,6 +371,7 @@ impl PredictorSpec {
             PredictorSpec::OpcodeBias => "opcode_bias",
             PredictorSpec::Gshare { .. } => "gshare",
             PredictorSpec::Local { .. } => "local",
+            PredictorSpec::Mlbtb { .. } => "mlbtb",
         }
     }
 
@@ -323,6 +408,27 @@ impl PredictorSpec {
             } => {
                 fields.push(("table_bits", table_bits.into()));
                 fields.push(("history_bits", history_bits.into()));
+            }
+            PredictorSpec::Mlbtb {
+                l1_entries,
+                l1_ways,
+                l1_latency,
+                l2_entries,
+                l2_ways,
+                l2_latency,
+                staged,
+                counter_bits,
+                threshold,
+            } => {
+                fields.push(("l1_entries", l1_entries.into()));
+                fields.push(("l1_ways", l1_ways.into()));
+                fields.push(("l1_latency", l1_latency.into()));
+                fields.push(("l2_entries", l2_entries.into()));
+                fields.push(("l2_ways", l2_ways.into()));
+                fields.push(("l2_latency", l2_latency.into()));
+                fields.push(("policy", if staged { "staged" } else { "l1" }.into()));
+                fields.push(("counter_bits", u64::from(counter_bits).into()));
+                fields.push(("threshold", u64::from(threshold).into()));
             }
             _ => {}
         }
@@ -361,6 +467,37 @@ impl PredictorSpec {
                 table_bits,
                 history_bits,
             } => Box::new(LocalHistory::new(table_bits, history_bits)),
+            PredictorSpec::Mlbtb {
+                l1_entries,
+                l1_ways,
+                l1_latency,
+                l2_entries,
+                l2_ways,
+                l2_latency,
+                staged,
+                counter_bits,
+                threshold,
+            } => Box::new(MlBtb::new(MlBtbConfig {
+                levels: vec![
+                    MlBtbLevel {
+                        entries: l1_entries,
+                        ways: l1_ways,
+                        latency: l1_latency,
+                    },
+                    MlBtbLevel {
+                        entries: l2_entries,
+                        ways: l2_ways,
+                        latency: l2_latency,
+                    },
+                ],
+                policy: if staged {
+                    FillPolicy::Staged
+                } else {
+                    FillPolicy::L1
+                },
+                counter_bits,
+                threshold,
+            })),
         }
     }
 }
@@ -668,6 +805,38 @@ mod tests {
     }
 
     #[test]
+    fn parse_mlbtb_defaults_and_builds() {
+        let body = br#"{"bench": "dispatch", "predictors": [{"kind": "mlbtb"}]}"#;
+        let req = SweepRequest::parse(body, &base()).unwrap();
+        assert_eq!(req.bench.name, "dispatch");
+        assert_eq!(
+            req.predictors[0],
+            PredictorSpec::Mlbtb {
+                l1_entries: 64,
+                l1_ways: 4,
+                l1_latency: 0,
+                l2_entries: 2048,
+                l2_ways: 8,
+                l2_latency: 2,
+                staged: false,
+                counter_bits: 2,
+                threshold: 2,
+            }
+        );
+        assert_eq!(req.predictors[0].kind(), "mlbtb");
+        assert_eq!(req.predictors[0].build().name(), "MLBTB");
+        // The policy spelling participates in the canonical key.
+        let canon = req.predictors[0].canonical().to_json();
+        assert!(canon.contains("\"policy\":\"l1\""), "{canon}");
+        let staged = SweepRequest::parse(
+            br#"{"bench": "dispatch", "predictors": [{"kind": "mlbtb", "policy": "staged"}]}"#,
+            &base(),
+        )
+        .unwrap();
+        assert_ne!(req.canonical_key(), staged.canonical_key());
+    }
+
+    #[test]
     fn parse_rejects_garbage() {
         let cases: &[&[u8]] = &[
             b"not json",
@@ -679,6 +848,9 @@ mod tests {
             br#"{"bench": "wc", "predictors": [{"kind": "sbtb"}], "ras": [0]}"#,
             br#"{"bench": "wc", "predictors": [{"kind": "sbtb"}], "deadline_ms": 0}"#,
             br#"{"bench": "wc", "predictors": [{"kind": "cbtb", "threshold": 4}]}"#,
+            br#"{"bench": "wc", "predictors": [{"kind": "mlbtb", "policy": "lifo"}]}"#,
+            br#"{"bench": "wc", "predictors": [{"kind": "mlbtb", "l1_entries": 24}]}"#,
+            br#"{"bench": "wc", "predictors": [{"kind": "mlbtb", "threshold": 4}]}"#,
         ];
         for body in cases {
             let err = SweepRequest::parse(body, &base()).unwrap_err();

@@ -99,7 +99,7 @@ use branchlab_experiments::{ExperimentConfig, LaneStats, SweepStats};
 use branchlab_telemetry::{
     FlightRecorder, JsonValue, MetricsRegistry, SpanHandle, SpanLink, TraceContext, TraceId,
 };
-use branchlab_workloads::{benchmark, Scale, SUITE};
+use branchlab_workloads::{all_benchmarks, benchmark, Scale};
 
 use api::{ApiError, SweepRequest};
 use chaos::{Chaos, ChaosConfig};
@@ -482,9 +482,11 @@ impl ServerHandle {
 }
 
 /// Make every configured benchmark's trace resident, then mark ready.
+/// The default warm set is the 1989 suite; synthetic benchmarks are
+/// captured on first request (or via `--warm-benches`).
 fn warmup(state: &State) {
     let names: Vec<&'static str> = if state.config.warm_benches.is_empty() {
-        SUITE.iter().map(|b| b.name).collect()
+        branchlab_workloads::SUITE.iter().map(|b| b.name).collect()
     } else {
         state
             .config
@@ -1102,15 +1104,17 @@ fn observe_point_cost(state: &State, points: u64, elapsed: Duration) {
     }
 }
 
-/// `GET /v1/benchmarks`: the suite, with warm-residency info.
+/// `GET /v1/benchmarks`: the 1989 suite plus the synthetic
+/// large-footprint benchmarks, with warm-residency info and the static
+/// branch-site count / code-footprint class clients use to pick
+/// capacity-stressing workloads without trial sweeps.
 fn handle_benchmarks(state: &Arc<State>) -> Response {
     let warm = state
         .warm
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
         .clone();
-    let benches = SUITE
-        .iter()
+    let benches = all_benchmarks()
         .map(|b| {
             let mut fields = vec![
                 ("name", JsonValue::from(b.name)),
@@ -1118,6 +1122,8 @@ fn handle_benchmarks(state: &Arc<State>) -> Response {
                 ("paper_runs", b.paper_runs.into()),
                 ("source_lines", b.source_lines().into()),
                 ("in_main_tables", b.in_main_tables.into()),
+                ("branch_sites", b.branch_sites().into()),
+                ("footprint_class", b.footprint_class().into()),
                 ("resident", warm.contains_key(b.name).into()),
             ];
             if let Some(info) = warm.get(b.name) {

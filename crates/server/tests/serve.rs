@@ -75,13 +75,35 @@ fn serves_health_benchmarks_and_metrics() {
     assert_eq!(benches.status, 200);
     let v = branchlab_telemetry::json::parse(&benches.text()).unwrap();
     let list = v.get("benchmarks").and_then(|b| b.as_arr()).unwrap();
-    assert_eq!(list.len(), branchlab_workloads::SUITE.len());
+    assert_eq!(list.len(), branchlab_workloads::all_benchmarks().count());
     let wc = list
         .iter()
         .find(|b| b.get("name").and_then(|n| n.as_str()) == Some("wc"))
         .unwrap();
     assert_eq!(wc.get("resident").and_then(|r| r.as_bool()), Some(true));
     assert!(wc.get("trace_events").and_then(|e| e.as_int()).unwrap() > 0);
+    assert!(wc.get("branch_sites").and_then(|s| s.as_int()).unwrap() > 0);
+    assert_eq!(
+        wc.get("footprint_class").and_then(|c| c.as_str()),
+        Some("small")
+    );
+    // The synthetic large-footprint benchmarks advertise their class so
+    // clients can pick capacity-stressing workloads without trial sweeps.
+    let dispatch = list
+        .iter()
+        .find(|b| b.get("name").and_then(|n| n.as_str()) == Some("dispatch"))
+        .unwrap();
+    assert_eq!(
+        dispatch.get("footprint_class").and_then(|c| c.as_str()),
+        Some("large")
+    );
+    assert!(
+        dispatch
+            .get("branch_sites")
+            .and_then(|s| s.as_int())
+            .unwrap()
+            >= 400
+    );
 
     let metrics = one_shot(&addr, "GET", "/metrics", None).unwrap();
     assert_eq!(metrics.status, 200);

@@ -303,6 +303,70 @@ pub fn grep_pattern(rng: &mut Rng) -> Vec<u8> {
     pat
 }
 
+/// Pick a seed-dependent *active subset* of `population` ids (roughly
+/// three quarters, never empty) plus a small hot set within it — the
+/// skew that makes different seeds exercise different branch-site
+/// populations in the synthetic server workloads.
+fn active_and_hot(rng: &mut Rng, population: usize) -> (Vec<u8>, Vec<u8>) {
+    let mut active: Vec<u8> = (0..population as u8)
+        .filter(|_| !rng.gen_bool(0.25))
+        .collect();
+    if active.is_empty() {
+        active.push(rng.gen_range(0..population as u64) as u8);
+    }
+    let hot: Vec<u8> = (0..8.min(active.len()))
+        .map(|_| active[rng.gen_range(0..active.len())])
+        .collect();
+    (active, hot)
+}
+
+/// Megamorphic-dispatch request stream: `count` records of
+/// `[type, payload]` bytes. Types are drawn from a seed-dependent
+/// active subset of `handlers` with a hot-set skew (≈70% of requests
+/// hit ~8 hot types).
+pub fn dispatch_requests(rng: &mut Rng, count: usize, handlers: usize) -> Vec<u8> {
+    let (active, hot) = active_and_hot(rng, handlers);
+    let mut out = Vec::with_capacity(count * 2);
+    for _ in 0..count {
+        let t = if rng.gen_bool(0.7) {
+            hot[rng.gen_range(0..hot.len())]
+        } else {
+            active[rng.gen_range(0..active.len())]
+        };
+        out.push(t);
+        out.push(rng.gen_range(0..256u64) as u8);
+    }
+    out
+}
+
+/// Server-routing request stream: `count` records of
+/// `[method, route, payload]` bytes with a skewed method mix and the
+/// same seed-dependent active/hot route subsetting as
+/// [`dispatch_requests`].
+pub fn route_requests(rng: &mut Rng, count: usize, routes: usize) -> Vec<u8> {
+    let (active, hot) = active_and_hot(rng, routes);
+    let mut out = Vec::with_capacity(count * 3);
+    for _ in 0..count {
+        // GET-heavy method mix: 0 = read, 1 = write, 2/3 = rare.
+        let m = if rng.gen_bool(0.65) {
+            0
+        } else if rng.gen_bool(0.7) {
+            1
+        } else {
+            rng.gen_range(2..4u64) as u8
+        };
+        let r = if rng.gen_bool(0.7) {
+            hot[rng.gen_range(0..hot.len())]
+        } else {
+            active[rng.gen_range(0..active.len())]
+        };
+        out.push(m);
+        out.push(r);
+        out.push(rng.gen_range(0..256u64) as u8);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,6 +382,37 @@ mod tests {
         assert_eq!(makefile(&mut rng(7), 20), makefile(&mut rng(7), 20));
         assert_eq!(archive(&mut rng(7), 5), archive(&mut rng(7), 5));
         assert_eq!(expressions(&mut rng(7), 9), expressions(&mut rng(7), 9));
+        assert_eq!(
+            dispatch_requests(&mut rng(7), 64, 96),
+            dispatch_requests(&mut rng(7), 64, 96)
+        );
+        assert_eq!(
+            route_requests(&mut rng(7), 64, 96),
+            route_requests(&mut rng(7), 64, 96)
+        );
+    }
+
+    #[test]
+    fn request_streams_have_seed_dependent_populations() {
+        let types = |seed: u64| -> std::collections::BTreeSet<u8> {
+            dispatch_requests(&mut rng(seed), 400, 96)
+                .chunks(2)
+                .map(|r| r[0])
+                .collect()
+        };
+        assert_ne!(types(1), types(2));
+        // Every type stays in range for the dispatch switch.
+        assert!(types(1).iter().all(|&t| t < 96));
+        let routes = |seed: u64| -> std::collections::BTreeSet<u8> {
+            route_requests(&mut rng(seed), 400, 96)
+                .chunks(3)
+                .map(|r| r[1])
+                .collect()
+        };
+        assert_ne!(routes(3), routes(4));
+        assert!(route_requests(&mut rng(5), 100, 96)
+            .chunks(3)
+            .all(|r| r[0] < 4));
     }
 
     #[test]

@@ -30,6 +30,7 @@
 
 mod inputs;
 mod programs;
+pub mod synth;
 
 pub use inputs::Scale;
 
@@ -120,7 +121,49 @@ impl Benchmark {
                 let vars = rng.gen_range(6..=12usize);
                 vec![inputs::cubes(rng, vars, (units / 4).clamp(8, 400))]
             }
+            "dispatch" => vec![inputs::dispatch_requests(
+                rng,
+                units,
+                synth::DISPATCH_HANDLERS,
+            )],
+            "router" => vec![inputs::route_requests(rng, units, synth::ROUTER_ROUTES)],
             other => unreachable!("unknown benchmark {other}"),
+        }
+    }
+
+    /// Static branch-site count of the lowered program (conditional and
+    /// unconditional branches, excluding calls/returns and forward
+    /// slots). Compiled once per process and cached by name; returns 0
+    /// if the source fails to compile (never for shipped sources).
+    #[must_use]
+    pub fn branch_sites(&self) -> usize {
+        use std::collections::HashMap;
+        use std::sync::Mutex;
+        static CACHE: std::sync::OnceLock<Mutex<HashMap<&'static str, usize>>> =
+            std::sync::OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(&n) = cache.lock().unwrap().get(self.name) {
+            return n;
+        }
+        let n = self
+            .compile()
+            .ok()
+            .and_then(|m| branchlab_ir::lower(&m).ok())
+            .map_or(0, |p| p.branch_sites().len());
+        cache.lock().unwrap().insert(self.name, n);
+        n
+    }
+
+    /// Code-footprint class from the static branch-site count: how hard
+    /// this benchmark presses on BTB capacity. `small` fits comfortably
+    /// in the paper's 256-entry buffer, `medium` approaches it, `large`
+    /// overflows a small set-associative L1.
+    #[must_use]
+    pub fn footprint_class(&self) -> &'static str {
+        match self.branch_sites() {
+            0..=99 => "small",
+            100..=399 => "medium",
+            _ => "large",
         }
     }
 }
@@ -219,15 +262,25 @@ pub const SUITE: &[Benchmark] = &[
     },
 ];
 
-/// Look up a benchmark by name.
+/// Look up a benchmark by name — the 1989 suite first, then the
+/// generated synthetic benchmarks ([`synth::suite`]).
 #[must_use]
 pub fn benchmark(name: &str) -> Option<&'static Benchmark> {
-    SUITE.iter().find(|b| b.name == name)
+    SUITE
+        .iter()
+        .find(|b| b.name == name)
+        .or_else(|| synth::suite().iter().find(|b| b.name == name))
 }
 
 /// The ten benchmarks of Tables 1–4.
 pub fn main_suite() -> impl Iterator<Item = &'static Benchmark> {
     SUITE.iter().filter(|b| b.in_main_tables)
+}
+
+/// Every benchmark: the 1989 suite followed by the synthetic
+/// large-footprint benchmarks.
+pub fn all_benchmarks() -> impl Iterator<Item = &'static Benchmark> {
+    SUITE.iter().chain(synth::suite().iter())
 }
 
 #[cfg(test)]
@@ -455,6 +508,40 @@ mod tests {
         assert!(text.contains("00-"), "{text}");
         assert!(text.contains("11-"), "{text}");
         assert_eq!(out.exit_value, 2); // two surviving cubes
+    }
+
+    #[test]
+    fn synthetic_benchmarks_run_on_generated_input() {
+        for b in synth::suite() {
+            for (ri, streams) in b.runs(Scale::Test, 1).iter().enumerate() {
+                let refs: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
+                let out = exec(b, &refs);
+                assert!(
+                    out.stats.branches > 0,
+                    "{} run {ri} executed no branches",
+                    b.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_runs_are_deterministic() {
+        for b in synth::suite() {
+            assert_eq!(b.runs(Scale::Test, 7), b.runs(Scale::Test, 7), "{}", b.name);
+            assert_ne!(b.runs(Scale::Test, 7), b.runs(Scale::Test, 8), "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn footprint_classes_separate_synthetics_from_the_suite() {
+        assert_eq!(benchmark("wc").unwrap().footprint_class(), "small");
+        for b in synth::suite() {
+            assert_eq!(b.footprint_class(), "large", "{}", b.name);
+        }
+        assert!(benchmark("dispatch").is_some());
+        assert!(benchmark("router").is_some());
+        assert_eq!(all_benchmarks().count(), SUITE.len() + 2);
     }
 
     #[test]

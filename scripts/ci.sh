@@ -231,6 +231,12 @@ assert s["errors"] == 0, s["errors"]
 assert s["ok"] == s["requests"] == 120, (s["ok"], s["requests"])
 lat = s["latency_us"]
 assert 0 < lat["p50"] <= lat["p99"] <= lat["max"], lat
+# Latency-percentile gate (carried ROADMAP item): on a real multi-core
+# runner the test-scale p99 must stay under 250ms — cold computes
+# overlap across workers, so anything slower is a serialization or
+# hang regression. Single-core runners only verify the ordering above.
+if s["available_parallelism"] >= 4:
+    assert lat["p99"] <= 250_000, ("serve_bench p99 regression", lat)
 src = s["sources"]
 assert src["computed"] + src["cache"] + src["coalesced"] == s["ok"], src
 # 120 requests over 12 distinct bodies: most must be absorbed without
@@ -291,6 +297,54 @@ assert "server_queue_wait_us" in metrics, "queue-wait histogram missing"
 assert "server_slow_requests" in metrics, "slow counter missing"
 conn.close()
 print(f"trace smoke OK: trace {echoed} decomposed into {sorted(names)}")
+EOF
+
+# mlbtb smoke: a multi-level BTB sweep over a generated
+# large-footprint workload must compute end to end — hierarchy specs
+# parse and canonicalize, the synthetic benchmark resolves, and the
+# sweep lands in the process-wide suite.sweep.* counters.
+python3 - "$serve_addr" <<'EOF'
+import http.client, json, sys
+conn = http.client.HTTPConnection(sys.argv[1], timeout=120)
+body = json.dumps({"bench": "dispatch", "seed": 31337,
+                   "predictors": [{"kind": "mlbtb"},
+                                  {"kind": "mlbtb", "policy": "staged",
+                                   "l1_entries": 32, "l1_ways": 4,
+                                   "l2_entries": 1024, "l2_ways": 8,
+                                   "l2_latency": 3},
+                                  {"kind": "cbtb", "entries": 64, "ways": 4}]})
+conn.request("POST", "/v1/sweep", body, {"Content-Type": "application/json"})
+resp = conn.getresponse()
+r = json.loads(resp.read())
+assert resp.status == 200, (resp.status, r)
+assert r["bench"] == "dispatch" and r["program_hash"], r
+preds = r["predictors"]
+assert [p["kind"] for p in preds] == ["mlbtb", "mlbtb", "cbtb"], preds
+for p in preds:
+    assert p["events"] > 0 and 0.0 < p["accuracy"] <= 1.0, p
+    assert p["btb_lookups"] > 0, p
+assert preds[0]["config"]["policy"] == "l1", preds[0]["config"]
+assert preds[1]["config"]["policy"] == "staged", preds[1]["config"]
+
+conn.request("GET", "/metrics", headers={})
+metrics = {}
+for line in conn.getresponse().read().decode().splitlines():
+    if line and not line.startswith("#"):
+        name, _, value = line.partition(" ")
+        try:
+            metrics[name] = float(value)
+        except ValueError:
+            pass
+conn.close()
+sweep_counters = {k: v for k, v in metrics.items() if k.startswith("suite_sweep_")}
+assert sweep_counters, "no suite_sweep_* counters in /metrics"
+# mlbtb points are lane-ineligible (lane_spec is None), so the planner
+# must degrade them to scalar points — the lane pass still runs.
+assert metrics.get("suite_sweep_lane_passes", 0) > 0, sweep_counters
+assert metrics.get("suite_sweep_lane_scalar_points", 0) >= 3, sweep_counters
+print(f"mlbtb smoke OK: 3-point hierarchy sweep on dispatch "
+      f"({preds[0]['events']:.0f} events/point), "
+      f"{metrics['suite_sweep_lane_scalar_points']:.0f} scalar sweep points counted")
 EOF
 
 # Graceful shutdown: SIGTERM must drain and exit 0.
